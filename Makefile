@@ -1,0 +1,38 @@
+.PHONY: all build test bench figures doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full test run with output archived, as used for the release record.
+test-record:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe
+
+bench-record:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Regenerate every paper figure and extension table at full scale
+# (about half an hour; see results/ for the archived outputs).
+figures: build
+	./_build/default/bin/tcp_pr_sim.exe fig2   > results/fig2.txt
+	./_build/default/bin/tcp_pr_sim.exe fig3   > results/fig3.txt
+	./_build/default/bin/tcp_pr_sim.exe fig4   > results/fig4.txt
+	./_build/default/bin/tcp_pr_sim.exe fig6   > results/fig6.txt
+	./_build/default/bin/tcp_pr_sim.exe fig6 --extended > results/fig6_extended.txt
+	./_build/default/bin/tcp_pr_sim.exe flaps  > results/flaps.txt
+	./_build/default/bin/tcp_pr_sim.exe jitter > results/jitter.txt
+	./_build/default/bin/tcp_pr_sim.exe manet  > results/manet.txt
+	./_build/default/bin/tcp_pr_sim.exe ablate all > results/ablations.txt
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
