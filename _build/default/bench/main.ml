@@ -1,0 +1,250 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every results figure of the paper (Figs. 2, 3, 4
+   and 6 — the two tables in the paper are pseudo-code listings, not
+   results) at bench-friendly scale, plus the design-choice ablations.
+   `dune exec bin/tcp_pr_sim.exe -- <figN>` runs the full-scale
+   versions.
+
+   Part 2 runs bechamel micro-benchmarks of the hot paths: the event
+   queue, the Newton ewrtt update, sender ACK processing, the receiver,
+   and epsilon-routing sampling. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let heading title =
+  Printf.printf "\n===== %s =====\n%!" title
+
+let fig2 () =
+  heading "Fig. 2 - fairness: k TCP-PR + k TCP-SACK flows (mean T ~ 1)";
+  let run topology =
+    Printf.printf "\n--- %s ---\n"
+      (Experiments.Fig2_fairness.topology_name topology);
+    Experiments.Fig2_fairness.series ~seed:1 ~warmup:20. ~window:30.
+      ~counts:[ 1; 4; 16 ] topology ()
+    |> Experiments.Fig2_fairness.to_table
+    |> Stats.Table.print
+  in
+  run Experiments.Fig2_fairness.Dumbbell;
+  run Experiments.Fig2_fairness.Parking_lot
+
+let fig3 () =
+  heading "Fig. 3 - CoV of normalized throughput vs loss rate";
+  let run topology =
+    Printf.printf "\n--- %s ---\n"
+      (Experiments.Fig2_fairness.topology_name topology);
+    Experiments.Fig3_cov.series ~seed:1 ~warmup:20. ~window:30.
+      ~flows_per_protocol:4 ~scales:[ 1.0; 0.5; 0.25 ] topology ()
+    |> Experiments.Fig3_cov.to_table |> Stats.Table.print
+  in
+  run Experiments.Fig2_fairness.Dumbbell;
+  run Experiments.Fig2_fairness.Parking_lot
+
+let fig4 () =
+  heading "Fig. 4 - TCP-SACK mean normalized throughput vs (alpha, beta)";
+  let run topology =
+    Printf.printf "\n--- %s ---\n"
+      (Experiments.Fig2_fairness.topology_name topology);
+    Experiments.Fig4_param.grid ~seed:1 ~warmup:20. ~window:30.
+      ~flows_per_protocol:4 ~alphas:[ 0.9; 0.995 ] ~betas:[ 1.; 3.; 10. ]
+      topology ()
+    |> Experiments.Fig4_param.to_table |> Stats.Table.print
+  in
+  run Experiments.Fig2_fairness.Dumbbell;
+  run Experiments.Fig2_fairness.Parking_lot
+
+let fig6 () =
+  heading "Fig. 6 - throughput under multi-path routing (Mb/s)";
+  let delays = [ 0.010; 0.060 ] in
+  let points =
+    Experiments.Fig6_multipath.grid ~seed:1 ~warmup:20. ~duration:60.
+      ~epsilons:[ 0.; 1.; 4.; 10.; 500. ] ~delays ()
+  in
+  List.iter
+    (fun delay_s ->
+      Printf.printf "\n--- per-link delay %g ms ---\n" (delay_s *. 1000.);
+      Experiments.Fig6_multipath.to_table ~delay_s points |> Stats.Table.print)
+    delays
+
+let extensions () =
+  heading "Extensions - schemes beyond the paper's comparison";
+  print_endline
+    "Multi-path throughput (Mb/s), 10 ms links, for Eifel / TCP-DOOR / RACK:";
+  let points =
+    Experiments.Fig6_multipath.grid ~seed:1 ~warmup:20. ~duration:60.
+      ~epsilons:[ 0.; 4.; 500. ] ~delays:[ 0.010 ]
+      ~variants:(Experiments.Variants.tcp_pr :: Experiments.Variants.extensions)
+      ()
+  in
+  Experiments.Fig6_multipath.to_table ~delay_s:0.010 points |> Stats.Table.print;
+  print_endline "\nDelay jitter (Mb/s; 2 x 20 ms path, per-packet uniform jitter):";
+  Experiments.Jitter.sweep ~seed:1 ~duration:30. ()
+  |> Experiments.Jitter.to_table |> Stats.Table.print;
+  print_endline "\nRoute flaps (1 s residence, 5 ms vs 40 ms paths):";
+  List.iter
+    (fun (label, r) ->
+      Printf.printf "  %-9s %6.2f Mb/s  retx=%-5.0f spurious dups=%d\n" label
+        r.Experiments.Route_flap.mbps r.Experiments.Route_flap.retransmits
+        r.Experiments.Route_flap.spurious_duplicates)
+    (Experiments.Route_flap.compare ~seed:1 ~duration:40. ())
+
+let ablations () =
+  heading "Ablations - TCP-PR design choices";
+  print_endline "Newton approximation error vs exact alpha^(1/cwnd):";
+  List.iter
+    (fun (n, cwnd, _, _, err) ->
+      Printf.printf "  iterations=%d cwnd=%-6g rel.err=%.2e\n" n cwnd err)
+    (Experiments.Ablations.newton_accuracy ~iterations:[ 1; 2 ]
+       ~cwnds:[ 2.; 64.; 512. ] ());
+  print_endline "\ncwnd-at-send snapshot halving (multi-path, eps=0):";
+  List.iter
+    (fun (snapshot, mbps) ->
+      Printf.printf "  snapshot=%-5b %6.2f Mb/s\n" snapshot mbps)
+    (Experiments.Ablations.snapshot_halving ~seed:1 ~duration:30. ());
+  print_endline "\nmemorize list (bursty 2% loss path):";
+  List.iter
+    (fun (memorize, mbps) ->
+      Printf.printf "  memorize=%-5b %6.2f Mb/s\n" memorize mbps)
+    (Experiments.Ablations.memorize_list ~seed:1 ~duration:30. ());
+  print_endline "\nbeta sensitivity (multi-path, eps=0):";
+  List.iter
+    (fun (beta, mbps) -> Printf.printf "  beta=%-4g %6.2f Mb/s\n" beta mbps)
+    (Experiments.Ablations.beta_sweep ~seed:1 ~duration:30.
+       ~betas:[ 1.5; 3.; 10. ] ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_event_queue =
+  Test.make ~name:"event_queue: 256 push + pop"
+    (Staged.stage (fun () ->
+         let q = Sim.Event_queue.create () in
+         for i = 0 to 255 do
+           ignore (Sim.Event_queue.push q ~time:(float_of_int (i * 7919 mod 256)) i)
+         done;
+         while Sim.Event_queue.pop q <> None do
+           ()
+         done))
+
+let bench_newton =
+  Test.make ~name:"ewrtt: newton alpha^(1/cwnd), 2 iters"
+    (Staged.stage (fun () ->
+         ignore (Core.Ewrtt.newton ~alpha:0.995 ~cwnd:137. ~iterations:2)))
+
+let bench_receiver =
+  Test.make ~name:"receiver: 128 segments, 1-in-8 reordered"
+    (Staged.stage (fun () ->
+         let r = Tcp.Receiver.create Tcp.Config.default in
+         for i = 0 to 127 do
+           let seq = if i mod 8 = 0 && i + 1 < 128 then i + 1 else i in
+           ignore (Tcp.Receiver.on_data r ~seq ())
+         done))
+
+let bench_pr_ack_processing =
+  Test.make ~name:"tcp-pr: start + 64 acks"
+    (Staged.stage (fun () ->
+         let config =
+           { Tcp.Config.default with Tcp.Config.initial_cwnd = 8. }
+         in
+         let t = Core.Tcp_pr.create config in
+         ignore (Core.Tcp_pr.start t ~now:0.);
+         for i = 0 to 63 do
+           let ack =
+             { Tcp.Types.next = i + 1; sacks = []; dsack = None; for_seq = i; for_retx = false; serial = i }
+           in
+           ignore (Core.Tcp_pr.on_ack t ~now:(0.01 *. float_of_int (i + 1)) ack)
+         done))
+
+let bench_sack_ack_processing =
+  Test.make ~name:"sack: start + 64 acks"
+    (Staged.stage (fun () ->
+         let config =
+           { Tcp.Config.default with Tcp.Config.initial_cwnd = 8. }
+         in
+         let t = Tcp.Sack_core.create config in
+         ignore (Tcp.Sack_core.start t ~now:0.);
+         for i = 0 to 63 do
+           let ack =
+             { Tcp.Types.next = i + 1; sacks = []; dsack = None; for_seq = i; for_retx = false; serial = i }
+           in
+           ignore (Tcp.Sack_core.on_ack t ~now:(0.01 *. float_of_int (i + 1)) ack)
+         done))
+
+let bench_epsilon_sampling =
+  let rng = Sim.Rng.create 1 in
+  let routing =
+    Multipath.Epsilon_routing.create rng ~epsilon:1. ~costs:[| 0.; 1.; 2. |]
+  in
+  Test.make ~name:"epsilon-routing: sample"
+    (Staged.stage (fun () -> ignore (Multipath.Epsilon_routing.sample routing)))
+
+let bench_end_to_end =
+  Test.make ~name:"simulator: 200-segment TCP-PR transfer"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let network = Net.Network.create engine in
+         let a = Net.Network.add_node network in
+         let b = Net.Network.add_node network in
+         ignore
+           (Net.Network.add_duplex network ~src:a ~dst:b ~bandwidth_bps:10e6
+              ~delay_s:0.005 ~capacity:50 ());
+         let config =
+           { Tcp.Config.default with Tcp.Config.total_segments = Some 200 }
+         in
+         let c =
+           Tcp.Connection.create network ~flow:0 ~src:a ~dst:b
+             ~sender:(module Core.Tcp_pr) ~config
+             ~route_data:(fun () -> [ Net.Node.id b ])
+             ~route_ack:(fun () -> [ Net.Node.id a ])
+             ()
+         in
+         Tcp.Connection.start c ~at:0.;
+         Sim.Engine.run engine ~until:10.))
+
+let microbenchmarks () =
+  heading "Micro-benchmarks (bechamel, monotonic clock)";
+  let tests =
+    [ bench_event_queue;
+      bench_newton;
+      bench_receiver;
+      bench_pr_ack_processing;
+      bench_sack_ack_processing;
+      bench_epsilon_sampling;
+      bench_end_to_end ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let print_result test =
+    let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+    let analysis = Analyze.all ols Instance.monotonic_clock results in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ time_per_run ] ->
+          Printf.printf "  %-45s %12.1f ns/run\n%!" name time_per_run
+        | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+      analysis
+  in
+  List.iter print_result tests
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig6 ();
+  extensions ();
+  ablations ();
+  microbenchmarks ();
+  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

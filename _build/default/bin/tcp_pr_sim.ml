@@ -1,0 +1,333 @@
+(* Command-line driver regenerating every figure of the paper and the
+   ablation studies. `tcp_pr_sim <figure> --help` lists the knobs. *)
+
+open Cmdliner
+
+let topology_conv =
+  let parse = function
+    | "dumbbell" -> Ok Experiments.Fig2_fairness.Dumbbell
+    | "parking-lot" | "parking_lot" | "parkinglot" ->
+      Ok Experiments.Fig2_fairness.Parking_lot
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf (Experiments.Fig2_fairness.topology_name t)
+  in
+  Arg.conv (parse, print)
+
+let topologies_term =
+  let doc = "Topology: dumbbell or parking-lot (repeatable)." in
+  Arg.(
+    value
+    & opt_all topology_conv
+        [ Experiments.Fig2_fairness.Dumbbell;
+          Experiments.Fig2_fairness.Parking_lot ]
+    & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+
+let seed_term =
+  let doc = "Root random seed; every run is deterministic given the seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let quick_term =
+  let doc = "Shrink warmup/measurement windows and flow counts for a fast run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let csv_term =
+  let doc = "Emit tables as CSV instead of aligned text." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let render ~csv table =
+  if csv then print_string (Stats.Table.to_csv table)
+  else Stats.Table.print table
+
+let windows ~quick = if quick then (20., 30.) else (40., 60.)
+
+let section topology =
+  Printf.printf "\n--- %s ---\n"
+    (Experiments.Fig2_fairness.topology_name topology)
+
+let fig2 seed quick csv topologies =
+  let warmup, window = windows ~quick in
+  let counts = if quick then [ 1; 2; 8 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  print_endline
+    "Fig. 2 - normalized throughput of k TCP-PR + k TCP-SACK flows (mean ~ 1 = fair)";
+  let run topology =
+    section topology;
+    Experiments.Fig2_fairness.series ~seed ~warmup ~window ~counts topology ()
+    |> Experiments.Fig2_fairness.to_table |> render ~csv
+  in
+  List.iter run topologies
+
+let fig3 seed quick csv topologies =
+  let warmup, window = windows ~quick in
+  let flows_per_protocol = if quick then 4 else 8 in
+  let scales =
+    if quick then [ 1.0; 0.5; 0.25 ] else [ 1.0; 0.7; 0.5; 0.35; 0.25 ]
+  in
+  print_endline
+    "Fig. 3 - coefficient of variation of normalized throughput vs loss rate";
+  let run topology =
+    section topology;
+    Experiments.Fig3_cov.series ~seed ~warmup ~window ~flows_per_protocol
+      ~scales topology ()
+    |> Experiments.Fig3_cov.to_table |> render ~csv
+  in
+  List.iter run topologies
+
+let fig4 seed quick csv flows topologies =
+  let warmup, window = windows ~quick in
+  let flows_per_protocol =
+    match flows with Some n -> n | None -> if quick then 4 else 8
+  in
+  let alphas = if quick then [ 0.995 ] else [ 0.5; 0.9; 0.995 ] in
+  let betas = if quick then [ 1.; 3.; 10. ] else [ 1.; 2.; 3.; 5.; 10. ] in
+  print_endline
+    "Fig. 4 - TCP-SACK mean normalized throughput for TCP-PR parameters (alpha, beta)";
+  let run topology =
+    section topology;
+    Experiments.Fig4_param.grid ~seed ~warmup ~window ~flows_per_protocol
+      ~alphas ~betas topology ()
+    |> Experiments.Fig4_param.to_table |> render ~csv
+  in
+  List.iter run topologies
+
+let fig6 seed quick csv extended =
+  let warmup = if quick then 20. else 40. in
+  let duration = if quick then 60. else 160. in
+  let epsilons = [ 0.; 1.; 4.; 10.; 500. ] in
+  let delays = if quick then [ 0.010 ] else [ 0.010; 0.060 ] in
+  let variants =
+    if extended then Experiments.Variants.fig6 @ Experiments.Variants.extensions
+    else Experiments.Variants.fig6
+  in
+  print_endline
+    "Fig. 6 - throughput (Mb/s) under multi-path routing; eps=500 is single-path";
+  if extended then
+    print_endline
+      "(extended with Eifel, TCP-DOOR and RACK - not part of the paper's comparison)";
+  let points =
+    Experiments.Fig6_multipath.grid ~seed ~warmup ~duration ~epsilons ~delays
+      ~variants ()
+  in
+  let show delay_s =
+    Printf.printf "\n--- per-link delay %g ms ---\n" (delay_s *. 1000.);
+    Experiments.Fig6_multipath.to_table ~delay_s points |> render ~csv
+  in
+  List.iter show delays
+
+let flaps seed quick =
+  let duration = if quick then 30. else 60. in
+  print_endline
+    "Route flaps (paper Section 1): all traffic flips between a 5 ms and a 40 ms";
+  print_endline "path once per second; each flap reorders the packets in flight.";
+  let table =
+    Stats.Table.create
+      ~columns:[ "variant"; "Mb/s"; "retransmits"; "spurious dups" ]
+  in
+  List.iter
+    (fun (label, r) ->
+      Stats.Table.add_row table
+        [ label;
+          Printf.sprintf "%.2f" r.Experiments.Route_flap.mbps;
+          Printf.sprintf "%.0f" r.Experiments.Route_flap.retransmits;
+          string_of_int r.Experiments.Route_flap.spurious_duplicates ])
+    (Experiments.Route_flap.compare ~seed ~duration ());
+  Stats.Table.print table
+
+let jitter seed quick =
+  let duration = if quick then 20. else 60. in
+  print_endline
+    "Delay jitter (wireless-style intra-path reordering): throughput (Mb/s)";
+  print_endline
+    "over a 2 x 20 ms, 10 Mb/s path whose links add uniform per-packet jitter.";
+  Experiments.Jitter.sweep ~seed ~duration ()
+  |> Experiments.Jitter.to_table |> Stats.Table.print
+
+let manet seed quick =
+  let duration = if quick then 20. else 60. in
+  print_endline
+    "MANET (paper future work): 12 radios, random-waypoint mobility, pinned";
+  print_endline
+    "endpoints relayed over 2-3 changing hops. Route changes reorder and";
+  print_endline "black-hole packets in flight.";
+  let table =
+    Stats.Table.create
+      ~columns:[ "variant"; "Mb/s"; "retransmits"; "spurious dups" ]
+  in
+  List.iter
+    (fun (label, r) ->
+      Stats.Table.add_row table
+        [ label;
+          Printf.sprintf "%.2f" r.Experiments.Manet_experiment.mbps;
+          Printf.sprintf "%.0f" r.Experiments.Manet_experiment.retransmits;
+          string_of_int r.Experiments.Manet_experiment.spurious_duplicates ])
+    (Experiments.Manet_experiment.compare ~seed ~duration ());
+  Stats.Table.print table
+
+let ablate seed quick which =
+  let duration = if quick then 30. else 60. in
+  let run_newton () =
+    print_endline
+      "Newton approximation of alpha^(1/cwnd) (paper footnote 5; n = 2 in the kernel)";
+    let table =
+      Stats.Table.create
+        ~columns:[ "iterations"; "cwnd"; "approx"; "exact"; "rel. error" ]
+    in
+    List.iter
+      (fun (n, cwnd, approx, exact, err) ->
+        Stats.Table.add_row table
+          [ string_of_int n;
+            Printf.sprintf "%g" cwnd;
+            Printf.sprintf "%.8f" approx;
+            Printf.sprintf "%.8f" exact;
+            Printf.sprintf "%.2e" err ])
+      (Experiments.Ablations.newton_accuracy ());
+    Stats.Table.print table
+  in
+  let run_snapshot () =
+    print_endline
+      "\nHalving cwnd-at-send snapshot vs current cwnd (multi-path, eps = 0):";
+    List.iter
+      (fun (snapshot, mbps) ->
+        Printf.printf "  snapshot=%-5b %6.2f Mb/s\n" snapshot mbps)
+      (Experiments.Ablations.snapshot_halving ~seed ~duration ())
+  in
+  let run_memorize () =
+    print_endline "\nMemorize list on a bursty lossy path (2% injected loss):";
+    List.iter
+      (fun (memorize, mbps) ->
+        Printf.printf "  memorize=%-5b %6.2f Mb/s\n" memorize mbps)
+      (Experiments.Ablations.memorize_list ~seed ~duration ())
+  in
+  let run_beta () =
+    print_endline "\nTCP-PR multi-path throughput (eps = 0) vs beta:";
+    List.iter
+      (fun (beta, mbps) -> Printf.printf "  beta=%-4g %6.2f Mb/s\n" beta mbps)
+      (Experiments.Ablations.beta_sweep ~seed ~duration ())
+  in
+  let run_beta_fairness () =
+    print_endline "\nTCP-SACK mean normalized throughput vs TCP-PR beta (dumbbell):";
+    List.iter
+      (fun (beta, mean) -> Printf.printf "  beta=%-4g %6.3f\n" beta mean)
+      (Experiments.Ablations.beta_fairness ~seed
+         ~flows_per_protocol:(if quick then 4 else 8)
+         ())
+  in
+  match which with
+  | "newton" -> run_newton ()
+  | "snapshot" -> run_snapshot ()
+  | "memorize" -> run_memorize ()
+  | "beta" -> run_beta ()
+  | "beta-fairness" -> run_beta_fairness ()
+  | "all" ->
+    run_newton ();
+    run_snapshot ();
+    run_memorize ();
+    run_beta ();
+    run_beta_fairness ()
+  | other -> Printf.eprintf "unknown ablation %S\n" other
+
+let demo seed =
+  print_endline "Demo: TCP-PR vs TCP-SACK, single shared 15 Mb/s bottleneck";
+  let result =
+    Experiments.Runner.dumbbell_fairness ~seed ~warmup:10. ~window:30.
+      ~specs:
+        [ { Experiments.Runner.label = "TCP-PR";
+            sender = (module Core.Tcp_pr);
+            count = 1 };
+          { Experiments.Runner.label = "TCP-SACK";
+            sender = (module Tcp.Sack);
+            count = 1 } ]
+      ()
+  in
+  List.iter
+    (fun (label, mbps) -> Printf.printf "  %-10s %6.2f Mb/s\n" label mbps)
+    result.Experiments.Runner.throughputs;
+  print_endline "\nDemo: the same pair under full multi-path routing (eps = 0)";
+  List.iter
+    (fun (label, sender) ->
+      let mbps =
+        Experiments.Runner.multipath_throughput ~seed ~duration:30. ~epsilon:0.
+          ~sender ()
+      in
+      Printf.printf "  %-10s %6.2f Mb/s\n" label mbps)
+    [ Experiments.Variants.tcp_pr; Experiments.Variants.tcp_sack ]
+
+let cmd_of name ~doc term =
+  Cmd.v (Cmd.info name ~doc) term
+
+let fig2_cmd =
+  cmd_of "fig2" ~doc:"Reproduce Fig. 2 (fairness vs number of flows)."
+    Term.(const fig2 $ seed_term $ quick_term $ csv_term $ topologies_term)
+
+let fig3_cmd =
+  cmd_of "fig3" ~doc:"Reproduce Fig. 3 (CoV vs loss rate)."
+    Term.(const fig3 $ seed_term $ quick_term $ csv_term $ topologies_term)
+
+let fig4_cmd =
+  let flows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flows" ] ~docv:"N" ~doc:"Flows per protocol (paper: 32).")
+  in
+  cmd_of "fig4" ~doc:"Reproduce Fig. 4 (alpha/beta parameter grid)."
+    Term.(const fig4 $ seed_term $ quick_term $ csv_term $ flows $ topologies_term)
+
+let fig6_cmd =
+  let extended =
+    Arg.(
+      value & flag
+      & info [ "extended" ]
+          ~doc:"Also run Eifel, TCP-DOOR and RACK (beyond the paper).")
+  in
+  cmd_of "fig6" ~doc:"Reproduce Fig. 6 (multi-path routing sweep)."
+    Term.(const fig6 $ seed_term $ quick_term $ csv_term $ extended)
+
+let flaps_cmd =
+  cmd_of "flaps" ~doc:"Route-flap reordering scenario (extension)."
+    Term.(const flaps $ seed_term $ quick_term)
+
+let jitter_cmd =
+  cmd_of "jitter" ~doc:"Delay-jitter reordering sweep (extension)."
+    Term.(const jitter $ seed_term $ quick_term)
+
+let manet_cmd =
+  cmd_of "manet" ~doc:"Mobile ad-hoc network scenario (paper future work)."
+    Term.(const manet $ seed_term $ quick_term)
+
+let ablate_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"WHICH"
+          ~doc:"newton | snapshot | memorize | beta | beta-fairness | all")
+  in
+  cmd_of "ablate" ~doc:"Run the TCP-PR design-choice ablations."
+    Term.(const ablate $ seed_term $ quick_term $ which)
+
+let demo_cmd =
+  cmd_of "demo" ~doc:"Two-minute tour: fairness and reordering robustness."
+    Term.(const demo $ seed_term)
+
+(* TCP_PR_LOG=debug turns on per-packet connection tracing. *)
+let setup_logging () =
+  match Sys.getenv_opt "TCP_PR_LOG" with
+  | Some level -> (
+    Logs.set_reporter (Logs.format_reporter ());
+    match String.lowercase_ascii level with
+    | "debug" -> Logs.set_level (Some Logs.Debug)
+    | "info" -> Logs.set_level (Some Logs.Info)
+    | _ -> Logs.set_level (Some Logs.Warning))
+  | None -> ()
+
+let () =
+  setup_logging ();
+  let doc = "TCP-PR (ICDCS 2003) reproduction driver" in
+  let info = Cmd.info "tcp_pr_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fig2_cmd; fig3_cmd; fig4_cmd; fig6_cmd; flaps_cmd; jitter_cmd;
+            manet_cmd; ablate_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/cwnd_trace.ml: Array Core Experiments List Printf Sim Stats Tcp Topo

@@ -1,0 +1,1 @@
+examples/cwnd_trace.mli:

@@ -1,0 +1,1 @@
+examples/extreme_loss.ml: Core List Net Printf Sim Tcp

@@ -1,0 +1,1 @@
+examples/extreme_loss.mli:

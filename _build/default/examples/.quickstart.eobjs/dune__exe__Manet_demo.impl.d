@@ -1,0 +1,1 @@
+examples/manet_demo.ml: Experiments List Printf

@@ -1,0 +1,1 @@
+examples/multipath_reordering.ml: Core List Multipath Printf Sim Stats Tcp Topo

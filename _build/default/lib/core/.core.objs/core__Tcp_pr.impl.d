@@ -1,0 +1,1 @@
+lib/core/tcp_pr.ml: Ewrtt Float Hashtbl Int List Queue Set Tcp

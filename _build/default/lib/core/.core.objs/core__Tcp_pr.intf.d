@@ -1,0 +1,1 @@
+lib/core/tcp_pr.mli: Tcp

@@ -1,0 +1,46 @@
+type t = {
+  alpha : float;
+  beta : float;
+  iterations : int;
+  mutable ewrtt : float;
+  mutable has_sample : bool;
+}
+
+let create config =
+  Tcp.Config.validate config;
+  { alpha = config.Tcp.Config.pr_alpha;
+    beta = config.Tcp.Config.pr_beta;
+    iterations = config.Tcp.Config.pr_newton_iterations;
+    ewrtt = config.Tcp.Config.pr_initial_ewrtt;
+    has_sample = false }
+
+(* Newton's method on f(x) = x^cwnd - alpha, started at x = 1:
+   x <- ((cwnd - 1) / cwnd) x + alpha / (cwnd x^(cwnd - 1)),
+   exactly the loop in the paper's footnote 5. *)
+let newton ~alpha ~cwnd ~iterations =
+  assert (cwnd >= 1.);
+  let x = ref 1. in
+  for _ = 1 to iterations do
+    x := (((cwnd -. 1.) /. cwnd) *. !x) +. (alpha /. (cwnd *. (!x ** (cwnd -. 1.))))
+  done;
+  !x
+
+let decay_factor t ~cwnd =
+  newton ~alpha:t.alpha ~cwnd:(Float.max cwnd 1.) ~iterations:t.iterations
+
+let exact_decay_factor t ~cwnd = exp (log t.alpha /. Float.max cwnd 1.)
+
+let on_sample t ~cwnd ~sample =
+  assert (sample >= 0.);
+  if not t.has_sample then begin
+    (* Like Jacobson's srtt, the envelope starts from the first real
+       measurement; the configured initial value only covers the period
+       before any ACK has arrived. *)
+    t.has_sample <- true;
+    t.ewrtt <- sample
+  end
+  else t.ewrtt <- Float.max (decay_factor t ~cwnd *. t.ewrtt) sample
+
+let ewrtt t = t.ewrtt
+
+let mxrtt t = t.beta *. t.ewrtt

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Core Fig2_fairness Fig4_param Float List Net Runner Sim Stats Tcp Variants

@@ -1,0 +1,1 @@
+lib/experiments/fig2_fairness.ml: Float List Runner Stats Variants

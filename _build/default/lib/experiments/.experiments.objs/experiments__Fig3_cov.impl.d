@@ -1,0 +1,1 @@
+lib/experiments/fig3_cov.ml: Fig2_fairness List Printf Runner Stats Variants

@@ -1,0 +1,1 @@
+lib/experiments/fig3_cov.mli: Fig2_fairness Stats Tcp

@@ -1,0 +1,1 @@
+lib/experiments/fig4_param.ml: Fig2_fairness List Printf Runner Stats Tcp Variants

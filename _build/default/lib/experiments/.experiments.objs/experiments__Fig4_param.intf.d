@@ -1,0 +1,1 @@
+lib/experiments/fig4_param.mli: Fig2_fairness Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig6_multipath.ml: List Printf Runner Stats Variants

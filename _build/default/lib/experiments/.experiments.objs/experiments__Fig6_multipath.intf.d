@@ -1,0 +1,1 @@
+lib/experiments/fig6_multipath.mli: Stats Tcp Variants

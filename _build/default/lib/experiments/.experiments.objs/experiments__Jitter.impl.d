@@ -1,0 +1,1 @@
+lib/experiments/jitter.ml: List Net Printf Sim Stats Tcp Variants

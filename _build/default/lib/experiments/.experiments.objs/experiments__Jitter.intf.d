@@ -1,0 +1,1 @@
+lib/experiments/jitter.mli: Stats Variants

@@ -1,0 +1,1 @@
+lib/experiments/manet_experiment.ml: List Manet Sim Stats Tcp Variants

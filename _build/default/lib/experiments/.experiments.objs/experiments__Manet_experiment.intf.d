@@ -1,0 +1,1 @@
+lib/experiments/manet_experiment.mli: Tcp Variants

@@ -1,0 +1,1 @@
+lib/experiments/probe.ml: Sim Stats Tcp

@@ -1,0 +1,1 @@
+lib/experiments/probe.mli: Sim Stats Tcp

@@ -1,0 +1,1 @@
+lib/experiments/route_flap.ml: List Net Sim Stats Tcp Variants

@@ -1,0 +1,1 @@
+lib/experiments/route_flap.mli: Tcp Variants

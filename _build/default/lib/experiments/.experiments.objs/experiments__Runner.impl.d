@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array List Multipath Net Printf Sim Stats Tcp Topo Workload

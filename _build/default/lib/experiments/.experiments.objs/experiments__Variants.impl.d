@@ -1,0 +1,1 @@
+lib/experiments/variants.ml: Core List String Tcp

@@ -1,0 +1,43 @@
+(** Fig. 4 — TCP-SACK's mean normalized throughput against TCP-PR for a
+    grid of TCP-PR parameters (alpha, beta).
+
+    The paper fixes 32 + 32 flows and shows the surface is flat near 1
+    for beta > 1, with TCP-SACK gaining only at beta = 1 (the threshold
+    equals the RTT envelope itself, so every RTT fluctuation looks like
+    a drop to TCP-PR). *)
+
+type point = {
+  topology : Fig2_fairness.topology;
+  alpha : float;
+  beta : float;
+  mean_sack : float;  (** TCP-SACK mean normalized throughput *)
+  mean_pr : float;
+}
+
+val run :
+  ?seed:int ->
+  ?warmup:float ->
+  ?window:float ->
+  ?flows_per_protocol:int ->
+  Fig2_fairness.topology ->
+  alpha:float ->
+  beta:float ->
+  unit ->
+  point
+
+(** [grid topology ()] sweeps the (alpha, beta) grid; defaults
+    [alphas = [0.5; 0.9; 0.995]], [betas = [1.; 2.; 3.; 5.; 10.]],
+    8 flows per protocol (the paper uses 32; pass
+    [~flows_per_protocol:32] for the full-size run). *)
+val grid :
+  ?seed:int ->
+  ?warmup:float ->
+  ?window:float ->
+  ?flows_per_protocol:int ->
+  ?alphas:float list ->
+  ?betas:float list ->
+  Fig2_fairness.topology ->
+  unit ->
+  point list
+
+val to_table : point list -> Stats.Table.t

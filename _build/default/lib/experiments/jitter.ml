@@ -1,0 +1,96 @@
+type point = {
+  variant : string;
+  jitter_ms : float;
+  mbps : float;
+  spurious_duplicates : int;
+}
+
+let run ~seed ~duration ~jitter_s ~sender =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let rng = Sim.Rng.create seed in
+  let source = Net.Network.add_node network in
+  let mid = Net.Network.add_node network in
+  let sink = Net.Network.add_node network in
+  let duplex ~src ~dst label =
+    let jitter =
+      if jitter_s > 0. then Some (Sim.Rng.split rng label, jitter_s) else None
+    in
+    ignore
+      (Net.Network.add_link network ~src ~dst ~bandwidth_bps:10e6
+         ~delay_s:0.020 ~capacity:100 ?jitter ());
+    let jitter_back =
+      if jitter_s > 0. then Some (Sim.Rng.split rng (label ^ "-rev"), jitter_s)
+      else None
+    in
+    ignore
+      (Net.Network.add_link network ~src:dst ~dst:src ~bandwidth_bps:10e6
+         ~delay_s:0.020 ~capacity:100 ?jitter:jitter_back ())
+  in
+  duplex ~src:source ~dst:mid "hop1";
+  duplex ~src:mid ~dst:sink "hop2";
+  let connection =
+    Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink ~sender
+      ~config:Tcp.Config.default
+      ~route_data:(fun () -> [ Net.Node.id mid; Net.Node.id sink ])
+      ~route_ack:(fun () -> [ Net.Node.id mid; Net.Node.id source ])
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:duration;
+  ( Stats.Throughput.mbps
+      ~bytes:(Tcp.Connection.received_bytes connection)
+      ~seconds:duration,
+    Tcp.Connection.receiver_duplicates connection )
+
+let default_variants =
+  [ Variants.tcp_pr;
+    Variants.tcp_sack;
+    ("TD-FR", (module Tcp.Td_fr : Tcp.Sender.S));
+    ("RACK", (module Tcp.Rack : Tcp.Sender.S)) ]
+
+let sweep ?(seed = 1) ?(duration = 60.) ?(jitters_ms = [ 0.; 5.; 20.; 50. ])
+    ?(variants = default_variants) () =
+  List.concat_map
+    (fun (variant, sender) ->
+      List.map
+        (fun jitter_ms ->
+          let mbps, spurious_duplicates =
+            run ~seed ~duration ~jitter_s:(jitter_ms /. 1000.) ~sender
+          in
+          { variant; jitter_ms; mbps; spurious_duplicates })
+        jitters_ms)
+    variants
+
+let to_table points =
+  let jitters =
+    List.sort_uniq compare (List.map (fun p -> p.jitter_ms) points)
+  in
+  let variants =
+    List.fold_left
+      (fun acc p -> if List.mem p.variant acc then acc else acc @ [ p.variant ])
+      [] points
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        ("variant"
+        :: List.map (fun j -> Printf.sprintf "jitter=%gms" j) jitters)
+  in
+  List.iter
+    (fun variant ->
+      let row =
+        List.map
+          (fun jitter_ms ->
+            match
+              List.find_opt
+                (fun p -> p.variant = variant && p.jitter_ms = jitter_ms)
+                points
+            with
+            | Some p -> p.mbps
+            | None -> nan)
+          jitters
+      in
+      Stats.Table.add_float_row table ~decimals:2 variant row)
+    variants;
+  table

@@ -1,0 +1,28 @@
+(** Delay-jitter scenario: wireless-style intra-path reordering.
+
+    One flow over a two-hop path whose links add a uniform random extra
+    delay to every packet — the "persistent reordering as part of
+    normal operation" the paper attributes to wireless multi-hop
+    networks. No packet is ever lost except to queue overflow; as the
+    jitter magnitude grows, duplicate-ACK-based senders mistake the
+    scrambling for loss while TCP-PR's envelope absorbs it. *)
+
+type point = {
+  variant : string;
+  jitter_ms : float;
+  mbps : float;
+  spurious_duplicates : int;
+}
+
+(** [sweep ()] measures every variant (default: TCP-PR, TCP-SACK,
+    TD-FR, RACK) at each jitter magnitude (default 0 / 5 / 20 / 50 ms
+    per link; the base path is 10 Mb/s, 2 x 20 ms). *)
+val sweep :
+  ?seed:int ->
+  ?duration:float ->
+  ?jitters_ms:float list ->
+  ?variants:Variants.t list ->
+  unit ->
+  point list
+
+val to_table : point list -> Stats.Table.t

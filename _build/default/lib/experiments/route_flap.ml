@@ -1,0 +1,61 @@
+type result = {
+  mbps : float;
+  retransmits : float;
+  spurious_duplicates : int;
+}
+
+let run ?(seed = 1) ?(fast_delay = 0.005) ?(slow_delay = 0.040)
+    ?(flap_interval = 1.) ?(duration = 60.) ?(config = Tcp.Config.default)
+    ~sender () =
+  ignore seed;
+  if flap_interval <= 0. then invalid_arg "Route_flap.run: bad interval";
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let source = Net.Network.add_node network in
+  let sink = Net.Network.add_node network in
+  let via delay =
+    let mid = Net.Network.add_node network in
+    ignore
+      (Net.Network.add_duplex network ~src:source ~dst:mid ~bandwidth_bps:10e6
+         ~delay_s:delay ~capacity:100 ());
+    ignore
+      (Net.Network.add_duplex network ~src:mid ~dst:sink ~bandwidth_bps:10e6
+         ~delay_s:delay ~capacity:100 ());
+    mid
+  in
+  let fast = via fast_delay in
+  let slow = via slow_delay in
+  (* The active route is a function of simulated time alone: everything
+     in one residence period follows the same path, and each flap
+     reorders whatever is still in flight on the other path. *)
+  let current_mid () =
+    let period = int_of_float (Sim.Engine.now engine /. flap_interval) in
+    if period mod 2 = 0 then fast else slow
+  in
+  let route_data () = [ Net.Node.id (current_mid ()); Net.Node.id sink ] in
+  let route_ack () = [ Net.Node.id (current_mid ()); Net.Node.id source ] in
+  let connection =
+    Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink ~sender ~config
+      ~route_data ~route_ack ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:duration;
+  { mbps =
+      Stats.Throughput.mbps
+        ~bytes:(Tcp.Connection.received_bytes connection)
+        ~seconds:duration;
+    retransmits =
+      List.assoc "retransmits" (Tcp.Connection.sender_metrics connection);
+    spurious_duplicates = Tcp.Connection.receiver_duplicates connection }
+
+let default_variants =
+  [ Variants.tcp_pr;
+    Variants.tcp_sack;
+    ("TD-FR", (module Tcp.Td_fr : Tcp.Sender.S));
+    ("RACK", (module Tcp.Rack : Tcp.Sender.S)) ]
+
+let compare ?seed ?flap_interval ?duration ?(variants = default_variants) () =
+  List.map
+    (fun (label, sender) ->
+      (label, run ?seed ?flap_interval ?duration ~sender ()))
+    variants

@@ -1,0 +1,42 @@
+(** Route-flap scenario — the paper's motivating Internet pathology
+    ("oscillations or route flaps among routes with different
+    round-trip times are a common cause of out-of-order packets",
+    citing Paxson).
+
+    Unlike the Fig. 6 lattice, where every packet samples a path
+    independently, here *all* traffic follows one route at a time and
+    the route flips between a fast and a slow path every
+    [flap_interval] seconds. Each flap from slow to fast reorders the
+    packets in flight. *)
+
+type result = {
+  mbps : float;
+  retransmits : float;
+  spurious_duplicates : int;  (** duplicate arrivals at the sink *)
+}
+
+(** [run ~sender ()] measures one flow under flapping routes.
+    @param fast_delay per-link delay of the fast path (default 5 ms).
+    @param slow_delay per-link delay of the slow path (default 40 ms).
+    @param flap_interval route residence time (default 1 s).
+    @param duration simulated seconds (default 60). *)
+val run :
+  ?seed:int ->
+  ?fast_delay:float ->
+  ?slow_delay:float ->
+  ?flap_interval:float ->
+  ?duration:float ->
+  ?config:Tcp.Config.t ->
+  sender:(module Tcp.Sender.S) ->
+  unit ->
+  result
+
+(** [compare ()] runs the given variants (default: TCP-PR, TCP-SACK,
+    TD-FR, RACK) and returns labelled results. *)
+val compare :
+  ?seed:int ->
+  ?flap_interval:float ->
+  ?duration:float ->
+  ?variants:Variants.t list ->
+  unit ->
+  (string * result) list

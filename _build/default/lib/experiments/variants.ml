@@ -1,0 +1,36 @@
+type t = string * (module Tcp.Sender.S)
+
+let tcp_pr : t = ("TCP-PR", (module Core.Tcp_pr))
+
+let tcp_sack : t = ("TCP-SACK", (module Tcp.Sack))
+
+let fig6 : t list =
+  [ tcp_pr;
+    ("TD-FR", (module Tcp.Td_fr));
+    ("DSACK-NM", (module Tcp.Dsack_nm));
+    ("Inc by 1", (module Tcp.Inc_by_1));
+    ("Inc by N", (module Tcp.Inc_by_n));
+    ("EWMA", (module Tcp.Dupthresh_ewma)) ]
+
+(* Not compared in the paper, but closely related: Eifel from the
+   related-work section, and RACK — the modern mainstream descendant of
+   timer-based loss detection. *)
+let extensions : t list =
+  [ ("Eifel", (module Tcp.Eifel));
+    ("TCP-DOOR", (module Tcp.Tcp_door));
+    ("RACK", (module Tcp.Rack)) ]
+
+(* Historical baselines, mostly for the torture tests and ablations. *)
+let classics : t list =
+  [ ("Tahoe", (module Tcp.Tahoe)); ("Reno", (module Tcp.Reno));
+    ("NewReno", (module Tcp.Newreno)) ]
+
+let all : t list = (tcp_sack :: classics) @ fig6 @ extensions
+
+let canonical name =
+  String.lowercase_ascii name
+  |> String.map (function ' ' | '-' | '_' -> '-' | c -> c)
+
+let find name =
+  let target = canonical name in
+  List.find_opt (fun (label, _) -> canonical label = target) all

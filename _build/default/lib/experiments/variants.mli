@@ -1,0 +1,25 @@
+(** Registry of the sender variants compared in the paper. *)
+
+type t = string * (module Tcp.Sender.S)
+
+(** Every implemented variant, [(label, module)]. *)
+val all : t list
+
+(** The six schemes of Fig. 6, in the paper's order: TCP-PR, TD-FR,
+    DSACK-NM, Inc by 1, Inc by N, EWMA. *)
+val fig6 : t list
+
+(** Schemes beyond the paper's comparison: Eifel and TCP-DOOR from the
+    related work, and RACK (the modern timer-based descendant). *)
+val extensions : t list
+
+(** Historical baselines: Tahoe, Reno, NewReno. *)
+val classics : t list
+
+(** [find name] looks a variant up by its label (case-insensitive;
+    spaces and dashes interchangeable). *)
+val find : string -> t option
+
+val tcp_pr : t
+
+val tcp_sack : t

@@ -1,0 +1,1 @@
+lib/manet/adhoc.ml: Array List Mobility Net Queue Sim

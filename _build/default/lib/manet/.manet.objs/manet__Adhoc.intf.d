@@ -1,0 +1,1 @@
+lib/manet/adhoc.mli: Mobility Net Sim

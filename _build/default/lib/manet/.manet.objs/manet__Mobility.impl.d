@@ -1,0 +1,1 @@
+lib/manet/mobility.ml: Array Sim

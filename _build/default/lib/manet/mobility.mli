@@ -1,0 +1,40 @@
+(** Random-waypoint mobility on a rectangular plane.
+
+    Each node picks a uniform waypoint and moves towards it at a speed
+    drawn from [speed_range]; on arrival it immediately picks the next
+    waypoint. Positions advance in discrete steps of [dt] driven by the
+    simulation engine — the standard model behind the MANET studies the
+    paper cites (Holland–Vaidya, Dyer–Boppana, Wang–Zhang). *)
+
+type t
+
+(** [create engine rng ~nodes ~width ~height ~speed_range ()] places
+    [nodes] uniformly at random and starts them moving.
+    @param dt position-update interval (default 0.1 s).
+    @param speed_range (min, max) speeds in units/s, both > 0. *)
+val create :
+  Sim.Engine.t ->
+  Sim.Rng.t ->
+  nodes:int ->
+  width:float ->
+  height:float ->
+  speed_range:float * float ->
+  ?dt:float ->
+  unit ->
+  t
+
+(** Number of mobile nodes. *)
+val node_count : t -> int
+
+(** [position t i] is node [i]'s current position. *)
+val position : t -> int -> float * float
+
+(** [distance t i j] is the current Euclidean distance between nodes. *)
+val distance : t -> int -> int -> float
+
+(** [within_range t ~range i j] tests current connectivity. *)
+val within_range : t -> range:float -> int -> int -> bool
+
+(** [pin t i (x, y)] fixes node [i] at a position (it stops moving) —
+    used to keep source and destination at opposite corners. *)
+val pin : t -> int -> float * float -> unit

@@ -1,0 +1,1 @@
+lib/multipath/epsilon_routing.ml: Array Float Sim Topo

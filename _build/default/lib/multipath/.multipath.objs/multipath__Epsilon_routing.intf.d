@@ -1,0 +1,1 @@
+lib/multipath/epsilon_routing.mli: Sim Topo

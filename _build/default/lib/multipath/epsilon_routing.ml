@@ -1,0 +1,35 @@
+type t = { rng : Sim.Rng.t; weights : float array }
+
+let create rng ~epsilon ~costs =
+  if epsilon < 0. then invalid_arg "Epsilon_routing.create: negative epsilon";
+  if Array.length costs = 0 then
+    invalid_arg "Epsilon_routing.create: no paths";
+  Array.iter
+    (fun c ->
+      if not (Float.is_finite c) || c < 0. then
+        invalid_arg "Epsilon_routing.create: costs must be finite and >= 0")
+    costs;
+  (* Subtract the minimum cost before exponentiating so the cheapest
+     path always has weight 1 and epsilon = 500 underflows the others to
+     exactly zero rather than producing 0/0. *)
+  let min_cost = Array.fold_left Float.min infinity costs in
+  let raw = Array.map (fun c -> exp (-.epsilon *. (c -. min_cost))) costs in
+  let total = Array.fold_left ( +. ) 0. raw in
+  let weights = Array.map (fun w -> w /. total) raw in
+  { rng; weights }
+
+let of_hop_counts rng ~epsilon ~hop_counts =
+  if Array.length hop_counts = 0 then
+    invalid_arg "Epsilon_routing.of_hop_counts: no paths";
+  let min_hops = Array.fold_left min max_int hop_counts in
+  let costs = Array.map (fun h -> float_of_int (h - min_hops)) hop_counts in
+  create rng ~epsilon ~costs
+
+let for_lattice rng ~epsilon (lattice : Topo.Multipath_lattice.t) =
+  of_hop_counts rng ~epsilon ~hop_counts:lattice.Topo.Multipath_lattice.hop_counts
+
+let weights t = Array.copy t.weights
+
+let sample t = Sim.Rng.choose t.rng t.weights
+
+let route t routes = routes.(sample t)

@@ -1,0 +1,38 @@
+(** The epsilon-parameterised family of multi-path routing strategies
+    (Section 5 of the paper, after Hespanha–Bohacek's routing games).
+
+    Each packet independently samples a path with probability
+    proportional to [exp (-epsilon * cost_i)], where [cost_i] is the
+    path's extra cost over the cheapest path (we use extra hop count, a
+    proxy for extra delay). The family interpolates exactly as the paper
+    describes:
+
+    - [epsilon = 0]: costs are ignored; all paths equiprobable (full
+      multi-path routing);
+    - [epsilon -> infinity] (the paper uses 500): only cheapest paths
+      retain mass (single shortest-path routing);
+    - intermediate values trade delay against path diversity. *)
+
+type t
+
+(** [create rng ~epsilon ~costs] builds a sampler over
+    [Array.length costs] paths. Requires [epsilon >= 0.], non-empty
+    [costs] with all entries finite and >= 0. *)
+val create : Sim.Rng.t -> epsilon:float -> costs:float array -> t
+
+(** [of_hop_counts rng ~epsilon ~hop_counts] uses
+    [cost_i = hop_i - min hops]. *)
+val of_hop_counts : Sim.Rng.t -> epsilon:float -> hop_counts:int array -> t
+
+(** [for_lattice rng ~epsilon lattice] builds the sampler for a
+    {!Topo.Multipath_lattice}. *)
+val for_lattice : Sim.Rng.t -> epsilon:float -> Topo.Multipath_lattice.t -> t
+
+(** Normalised path probabilities. *)
+val weights : t -> float array
+
+(** [sample t] draws a path index. *)
+val sample : t -> int
+
+(** [route t routes] draws a route: [routes.(sample t)]. *)
+val route : t -> 'a array -> 'a

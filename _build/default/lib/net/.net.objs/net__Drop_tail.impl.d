@@ -1,0 +1,1 @@
+lib/net/drop_tail.ml: Packet Queue

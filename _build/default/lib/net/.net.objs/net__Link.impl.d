@@ -1,0 +1,1 @@
+lib/net/link.ml: Loss_model Packet Qdisc Sim

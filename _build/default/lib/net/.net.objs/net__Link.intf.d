@@ -1,0 +1,1 @@
+lib/net/link.mli: Loss_model Packet Qdisc Sim

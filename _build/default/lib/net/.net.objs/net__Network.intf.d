@@ -1,0 +1,1 @@
+lib/net/network.mli: Link Loss_model Node Packet Qdisc Sim

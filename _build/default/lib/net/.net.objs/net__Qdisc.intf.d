@@ -1,0 +1,1 @@
+lib/net/qdisc.mli: Packet Red

@@ -1,0 +1,1 @@
+lib/net/red.ml: Float Packet Queue Sim

@@ -1,0 +1,1 @@
+lib/net/tracer.ml: Buffer Format Link List Network Packet Sim

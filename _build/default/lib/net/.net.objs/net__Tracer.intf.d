@@ -1,0 +1,1 @@
+lib/net/tracer.mli: Format Link Network

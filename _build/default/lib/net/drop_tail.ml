@@ -1,0 +1,33 @@
+type t = {
+  capacity : int;
+  q : Packet.t Queue.t;
+  mutable drops : int;
+  mutable enqueued : int;
+}
+
+let create ~capacity =
+  assert (capacity >= 1);
+  { capacity; q = Queue.create (); drops = 0; enqueued = 0 }
+
+let offer t p =
+  if Queue.length t.q >= t.capacity then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push p t.q;
+    t.enqueued <- t.enqueued + 1;
+    true
+  end
+
+let poll t = Queue.take_opt t.q
+
+let length t = Queue.length t.q
+
+let capacity t = t.capacity
+
+let is_empty t = Queue.is_empty t.q
+
+let drops t = t.drops
+
+let enqueued t = t.enqueued

@@ -1,0 +1,29 @@
+(** Bounded FIFO (drop-tail) packet queue, the ns-2 default discipline.
+
+    Capacity is counted in packets, as in the paper's experiments
+    (100-packet queues on the multi-path topology). *)
+
+type t
+
+(** [create ~capacity] returns an empty queue holding at most [capacity]
+    packets. Requires [capacity >= 1]. *)
+val create : capacity:int -> t
+
+(** [offer t p] enqueues [p] and returns [true], or returns [false]
+    (dropping the packet) if the queue is full. *)
+val offer : t -> Packet.t -> bool
+
+(** [poll t] dequeues the oldest packet, if any. *)
+val poll : t -> Packet.t option
+
+val length : t -> int
+
+val capacity : t -> int
+
+val is_empty : t -> bool
+
+(** [drops t] counts packets rejected by [offer] since creation. *)
+val drops : t -> int
+
+(** [enqueued t] counts packets accepted by [offer] since creation. *)
+val enqueued : t -> int

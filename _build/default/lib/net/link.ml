@@ -1,0 +1,130 @@
+(* Observable per-packet events, for trace-driven analysis. *)
+type event =
+  | Transmit_start
+  | Queued
+  | Queue_dropped
+  | Loss_dropped
+  | Delivered
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  mutable bandwidth_bps : float;
+  delay_s : float;
+  queue : Qdisc.t;
+  loss : Loss_model.t;
+  engine : Sim.Engine.t;
+  (* Per-packet extra propagation delay, uniform in [0, jitter_s):
+     models wireless MAC retransmissions and similar per-hop variance.
+     Breaks per-link FIFO by design. *)
+  jitter : (Sim.Rng.t * float) option;
+  mutable busy : bool;
+  mutable deliver : Packet.t -> unit;
+  mutable observer : (event -> Packet.t -> unit) option;
+  mutable transmitted_packets : int;
+  mutable transmitted_bytes : int;
+  mutable injected_losses : int;
+  mutable busy_time : float;
+}
+
+let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
+    ?(loss = Loss_model.perfect) ?qdisc ?jitter () =
+  assert (bandwidth_bps > 0.);
+  assert (delay_s >= 0.);
+  let queue =
+    match qdisc with
+    | Some qdisc -> qdisc
+    | None -> Qdisc.drop_tail ~capacity
+  in
+  (match jitter with
+  | Some (_, j) when j < 0. -> invalid_arg "Link.create: negative jitter"
+  | Some _ | None -> ());
+  { id;
+    src;
+    dst;
+    bandwidth_bps;
+    delay_s;
+    queue;
+    loss;
+    engine;
+    jitter;
+    busy = false;
+    deliver = (fun _ -> ());
+    observer = None;
+    transmitted_packets = 0;
+    transmitted_bytes = 0;
+    injected_losses = 0;
+    busy_time = 0. }
+
+let id t = t.id
+
+let src t = t.src
+
+let dst t = t.dst
+
+let bandwidth_bps t = t.bandwidth_bps
+
+let delay_s t = t.delay_s
+
+let set_deliver t f = t.deliver <- f
+
+let set_observer t f = t.observer <- Some f
+
+let observe t event packet =
+  match t.observer with Some f -> f event packet | None -> ()
+
+let set_bandwidth t bps =
+  assert (bps > 0.);
+  t.bandwidth_bps <- bps
+
+let rec transmit t packet =
+  observe t Transmit_start packet;
+  let tx_time = float_of_int packet.Packet.size *. 8. /. t.bandwidth_bps in
+  t.busy <- true;
+  t.busy_time <- t.busy_time +. tx_time;
+  let finish_transmission () =
+    t.transmitted_packets <- t.transmitted_packets + 1;
+    t.transmitted_bytes <- t.transmitted_bytes + packet.Packet.size;
+    match Qdisc.poll t.queue with
+    | Some next -> transmit t next
+    | None -> t.busy <- false
+  in
+  let arrive () =
+    packet.Packet.hops <- packet.Packet.hops + 1;
+    observe t Delivered packet;
+    t.deliver packet
+  in
+  let extra =
+    match t.jitter with
+    | Some (rng, j) when j > 0. -> Sim.Rng.float_range rng ~lo:0. ~hi:j
+    | Some _ | None -> 0.
+  in
+  ignore (Sim.Engine.schedule_after t.engine ~delay:tx_time finish_transmission);
+  ignore
+    (Sim.Engine.schedule_after t.engine
+       ~delay:(tx_time +. t.delay_s +. extra)
+       arrive)
+
+let send t packet =
+  if Loss_model.drops t.loss packet then begin
+    t.injected_losses <- t.injected_losses + 1;
+    observe t Loss_dropped packet
+  end
+  else if t.busy then begin
+    if Qdisc.offer t.queue packet then observe t Queued packet
+    else observe t Queue_dropped packet
+  end
+  else transmit t packet
+
+let queue_length t = Qdisc.length t.queue
+
+let queue_drops t = Qdisc.drops t.queue
+
+let injected_losses t = t.injected_losses
+
+let transmitted_packets t = t.transmitted_packets
+
+let transmitted_bytes t = t.transmitted_bytes
+
+let busy_time t = t.busy_time

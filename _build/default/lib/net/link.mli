@@ -1,0 +1,88 @@
+(** Unidirectional link: transmission rate, propagation delay, drop-tail
+    buffer, optional loss injection.
+
+    A link serialises packets: while one packet is on the wire
+    (transmission time [size * 8 / bandwidth]), arrivals wait in the
+    queue; the queue drops arrivals beyond its capacity. Delivery to the
+    downstream node happens one propagation delay after transmission
+    completes, so per-link FIFO ordering is preserved — all reordering in
+    the system comes from path diversity, as in the paper. *)
+
+(** Observable per-packet events (see {!set_observer}): transmission
+    start, buffering, the two drop causes, and delivery. *)
+type event =
+  | Transmit_start
+  | Queued
+  | Queue_dropped
+  | Loss_dropped
+  | Delivered
+
+type t
+
+(** [create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity]
+    builds an idle link from node [src] to node [dst].
+    @param capacity queue capacity in packets (ignored when [qdisc]
+    is supplied).
+    @param loss optional loss injector (default {!Loss_model.perfect}).
+    @param qdisc optional queue discipline overriding the default
+    drop-tail queue (e.g. {!Qdisc.red}).
+    @param jitter optional per-packet extra propagation delay, uniform
+    in [\[0, j)]: models wireless MAC retries and similar per-hop
+    variance. Deliberately breaks the per-link FIFO guarantee. *)
+val create :
+  Sim.Engine.t ->
+  id:int ->
+  src:int ->
+  dst:int ->
+  bandwidth_bps:float ->
+  delay_s:float ->
+  capacity:int ->
+  ?loss:Loss_model.t ->
+  ?qdisc:Qdisc.t ->
+  ?jitter:Sim.Rng.t * float ->
+  unit ->
+  t
+
+val id : t -> int
+
+val src : t -> int
+
+val dst : t -> int
+
+val bandwidth_bps : t -> float
+
+val delay_s : t -> float
+
+(** [set_deliver t f] installs the downstream receive callback; called
+    by {!Network} when wiring the topology. *)
+val set_deliver : t -> (Packet.t -> unit) -> unit
+
+(** [set_observer t f] installs a per-packet event hook (at most one;
+    used by {!Tracer}). *)
+val set_observer : t -> (event -> Packet.t -> unit) -> unit
+
+(** [send t p] hands [p] to the link: it is dropped by the loss model,
+    dropped by a full queue, or eventually delivered downstream. *)
+val send : t -> Packet.t -> unit
+
+(** [set_bandwidth t bps] changes the transmission rate for packets
+    transmitted from now on (used by the loss-rate sweep of Fig. 3). *)
+val set_bandwidth : t -> float -> unit
+
+(** Packets currently queued (not counting the one on the wire). *)
+val queue_length : t -> int
+
+(** Packets dropped by the full queue. *)
+val queue_drops : t -> int
+
+(** Packets dropped by the loss injector. *)
+val injected_losses : t -> int
+
+(** Packets whose transmission completed. *)
+val transmitted_packets : t -> int
+
+(** Bytes whose transmission completed. *)
+val transmitted_bytes : t -> int
+
+(** Total time the transmitter has been busy, for utilisation. *)
+val busy_time : t -> float

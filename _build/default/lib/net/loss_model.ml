@@ -1,0 +1,30 @@
+type t =
+  | Perfect
+  | Bernoulli of { rng : Sim.Rng.t; p : float }
+  | Periodic of { period : int; mutable count : int }
+  | Custom of (Packet.t -> bool)
+
+let perfect = Perfect
+
+let bernoulli rng ~p =
+  assert (p >= 0. && p <= 1.);
+  Bernoulli { rng; p }
+
+let periodic ~period =
+  assert (period >= 1);
+  Periodic { period; count = 0 }
+
+let custom f = Custom f
+
+let drops t packet =
+  match t with
+  | Perfect -> false
+  | Bernoulli { rng; p } -> Sim.Rng.bool rng ~p
+  | Periodic state ->
+    state.count <- state.count + 1;
+    if state.count >= state.period then begin
+      state.count <- 0;
+      true
+    end
+    else false
+  | Custom f -> f packet

@@ -1,0 +1,25 @@
+(** Link loss injection.
+
+    The paper's congestion losses arise naturally from drop-tail queues;
+    this module adds controlled corruption-style losses for robustness
+    tests and for emulating lossy environments. *)
+
+type t
+
+(** Never drops. *)
+val perfect : t
+
+(** [bernoulli rng ~p] drops each packet independently with probability
+    [p]. Requires [0 <= p <= 1]. *)
+val bernoulli : Sim.Rng.t -> p:float -> t
+
+(** [periodic ~period] drops every [period]-th packet (deterministic).
+    Requires [period >= 1]. *)
+val periodic : period:int -> t
+
+(** [custom f] drops packet [p] when [f p] is [true]; for failure
+    injection in tests. *)
+val custom : (Packet.t -> bool) -> t
+
+(** [drops t p] decides the fate of [p], advancing internal state. *)
+val drops : t -> Packet.t -> bool

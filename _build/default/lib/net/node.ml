@@ -1,0 +1,29 @@
+type t = {
+  id : int;
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  mutable forward : t -> Packet.t -> unit;
+  mutable stranded : int;
+}
+
+let create ~id =
+  { id;
+    handlers = Hashtbl.create 8;
+    forward = (fun t _ -> t.stranded <- t.stranded + 1);
+    stranded = 0 }
+
+let id t = t.id
+
+let attach t ~flow handler = Hashtbl.replace t.handlers flow handler
+
+let detach t ~flow = Hashtbl.remove t.handlers flow
+
+let set_forward t f = t.forward <- f
+
+let receive t packet =
+  if packet.Packet.dst = t.id then
+    match Hashtbl.find_opt t.handlers packet.Packet.flow with
+    | Some handler -> handler packet
+    | None -> t.stranded <- t.stranded + 1
+  else t.forward t packet
+
+let stranded t = t.stranded

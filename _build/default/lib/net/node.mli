@@ -1,0 +1,30 @@
+(** Network node: dispatches packets addressed to it to per-flow
+    endpoint handlers, and forwards transit packets along their
+    source route. *)
+
+type t
+
+(** [create ~id] returns a node with no handlers; forwarding is wired by
+    {!Network.add_link}. *)
+val create : id:int -> t
+
+val id : t -> int
+
+(** [attach t ~flow handler] registers the endpoint callback for packets
+    of [flow] addressed to this node. Replaces any previous handler. *)
+val attach : t -> flow:int -> (Packet.t -> unit) -> unit
+
+(** [detach t ~flow] removes the handler for [flow]. *)
+val detach : t -> flow:int -> unit
+
+(** [set_forward t f] installs the transit-forwarding function (wired by
+    {!Network}). *)
+val set_forward : t -> (t -> Packet.t -> unit) -> unit
+
+(** [receive t p] is invoked by the upstream link on delivery: local
+    packets go to their flow handler, others are forwarded. Packets with
+    no handler or no remaining route are counted as stranded. *)
+val receive : t -> Packet.t -> unit
+
+(** Packets that arrived with no handler or an empty route. *)
+val stranded : t -> int

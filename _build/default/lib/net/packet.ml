@@ -1,0 +1,29 @@
+type payload = ..
+
+type payload += Raw of int
+
+type t = {
+  uid : int;
+  flow : int;
+  src : int;
+  dst : int;
+  size : int;
+  payload : payload;
+  mutable route : int list;
+  mutable hops : int;
+  born : float;
+}
+
+let rec last = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> last rest
+
+let create ~uid ~flow ~src ~dst ~size ~route ~born payload =
+  assert (size > 0);
+  assert (last route = Some dst);
+  { uid; flow; src; dst; size; payload; route; hops = 0; born }
+
+let pp ppf t =
+  Format.fprintf ppf "packet<uid=%d flow=%d %d->%d size=%d hops=%d>" t.uid
+    t.flow t.src t.dst t.size t.hops

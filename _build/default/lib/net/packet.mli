@@ -1,0 +1,41 @@
+(** Simulated network packets.
+
+    The payload type is extensible so that protocol layers (TCP segments
+    and acknowledgements, test probes) can be carried without the network
+    substrate depending on them. Forwarding is source-routed: [route]
+    holds the node ids still to be traversed, ending with the
+    destination; each hop pops its successor. *)
+
+type payload = ..
+
+(** Opaque test payload carrying an integer tag. *)
+type payload += Raw of int
+
+type t = {
+  uid : int;  (** unique per network, for tracing *)
+  flow : int;  (** flow identifier, used to dispatch at the endpoint *)
+  src : int;  (** originating node id *)
+  dst : int;  (** destination node id *)
+  size : int;  (** wire size in bytes, headers included *)
+  payload : payload;
+  mutable route : int list;
+      (** nodes still to traverse (excluding the current one); the last
+          element is [dst] *)
+  mutable hops : int;  (** links traversed so far *)
+  born : float;  (** creation time, seconds *)
+}
+
+(** [create ~uid ~flow ~src ~dst ~size ~route ~born payload] builds a
+    packet. [route] must end with [dst] (checked). *)
+val create :
+  uid:int ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  route:int list ->
+  born:float ->
+  payload ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t =
+  | Tail of Drop_tail.t
+  | Red_queue of Red.t
+
+let drop_tail ~capacity = Tail (Drop_tail.create ~capacity)
+
+let red r = Red_queue r
+
+let offer t p =
+  match t with
+  | Tail q -> Drop_tail.offer q p
+  | Red_queue q -> Red.offer q p
+
+let poll = function
+  | Tail q -> Drop_tail.poll q
+  | Red_queue q -> Red.poll q
+
+let length = function
+  | Tail q -> Drop_tail.length q
+  | Red_queue q -> Red.length q
+
+let drops = function
+  | Tail q -> Drop_tail.drops q
+  | Red_queue q -> Red.drops q
+
+let enqueued = function
+  | Tail q -> Drop_tail.enqueued q
+  | Red_queue q -> Red.enqueued q

@@ -1,0 +1,21 @@
+(** Queue discipline attached to a link's transmitter: drop-tail
+    (default) or RED. *)
+
+type t
+
+val drop_tail : capacity:int -> t
+
+val red : Red.t -> t
+
+(** [offer t p] enqueues or drops (returning [false]). *)
+val offer : t -> Packet.t -> bool
+
+val poll : t -> Packet.t option
+
+val length : t -> int
+
+(** Packets rejected since creation. *)
+val drops : t -> int
+
+(** Packets accepted since creation. *)
+val enqueued : t -> int

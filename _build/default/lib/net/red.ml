@@ -1,0 +1,77 @@
+type t = {
+  rng : Sim.Rng.t;
+  weight : float;
+  max_p : float;
+  min_threshold : float;
+  max_threshold : float;
+  capacity : int;
+  q : Packet.t Queue.t;
+  mutable average : float;
+  mutable count : int;  (* arrivals since the last drop *)
+  mutable drops : int;
+  mutable early_drops : int;
+  mutable enqueued : int;
+}
+
+let create rng ?(weight = 0.002) ?(max_p = 0.1) ~min_threshold ~max_threshold
+    ~capacity () =
+  if not (0 < min_threshold && min_threshold < max_threshold && max_threshold <= capacity)
+  then invalid_arg "Red.create: need 0 < min_th < max_th <= capacity";
+  if not (weight > 0. && weight <= 1.) then
+    invalid_arg "Red.create: weight must be in (0, 1]";
+  if not (max_p > 0. && max_p <= 1.) then
+    invalid_arg "Red.create: max_p must be in (0, 1]";
+  { rng;
+    weight;
+    max_p;
+    min_threshold = float_of_int min_threshold;
+    max_threshold = float_of_int max_threshold;
+    capacity;
+    q = Queue.create ();
+    average = 0.;
+    count = 0;
+    drops = 0;
+    early_drops = 0;
+    enqueued = 0 }
+
+let drop t ~early =
+  t.drops <- t.drops + 1;
+  if early then t.early_drops <- t.early_drops + 1;
+  t.count <- 0;
+  false
+
+let accept t packet =
+  Queue.push packet t.q;
+  t.enqueued <- t.enqueued + 1;
+  true
+
+let offer t packet =
+  let q_len = float_of_int (Queue.length t.q) in
+  t.average <- ((1. -. t.weight) *. t.average) +. (t.weight *. q_len);
+  t.count <- t.count + 1;
+  if Queue.length t.q >= t.capacity then drop t ~early:false
+  else if t.average < t.min_threshold then accept t packet
+  else if t.average >= t.max_threshold then drop t ~early:true
+  else begin
+    (* Geometric inter-drop spacing: p_a = p_b / (1 - count * p_b). *)
+    let p_b =
+      t.max_p
+      *. (t.average -. t.min_threshold)
+      /. (t.max_threshold -. t.min_threshold)
+    in
+    let denominator = 1. -. (float_of_int t.count *. p_b) in
+    let p_a = if denominator <= 0. then 1. else Float.min 1. (p_b /. denominator) in
+    if Sim.Rng.bool t.rng ~p:p_a then drop t ~early:true else accept t packet
+  end
+
+let poll t = Queue.take_opt t.q
+
+let length t = Queue.length t.q
+
+let average t = t.average
+
+let drops t = t.drops
+
+let enqueued t = t.enqueued
+
+let early_drops t = t.early_drops

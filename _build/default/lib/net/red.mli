@@ -1,0 +1,46 @@
+(** Random Early Detection queue (Floyd & Jacobson 1993), the other
+    standard ns-2 discipline.
+
+    The average queue length is tracked by an exponentially weighted
+    moving average; arrivals are dropped probabilistically once it
+    exceeds [min_threshold], with probability ramping to [max_p] at
+    [max_threshold] (beyond which everything is dropped), using the
+    standard count-since-last-drop correction to space drops evenly.
+    A hard [capacity] bound still applies. *)
+
+type t
+
+(** [create rng ~min_threshold ~max_threshold ~capacity ()] builds an
+    empty RED queue.
+    @param weight EWMA gain for the average queue length
+    (default 0.002, the classic recommendation).
+    @param max_p drop probability at [max_threshold] (default 0.1).
+    Requires [0 < min_threshold < max_threshold <= capacity]. *)
+val create :
+  Sim.Rng.t ->
+  ?weight:float ->
+  ?max_p:float ->
+  min_threshold:int ->
+  max_threshold:int ->
+  capacity:int ->
+  unit ->
+  t
+
+(** [offer t p] enqueues [p] or returns [false] (early drop, forced
+    drop above [max_threshold], or hard overflow). *)
+val offer : t -> Packet.t -> bool
+
+val poll : t -> Packet.t option
+
+val length : t -> int
+
+(** Current EWMA of the queue length. *)
+val average : t -> float
+
+val drops : t -> int
+
+val enqueued : t -> int
+
+(** Drops due to the probabilistic early mechanism (as opposed to the
+    hard capacity bound). *)
+val early_drops : t -> int

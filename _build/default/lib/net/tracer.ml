@@ -1,0 +1,78 @@
+type record = {
+  time : float;
+  kind : Link.event;
+  link_src : int;
+  link_dst : int;
+  flow : int;
+  uid : int;
+  size : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  flow_filter : int option;
+  capacity : int;
+  mutable records_rev : record list;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let attach ?flow ?(capacity = 100_000) network =
+  let t =
+    { engine = Network.engine network;
+      flow_filter = flow;
+      capacity;
+      records_rev = [];
+      count = 0;
+      dropped = 0 }
+  in
+  let observe link kind packet =
+    let wanted =
+      match t.flow_filter with
+      | Some f -> packet.Packet.flow = f
+      | None -> true
+    in
+    if wanted then begin
+      if t.count >= t.capacity then t.dropped <- t.dropped + 1
+      else begin
+        t.records_rev <-
+          { time = Sim.Engine.now t.engine;
+            kind;
+            link_src = Link.src link;
+            link_dst = Link.dst link;
+            flow = packet.Packet.flow;
+            uid = packet.Packet.uid;
+            size = packet.Packet.size }
+          :: t.records_rev;
+        t.count <- t.count + 1
+      end
+    end
+  in
+  List.iter
+    (fun link -> Link.set_observer link (observe link))
+    (Network.links network);
+  t
+
+let records t = List.rev t.records_rev
+
+let length t = t.count
+
+let dropped t = t.dropped
+
+let kind_char = function
+  | Link.Transmit_start -> '+'
+  | Link.Queued -> 'b'
+  | Link.Queue_dropped -> 'd'
+  | Link.Loss_dropped -> 'x'
+  | Link.Delivered -> 'r'
+
+let pp_record ppf r =
+  Format.fprintf ppf "%c %.6f %d->%d flow=%d uid=%d size=%d" (kind_char r.kind)
+    r.time r.link_src r.link_dst r.flow r.uid r.size
+
+let to_string t =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun r -> Buffer.add_string buffer (Format.asprintf "%a\n" pp_record r))
+    (records t);
+  Buffer.contents buffer

@@ -1,0 +1,42 @@
+(** ns-2-style packet-level tracing.
+
+    Attaches to every link of a network and records one line per packet
+    event — transmission start ([+]), buffering ([b]), queue drop ([d]),
+    injected loss ([x]) and delivery ([r]) — with the simulated time,
+    link endpoints, and the packet's flow / uid / size. Use it to debug
+    a protocol interaction or to feed external trace analysis, exactly
+    as ns-2 trace files are used. *)
+
+type record = {
+  time : float;
+  kind : Link.event;
+  link_src : int;
+  link_dst : int;
+  flow : int;
+  uid : int;
+  size : int;
+}
+
+type t
+
+(** [attach network] starts recording every subsequent packet event on
+    links that exist at attach time.
+    @param flow record only this flow's packets.
+    @param capacity stop recording beyond this many records
+    (default 100_000), so a runaway simulation cannot exhaust memory. *)
+val attach : ?flow:int -> ?capacity:int -> Network.t -> t
+
+(** Records in chronological order. *)
+val records : t -> record list
+
+val length : t -> int
+
+(** [dropped t] counts records discarded because [capacity] was hit. *)
+val dropped : t -> int
+
+val pp_record : Format.formatter -> record -> unit
+
+(** [to_string t] renders one line per record:
+    ["<kind> <time> <src>-><dst> flow=<f> uid=<u> size=<s>"] with ns-2's
+    one-character kinds. *)
+val to_string : t -> string

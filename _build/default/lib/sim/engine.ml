@@ -1,0 +1,43 @@
+type event_id = Event_queue.id
+
+type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
+
+let create () = { clock = 0.; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  Event_queue.push t.queue ~time f
+
+let schedule_after t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) f
+
+let cancel t id = Event_queue.cancel t.queue id
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run t ~until =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= until ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if until > t.clock then t.clock <- until
+
+let run_to_completion t = while step t do () done
+
+let pending t = Event_queue.length t.queue

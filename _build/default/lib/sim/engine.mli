@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and the event queue. Components
+    schedule closures at absolute or relative times; [run] executes them
+    in timestamp order (insertion order within a timestamp) while
+    advancing the clock. The clock never moves backwards. *)
+
+type t
+
+type event_id
+
+(** [create ()] returns an engine with the clock at time 0. *)
+val create : unit -> t
+
+(** [now t] is the current simulated time, in seconds. *)
+val now : t -> float
+
+(** [schedule_at t ~time f] runs [f ()] when the clock reaches [time].
+    Scheduling in the past raises [Invalid_argument]. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+
+(** [schedule_after t ~delay f] runs [f ()] after [delay] seconds.
+    Requires [delay >= 0.]. *)
+val schedule_after : t -> delay:float -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents a scheduled event from running. Cancelling an
+    event that already ran is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** [run t ~until] executes events until the queue is empty or the next
+    event is later than [until], then sets the clock to [until]. *)
+val run : t -> until:float -> unit
+
+(** [run_to_completion t] executes events until the queue is empty. *)
+val run_to_completion : t -> unit
+
+(** [pending t] is the number of scheduled, uncancelled events. *)
+val pending : t -> int

@@ -1,0 +1,34 @@
+(** Priority queue of timestamped events.
+
+    Events are ordered by time; ties are broken by insertion order, so
+    the simulation is deterministic. Cancellation is O(1): cancelled
+    entries are skipped lazily when popped. *)
+
+type 'a t
+
+type id
+
+(** [create ()] returns an empty queue. *)
+val create : unit -> 'a t
+
+(** [push t ~time payload] inserts an event, returning an id usable with
+    {!cancel}. *)
+val push : 'a t -> time:float -> 'a -> id
+
+(** [cancel t id] marks an event as cancelled; popping skips it.
+    Cancelling an already-popped or already-cancelled event is a no-op. *)
+val cancel : 'a t -> id -> unit
+
+(** [pop t] removes and returns the earliest live event as
+    [Some (time, payload)], or [None] if the queue is empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_time t] returns the time of the earliest live event without
+    removing it. *)
+val peek_time : 'a t -> float option
+
+(** [length t] counts live (non-cancelled) events. *)
+val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool

@@ -1,0 +1,24 @@
+(** Named numeric counters for instrumentation.
+
+    Components record occurrences ([incr]) or magnitudes ([add]) under a
+    string key; tests and harnesses read them back with [get] /
+    [to_list]. Missing keys read as zero. *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t key] adds 1 to [key]. *)
+val incr : t -> string -> unit
+
+(** [add t key v] adds [v] to [key]. *)
+val add : t -> string -> float -> unit
+
+(** [get t key] is the accumulated value of [key], 0 if never written. *)
+val get : t -> string -> float
+
+(** [to_list t] lists all counters, sorted by key. *)
+val to_list : t -> (string * float) list
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit

@@ -1,0 +1,29 @@
+let mean samples =
+  match samples with
+  | [] -> invalid_arg "Fairness: empty sample list"
+  | _ -> List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+
+let normalized throughputs =
+  let average = mean throughputs in
+  if average <= 0. then invalid_arg "Fairness.normalized: non-positive total";
+  List.map (fun x -> x /. average) throughputs
+
+let normalized_group ~group ~all =
+  let average = mean all in
+  if average <= 0. then invalid_arg "Fairness: non-positive total";
+  List.map (fun x -> x /. average) group
+
+let mean_normalized ~group ~all = mean (normalized_group ~group ~all)
+
+let coefficient_of_variation ~group ~all =
+  let tis = normalized_group ~group ~all in
+  Summary.coefficient_of_variation tis
+
+let jain throughputs =
+  match throughputs with
+  | [] -> invalid_arg "Fairness.jain: empty"
+  | _ ->
+    let n = float_of_int (List.length throughputs) in
+    let total = List.fold_left ( +. ) 0. throughputs in
+    let squares = List.fold_left (fun acc x -> acc +. (x *. x)) 0. throughputs in
+    if squares = 0. then 1. else total *. total /. (n *. squares)

@@ -1,0 +1,25 @@
+(** Fairness metrics from Section 4 of the paper.
+
+    Given per-flow throughputs [x_1 .. x_n], the normalized throughput
+    of flow [i] is [T_i = x_i / ((1/n) * sum_j x_j)]; a flow with
+    [T_i = 1] received exactly the average. The *mean normalized
+    throughput* of a protocol is the average [T_i] over that protocol's
+    flows (Fig. 2/4), and the *coefficient of variation* within a
+    protocol is [sqrt((1/|I|) sum (T_i - mean)^2) / mean] (Fig. 3). *)
+
+(** [normalized throughputs] maps each throughput to its [T_i].
+    Requires a non-empty list with positive total. *)
+val normalized : float list -> float list
+
+(** [mean_normalized ~group ~all] is the mean normalized throughput of
+    the flows in [group], normalizing against the average of [all]
+    (which must contain the group). *)
+val mean_normalized : group:float list -> all:float list -> float
+
+(** [coefficient_of_variation ~group ~all] is the CoV of the group's
+    normalized throughputs. *)
+val coefficient_of_variation : group:float list -> all:float list -> float
+
+(** [jain throughputs] is Jain's fairness index
+    [(sum x)^2 / (n * sum x^2)], in (0, 1]; 1 = perfectly fair. *)
+val jain : float list -> float

@@ -1,0 +1,47 @@
+type t = {
+  count : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let of_list samples =
+  if samples = [] then invalid_arg "Summary.of_list: empty";
+  let count = List.length samples in
+  let n = float_of_int count in
+  let mean = List.fold_left ( +. ) 0. samples /. n in
+  let variance =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples /. n
+  in
+  { count;
+    mean;
+    variance;
+    stddev = sqrt variance;
+    min = List.fold_left Float.min infinity samples;
+    max = List.fold_left Float.max neg_infinity samples }
+
+let percentile samples p =
+  if samples = [] then invalid_arg "Summary.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: out of range";
+  let sorted = List.sort compare samples in
+  let a = Array.of_list sorted in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lower = int_of_float (floor rank) in
+    let upper = min (lower + 1) (n - 1) in
+    let weight = rank -. float_of_int lower in
+    (a.(lower) *. (1. -. weight)) +. (a.(upper) *. weight)
+  end
+
+let coefficient_of_variation samples =
+  let s = of_list samples in
+  if s.mean = 0. then invalid_arg "Summary.coefficient_of_variation: zero mean";
+  s.stddev /. s.mean
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count t.mean
+    t.stddev t.min t.max

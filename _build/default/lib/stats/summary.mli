@@ -1,0 +1,24 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  variance : float;  (** population variance *)
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+(** [of_list samples] summarises a non-empty list. Raises
+    [Invalid_argument] on an empty list. *)
+val of_list : float list -> t
+
+(** [percentile samples p] is the [p]-th percentile (0 <= p <= 100) by
+    linear interpolation. Raises [Invalid_argument] on an empty list. *)
+val percentile : float list -> float -> float
+
+(** [coefficient_of_variation samples] is [stddev / mean]; requires a
+    non-zero mean. *)
+val coefficient_of_variation : float list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Fixed-width text tables for experiment output. *)
+
+type t
+
+(** [create ~columns] starts a table with the given header labels. *)
+val create : columns:string list -> t
+
+(** [add_row t cells] appends a row; must match the column count. *)
+val add_row : t -> string list -> unit
+
+(** [add_float_row t ?decimals label values] appends a label cell
+    followed by formatted floats. *)
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+
+(** [print t] renders to stdout. *)
+val print : t -> unit
+
+(** [to_string t] renders to a string. *)
+val to_string : t -> string
+
+(** [to_csv t] renders as RFC 4180 CSV (header row first). *)
+val to_csv : t -> string

@@ -1,0 +1,8 @@
+let mbps ~bytes ~seconds =
+  if seconds <= 0. then invalid_arg "Throughput.mbps: non-positive interval";
+  float_of_int bytes *. 8. /. seconds /. 1e6
+
+let of_window ~bytes_at_start ~bytes_at_end ~seconds =
+  if bytes_at_end < bytes_at_start then
+    invalid_arg "Throughput.of_window: counter went backwards";
+  mbps ~bytes:(bytes_at_end - bytes_at_start) ~seconds

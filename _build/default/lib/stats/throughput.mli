@@ -1,0 +1,11 @@
+(** Throughput unit conversions and interval measurement. *)
+
+(** [mbps ~bytes ~seconds] converts a byte count over an interval to
+    megabits per second. Requires [seconds > 0.]. *)
+val mbps : bytes:int -> seconds:float -> float
+
+(** [of_window ~bytes_at_start ~bytes_at_end ~seconds] is the Mbps over
+    a measurement window given cumulative byte counters at its
+    endpoints, as in the paper's "data sent during the last 60 seconds"
+    rule. *)
+val of_window : bytes_at_start:int -> bytes_at_end:int -> seconds:float -> float

@@ -1,0 +1,27 @@
+(** Append-only time series of (time, value) samples, for tracing
+    quantities like the congestion window or per-interval goodput. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~time value] appends a sample. Times must be
+    non-decreasing. *)
+val record : t -> time:float -> float -> unit
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** Samples in chronological order. *)
+val to_list : t -> (float * float) list
+
+(** Most recent sample. *)
+val last : t -> (float * float) option
+
+(** [values_between t ~from ~until] returns the values of samples with
+    [from <= time < until]. *)
+val values_between : t -> from:float -> until:float -> float list
+
+(** [to_csv ?header t] renders ["time,value"] lines. *)
+val to_csv : ?header:string -> t -> string

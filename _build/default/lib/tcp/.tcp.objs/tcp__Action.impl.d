@@ -1,0 +1,1 @@
+lib/tcp/action.ml: Format

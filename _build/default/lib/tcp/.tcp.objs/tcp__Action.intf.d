@@ -1,0 +1,1 @@
+lib/tcp/action.mli: Format

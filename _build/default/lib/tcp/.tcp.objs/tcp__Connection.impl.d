@@ -1,0 +1,1 @@
+lib/tcp/connection.ml: Action Config Hashtbl List Logs Net Receiver Sender Sim Types

@@ -1,0 +1,1 @@
+lib/tcp/connection.mli: Config Net Sender

@@ -1,0 +1,1 @@
+lib/tcp/dsack_nm.ml: Sack_core Sack_variant

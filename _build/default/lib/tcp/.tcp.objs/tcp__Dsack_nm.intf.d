@@ -1,0 +1,1 @@
+lib/tcp/dsack_nm.mli: Sender

@@ -1,0 +1,1 @@
+lib/tcp/dupthresh_ewma.ml: Sack_core Sack_variant

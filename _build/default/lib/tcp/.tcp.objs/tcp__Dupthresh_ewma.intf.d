@@ -1,0 +1,1 @@
+lib/tcp/dupthresh_ewma.mli: Sender

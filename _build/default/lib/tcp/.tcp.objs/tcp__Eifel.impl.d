@@ -1,0 +1,1 @@
+lib/tcp/eifel.ml: Sack_core Sack_variant

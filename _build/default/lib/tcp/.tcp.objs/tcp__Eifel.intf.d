@@ -1,0 +1,1 @@
+lib/tcp/eifel.mli: Sender

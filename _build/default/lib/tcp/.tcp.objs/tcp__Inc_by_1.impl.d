@@ -1,0 +1,1 @@
+lib/tcp/inc_by_1.ml: Sack_core Sack_variant

@@ -1,0 +1,1 @@
+lib/tcp/inc_by_1.mli: Sender

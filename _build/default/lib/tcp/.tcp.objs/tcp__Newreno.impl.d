@@ -1,0 +1,1 @@
+lib/tcp/newreno.ml: Newreno_core

@@ -1,0 +1,1 @@
+lib/tcp/newreno_core.ml: Action Config Float Hashtbl List Rto Types

@@ -1,0 +1,1 @@
+lib/tcp/newreno_core.mli: Action Config Types

@@ -1,0 +1,1 @@
+lib/tcp/rack.ml: Sack_core

@@ -1,0 +1,1 @@
+lib/tcp/rack.mli: Sender

@@ -1,0 +1,1 @@
+lib/tcp/receiver.ml: Config Intervals List Types

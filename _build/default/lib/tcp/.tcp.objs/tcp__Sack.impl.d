@@ -1,0 +1,1 @@
+lib/tcp/sack.ml: Sack_core Sack_variant

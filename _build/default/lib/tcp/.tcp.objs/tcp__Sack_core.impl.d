@@ -1,0 +1,1 @@
+lib/tcp/sack_core.ml: Action Config Float Hashtbl Intervals List Rto Types

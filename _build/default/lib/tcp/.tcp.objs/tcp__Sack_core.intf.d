@@ -1,0 +1,1 @@
+lib/tcp/sack_core.mli: Action Config Types

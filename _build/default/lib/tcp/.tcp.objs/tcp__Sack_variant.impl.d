@@ -1,0 +1,1 @@
+lib/tcp/sack_variant.ml: Sack_core Sender

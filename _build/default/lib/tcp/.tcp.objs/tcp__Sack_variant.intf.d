@@ -1,0 +1,1 @@
+lib/tcp/sack_variant.mli: Sack_core Sender

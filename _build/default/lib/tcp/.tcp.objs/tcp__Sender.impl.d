@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: Action Config Types

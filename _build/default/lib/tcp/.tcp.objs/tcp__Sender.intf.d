@@ -1,0 +1,1 @@
+lib/tcp/sender.mli: Action Config Types

@@ -1,0 +1,1 @@
+lib/tcp/tahoe.ml: Newreno_core

@@ -1,0 +1,1 @@
+lib/tcp/td_fr.mli: Sender

@@ -1,0 +1,1 @@
+lib/tcp/types.ml: Format Net

@@ -1,0 +1,1 @@
+lib/tcp/types.mli: Format Net

@@ -1,0 +1,16 @@
+(** Effects requested by a sender state machine.
+
+    Senders are pure state machines: event handlers return a list of
+    actions which {!Connection} executes against the simulated network.
+    This keeps every congestion-control algorithm unit-testable without
+    an engine. *)
+
+type t =
+  | Send of { seq : int; retx : bool }
+      (** transmit segment [seq]; [retx] marks retransmissions *)
+  | Set_timer of { key : int; delay : float }
+      (** arm (or re-arm, replacing any pending timer with the same
+          [key]) a timer that fires [delay] seconds from now *)
+  | Cancel_timer of { key : int }  (** disarm the timer with [key] *)
+
+val pp : Format.formatter -> t -> unit

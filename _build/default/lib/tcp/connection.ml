@@ -1,0 +1,183 @@
+(* Debug logging: enable with Logs.Src.set_level (or the CLI's
+   TCP_PR_LOG=debug environment hook) to trace every segment, ACK and
+   timer of a connection. *)
+let log_src = Logs.Src.create "tcp_pr.connection" ~doc:"TCP connection events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  network : Net.Network.t;
+  engine : Sim.Engine.t;
+  config : Config.t;
+  flow : int;
+  src : Net.Node.t;
+  dst : Net.Node.t;
+  sender : Sender.packed;
+  receiver : Receiver.t;
+  route_data : unit -> int list;
+  route_ack : unit -> int list;
+  timers : (int, Sim.Engine.event_id) Hashtbl.t;
+  mutable started : bool;
+  mutable data_packets_sent : int;
+  mutable finished_at : float option;
+  (* Delayed-ACK machinery: the deferred acknowledgement (refreshed on
+     each arrival) and its flush deadline. *)
+  mutable pending_ack : Types.ack option;
+  mutable delack_timer : Sim.Engine.event_id option;
+}
+
+let send_data t ~seq ~retx =
+  t.data_packets_sent <- t.data_packets_sent + 1;
+  Log.debug (fun m ->
+      m "t=%.4f flow=%d send seq=%d%s"
+        (Sim.Engine.now t.engine)
+        t.flow seq
+        (if retx then " (retx)" else ""));
+  let packet =
+    Net.Packet.create
+      ~uid:(Net.Network.fresh_uid t.network)
+      ~flow:t.flow ~src:(Net.Node.id t.src) ~dst:(Net.Node.id t.dst)
+      ~size:t.config.Config.mss ~route:(t.route_data ())
+      ~born:(Sim.Engine.now t.engine)
+      (Types.Data { seq; retx })
+  in
+  Net.Network.originate t.network ~from:t.src packet
+
+let send_ack t ack =
+  let packet =
+    Net.Packet.create
+      ~uid:(Net.Network.fresh_uid t.network)
+      ~flow:t.flow ~src:(Net.Node.id t.dst) ~dst:(Net.Node.id t.src)
+      ~size:t.config.Config.ack_size ~route:(t.route_ack ())
+      ~born:(Sim.Engine.now t.engine)
+      (Types.Ack ack)
+  in
+  Net.Network.originate t.network ~from:t.dst packet
+
+let note_finished t =
+  if t.finished_at = None && Sender.finished t.sender then begin
+    t.finished_at <- Some (Sim.Engine.now t.engine);
+    Hashtbl.iter (fun _ id -> Sim.Engine.cancel t.engine id) t.timers;
+    Hashtbl.reset t.timers
+  end
+
+let rec apply t actions =
+  let execute = function
+    | Action.Send { seq; retx } -> send_data t ~seq ~retx
+    | Action.Set_timer { key; delay } ->
+      (match Hashtbl.find_opt t.timers key with
+      | Some id -> Sim.Engine.cancel t.engine id
+      | None -> ());
+      let id =
+        Sim.Engine.schedule_after t.engine ~delay (fun () ->
+            Hashtbl.remove t.timers key;
+            let now = Sim.Engine.now t.engine in
+            apply t (Sender.on_timer t.sender ~now ~key))
+      in
+      Hashtbl.replace t.timers key id
+    | Action.Cancel_timer { key } -> (
+      match Hashtbl.find_opt t.timers key with
+      | Some id ->
+        Sim.Engine.cancel t.engine id;
+        Hashtbl.remove t.timers key
+      | None -> ())
+  in
+  List.iter execute actions;
+  note_finished t
+
+let cancel_delack t =
+  match t.delack_timer with
+  | Some id ->
+    Sim.Engine.cancel t.engine id;
+    t.delack_timer <- None
+  | None -> ()
+
+let flush_pending_ack t =
+  match t.pending_ack with
+  | Some ack ->
+    t.pending_ack <- None;
+    cancel_delack t;
+    send_ack t ack
+  | None -> ()
+
+let on_data_arrival t packet =
+  match packet.Net.Packet.payload with
+  | Types.Data { seq; retx } -> (
+    match Receiver.receive t.receiver ~retx ~seq () with
+    | Receiver.Ack_now ack ->
+      (* Supersedes any deferred acknowledgement (the new one is
+         cumulative). *)
+      t.pending_ack <- None;
+      cancel_delack t;
+      send_ack t ack
+    | Receiver.Defer ack ->
+      t.pending_ack <- Some ack;
+      if t.delack_timer = None then begin
+        let id =
+          Sim.Engine.schedule_after t.engine
+            ~delay:t.config.Config.delack_timeout (fun () ->
+              t.delack_timer <- None;
+              flush_pending_ack t)
+        in
+        t.delack_timer <- Some id
+      end)
+  | _ -> ()
+
+let on_ack_arrival t packet =
+  match packet.Net.Packet.payload with
+  | Types.Ack ack ->
+    let now = Sim.Engine.now t.engine in
+    Log.debug (fun m ->
+        m "t=%.4f flow=%d ack %a" now t.flow Types.pp_ack ack);
+    apply t (Sender.on_ack t.sender ~now ack)
+  | _ -> ()
+
+let create network ~flow ~src ~dst ~sender ~config ~route_data ~route_ack () =
+  Config.validate config;
+  let t =
+    { network;
+      engine = Net.Network.engine network;
+      config;
+      flow;
+      src;
+      dst;
+      sender = Sender.pack sender config;
+      receiver = Receiver.create config;
+      route_data;
+      route_ack;
+      timers = Hashtbl.create 8;
+      started = false;
+      data_packets_sent = 0;
+      finished_at = None;
+      pending_ack = None;
+      delack_timer = None }
+  in
+  Net.Node.attach dst ~flow (on_data_arrival t);
+  Net.Node.attach src ~flow (on_ack_arrival t);
+  t
+
+let start t ~at =
+  if t.started then invalid_arg "Connection.start: already started";
+  t.started <- true;
+  ignore
+    (Sim.Engine.schedule_at t.engine ~time:at (fun () ->
+         let now = Sim.Engine.now t.engine in
+         apply t (Sender.start t.sender ~now)))
+
+let sender_name t = Sender.name t.sender
+
+let received_segments t = Receiver.in_order_segments t.receiver
+
+let received_bytes t = received_segments t * t.config.Config.mss
+
+let cwnd t = Sender.cwnd t.sender
+
+let finished t = Sender.finished t.sender
+
+let finished_at t = t.finished_at
+
+let data_packets_sent t = t.data_packets_sent
+
+let receiver_duplicates t = Receiver.duplicates t.receiver
+
+let sender_metrics t = Sender.metrics t.sender

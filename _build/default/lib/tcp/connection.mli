@@ -1,0 +1,61 @@
+(** Binds a sender variant and the receiver to two endpoint nodes of a
+    {!Net.Network}, executing sender {!Action}s against the engine.
+
+    Routing is per-packet: [route_data] (forward path) and [route_ack]
+    (reverse path) are sampled on every transmission, which is how
+    multi-path routing — and hence persistent reordering of both data
+    and acknowledgements — enters the system. For single-path scenarios
+    pass constant functions. *)
+
+type t
+
+(** [create network ~flow ~src ~dst ~sender ~config ~route_data
+    ~route_ack ()] wires a connection but does not start it.
+
+    @param sender the variant, e.g. [(module Tcp.Sack : Tcp.Sender.S)].
+    @param route_data returns the forward route: node ids after [src],
+    ending with [dst].
+    @param route_ack returns the reverse route: node ids after [dst],
+    ending with [src]. *)
+val create :
+  Net.Network.t ->
+  flow:int ->
+  src:Net.Node.t ->
+  dst:Net.Node.t ->
+  sender:(module Sender.S) ->
+  config:Config.t ->
+  route_data:(unit -> int list) ->
+  route_ack:(unit -> int list) ->
+  unit ->
+  t
+
+(** [start t ~at] schedules connection start at absolute time [at]. *)
+val start : t -> at:float -> unit
+
+(** Variant name of the sender. *)
+val sender_name : t -> string
+
+(** Segments delivered in order at the receiver. *)
+val received_segments : t -> int
+
+(** Bytes delivered in order at the receiver ([mss] per segment). *)
+val received_bytes : t -> int
+
+(** Current congestion window of the sender. *)
+val cwnd : t -> float
+
+(** True once a bounded transfer is fully acknowledged. *)
+val finished : t -> bool
+
+(** Time at which the transfer finished, if it has. *)
+val finished_at : t -> float option
+
+(** Data packets handed to the network by this sender (including
+    retransmissions). *)
+val data_packets_sent : t -> int
+
+(** Duplicate data arrivals observed by the receiver. *)
+val receiver_duplicates : t -> int
+
+(** Sender diagnostic counters (see {!Sender.S.metrics}). *)
+val sender_metrics : t -> (string * float) list

@@ -1,0 +1,5 @@
+include Sack_variant.Make (struct
+  let name = "DSACK-NM"
+
+  let response = Sack_core.dsack_nm
+end)

@@ -1,0 +1,6 @@
+(** DSACK-NM: TCP-SACK that, on a DSACK-detected spurious
+    retransmission, restores the congestion window to its
+    pre-retransmission value (by slow-starting back up) without
+    modifying dupthresh — the simplest Blanton–Allman response. *)
+
+include Sender.S

@@ -1,0 +1,5 @@
+include Sack_variant.Make (struct
+  let name = "EWMA"
+
+  let response = Sack_core.ewma
+end)

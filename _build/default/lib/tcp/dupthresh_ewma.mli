@@ -1,0 +1,5 @@
+(** "EWMA": Blanton–Allman DSACK response driving dupthresh with an
+    exponentially weighted moving average of the duplicate-ACK counts
+    observed at spurious retransmissions (and restoring the window). *)
+
+include Sender.S

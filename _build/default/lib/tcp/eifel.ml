@@ -1,0 +1,5 @@
+include Sack_variant.Make (struct
+  let name = "Eifel"
+
+  let response = Sack_core.eifel
+end)

@@ -1,0 +1,9 @@
+(** The Eifel algorithm (Ludwig & Katz, CCR 2000) — discussed in the
+    paper's related work: TCP-SACK that detects spurious
+    retransmissions through the timestamp echo and restores the
+    congestion state to its pre-retransmission value. Detection is one
+    round-trip faster than DSACK, but the duplicate-ACK threshold is
+    never adapted, so persistent reordering still triggers a spurious
+    retransmission per event. *)
+
+include Sender.S

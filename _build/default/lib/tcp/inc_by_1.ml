@@ -1,0 +1,5 @@
+include Sack_variant.Make (struct
+  let name = "Inc by 1"
+
+  let response = Sack_core.inc_by_1
+end)

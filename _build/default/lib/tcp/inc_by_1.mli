@@ -1,0 +1,4 @@
+(** "Inc by 1": Blanton–Allman DSACK response that increments dupthresh
+    by one on every spurious retransmission (and restores the window). *)
+
+include Sender.S

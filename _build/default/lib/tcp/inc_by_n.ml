@@ -1,0 +1,5 @@
+include Sack_variant.Make (struct
+  let name = "Inc by N"
+
+  let response = Sack_core.inc_by_n
+end)

@@ -1,0 +1,5 @@
+(** "Inc by N": Blanton–Allman DSACK response setting dupthresh to the
+    average of its current value and the number of duplicate ACKs
+    observed during the spurious event (and restoring the window). *)
+
+include Sender.S

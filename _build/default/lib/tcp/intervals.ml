@@ -1,0 +1,93 @@
+(* Intervals kept as a sorted list of disjoint, non-adjacent
+   [(first, last)] pairs. The lists are short in practice (holes in a
+   receive window), so list operations are fine. *)
+
+type t = (int * int) list
+
+let empty = []
+
+let rec add_range t ~first ~last =
+  assert (first <= last);
+  match t with
+  | [] -> [ (first, last) ]
+  | (a, b) :: rest ->
+    if last + 1 < a then (first, last) :: t
+    else if b + 1 < first then (a, b) :: add_range rest ~first ~last
+    else
+      (* Overlapping or adjacent: merge and keep absorbing successors. *)
+      absorb rest ~first:(min a first) ~last:(max b last)
+
+and absorb t ~first ~last =
+  match t with
+  | (a, b) :: rest when a <= last + 1 ->
+    absorb rest ~first ~last:(max b last)
+  | _ -> (first, last) :: t
+
+let add t x = add_range t ~first:x ~last:x
+
+let rec mem t x =
+  match t with
+  | [] -> false
+  | (a, b) :: rest -> if x < a then false else x <= b || mem rest x
+
+let rec containing t x =
+  match t with
+  | [] -> None
+  | (a, b) :: rest ->
+    if x < a then None else if x <= b then Some (a, b) else containing rest x
+
+let rec remove_below t x =
+  match t with
+  | [] -> []
+  | (a, b) :: rest ->
+    if b < x then remove_below rest x
+    else if a >= x then t
+    else (x, b) :: rest
+
+let rec remove_range t ~first ~last =
+  assert (first <= last);
+  match t with
+  | [] -> []
+  | (a, b) :: rest ->
+    if b < first then (a, b) :: remove_range rest ~first ~last
+    else if last < a then t
+    else begin
+      (* Overlap: keep the fragments outside [first, last]. Anything in
+         [rest] starts above [b], so once the right fragment survives no
+         further interval can overlap. *)
+      let left = if a < first then [ (a, first - 1) ] else [] in
+      let right =
+        if b > last then (last + 1, b) :: rest
+        else remove_range rest ~first ~last
+      in
+      left @ right
+    end
+
+let to_list t = t
+
+let cardinal t = List.fold_left (fun acc (a, b) -> acc + b - a + 1) 0 t
+
+let count_above t x =
+  let count acc (a, b) =
+    if b <= x then acc else acc + b - max a (x + 1) + 1
+  in
+  List.fold_left count 0 t
+
+let is_empty t = t = []
+
+let min_elt = function [] -> None | (a, _) :: _ -> Some a
+
+let max_elt t =
+  let rec loop = function
+    | [] -> None
+    | [ (_, b) ] -> Some b
+    | _ :: rest -> loop rest
+  in
+  loop t
+
+let invariant t =
+  let rec check = function
+    | [] | [ _ ] -> true
+    | (_, b1) :: ((a2, _) :: _ as rest) -> b1 + 1 < a2 && check rest
+  in
+  List.for_all (fun (a, b) -> a <= b) t && check t

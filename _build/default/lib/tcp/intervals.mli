@@ -1,0 +1,51 @@
+(** Sorted set of disjoint inclusive integer intervals.
+
+    Used by the receiver for its out-of-order buffer and by SACK
+    scoreboard bookkeeping. Adjacent intervals are coalesced, so the
+    representation is canonical. *)
+
+type t
+
+val empty : t
+
+(** [add t x] inserts the point [x], merging with neighbours. *)
+val add : t -> int -> t
+
+(** [add_range t ~first ~last] inserts the inclusive range. Requires
+    [first <= last]. *)
+val add_range : t -> first:int -> last:int -> t
+
+(** [mem t x] tests membership. *)
+val mem : t -> int -> bool
+
+(** [containing t x] returns the interval holding [x], if any. *)
+val containing : t -> int -> (int * int) option
+
+(** [remove_below t x] drops every point strictly below [x]. *)
+val remove_below : t -> int -> t
+
+(** [remove_range t ~first ~last] drops every point in the inclusive
+    range. Requires [first <= last]. *)
+val remove_range : t -> first:int -> last:int -> t
+
+(** [to_list t] lists intervals in increasing order. *)
+val to_list : t -> (int * int) list
+
+(** [cardinal t] counts contained points. *)
+val cardinal : t -> int
+
+(** [count_above t x] counts contained points strictly greater
+    than [x]. *)
+val count_above : t -> int -> int
+
+val is_empty : t -> bool
+
+(** [min_elt t] is the smallest contained point, if any. *)
+val min_elt : t -> int option
+
+(** [max_elt t] is the largest contained point, if any. *)
+val max_elt : t -> int option
+
+(** [invariant t] checks sortedness, disjointness and coalescing; used
+    by property tests. *)
+val invariant : t -> bool

@@ -1,0 +1,4 @@
+(** TCP-NewReno sender: the classic duplicate-ACK-triggered fast
+    retransmit / fast recovery baseline (see {!Newreno_core}). *)
+
+include Sender.S

@@ -1,0 +1,331 @@
+type trigger =
+  | Dupthresh
+  | Time_delayed
+
+(* What happens once loss is inferred from duplicate ACKs:
+   - [Tahoe]: retransmit and fall back to slow start (cwnd = 1);
+   - [Reno]: fast recovery, but a partial ACK ends it (one loss
+     repaired per recovery episode; further holes wait for new
+     duplicates or the RTO);
+   - [Newreno]: fast recovery with partial-ACK retransmission. *)
+type recovery_style =
+  | Tahoe
+  | Reno
+  | Newreno
+
+type strategy = {
+  trigger : trigger;
+  limited_transmit_cap : int option;
+  style : recovery_style;
+}
+
+let default_strategy =
+  { trigger = Dupthresh; limited_transmit_cap = Some 2; style = Newreno }
+
+let tahoe_strategy =
+  { trigger = Dupthresh; limited_transmit_cap = Some 2; style = Tahoe }
+
+let reno_strategy =
+  { trigger = Dupthresh; limited_transmit_cap = Some 2; style = Reno }
+
+let td_fr_strategy =
+  { trigger = Time_delayed; limited_transmit_cap = None; style = Newreno }
+
+(* Timer keys. The RTO timer is re-armed by replacement (same key), so a
+   fired timer is always the live one. *)
+let rto_key = 0
+
+let td_key = 1
+
+type t = {
+  config : Config.t;
+  strategy : strategy;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable snd_una : int;
+  mutable snd_next : int;
+  mutable dup_count : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  rto : Rto.t;
+  send_times : (int, float) Hashtbl.t;
+  retransmitted : (int, unit) Hashtbl.t;
+  (* TD-FR bookkeeping *)
+  mutable first_dup_at : float;
+  mutable td_armed : bool;
+  (* metrics *)
+  mutable n_sent : int;
+  mutable n_retx : int;
+  mutable n_fast_retx : int;
+  mutable n_timeouts : int;
+}
+
+let create ?(strategy = default_strategy) config =
+  Config.validate config;
+  { config;
+    strategy;
+    cwnd = config.Config.initial_cwnd;
+    ssthresh = config.Config.initial_ssthresh;
+    snd_una = 0;
+    snd_next = 0;
+    dup_count = 0;
+    in_recovery = false;
+    recover = -1;
+    rto = Rto.create config;
+    send_times = Hashtbl.create 256;
+    retransmitted = Hashtbl.create 64;
+    first_dup_at = 0.;
+    td_armed = false;
+    n_sent = 0;
+    n_retx = 0;
+    n_fast_retx = 0;
+    n_timeouts = 0 }
+
+let cwnd t = t.cwnd
+
+let ssthresh t = t.ssthresh
+
+let acked t = t.snd_una
+
+let in_recovery t = t.in_recovery
+
+let flight t = t.snd_next - t.snd_una
+
+let finished t =
+  match t.config.Config.total_segments with
+  | Some total -> t.snd_una >= total
+  | None -> false
+
+let all_data_sent t =
+  match t.config.Config.total_segments with
+  | Some total -> t.snd_next >= total
+  | None -> false
+
+let metrics t =
+  [ ("sent", float_of_int t.n_sent);
+    ("retransmits", float_of_int t.n_retx);
+    ("fast_retransmits", float_of_int t.n_fast_retx);
+    ("timeouts", float_of_int t.n_timeouts);
+    ("cwnd", t.cwnd);
+    ("ssthresh", t.ssthresh) ]
+
+let arm_rto t = Action.Set_timer { key = rto_key; delay = Rto.current t.rto }
+
+let send t ~now ~seq ~retx =
+  t.n_sent <- t.n_sent + 1;
+  if retx then begin
+    t.n_retx <- t.n_retx + 1;
+    Hashtbl.replace t.retransmitted seq ()
+  end;
+  Hashtbl.replace t.send_times seq now;
+  Action.Send { seq; retx }
+
+(* Effective window: cwnd, plus one segment per duplicate ACK under
+   limited transmit (capped by the strategy) while not yet in
+   recovery. Inside recovery, cwnd itself is inflated per duplicate. *)
+let effective_window t =
+  let base = Float.min t.cwnd t.config.Config.max_cwnd in
+  let allowance =
+    if
+      t.config.Config.limited_transmit
+      && (not t.in_recovery)
+      && t.dup_count > 0
+    then
+      match t.strategy.limited_transmit_cap with
+      | Some cap -> min t.dup_count cap
+      | None -> t.dup_count
+    else 0
+  in
+  base +. float_of_int allowance
+
+let send_new_data t ~now =
+  let rec loop acc =
+    let window = int_of_float (effective_window t) in
+    if flight t >= window || all_data_sent t then List.rev acc
+    else begin
+      let seq = t.snd_next in
+      t.snd_next <- seq + 1;
+      loop (send t ~now ~seq ~retx:false :: acc)
+    end
+  in
+  loop []
+
+let start t ~now =
+  let sends = send_new_data t ~now in
+  if sends = [] then [] else sends @ [ arm_rto t ]
+
+let grow_window t =
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
+  else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
+  t.cwnd <- Float.min t.cwnd t.config.Config.max_cwnd
+
+let enter_recovery t ~now =
+  t.n_fast_retx <- t.n_fast_retx + 1;
+  let effective_flight = Float.min (float_of_int (flight t)) t.cwnd in
+  t.ssthresh <- Float.max (effective_flight /. 2.) 2.;
+  t.recover <- t.snd_next - 1;
+  (match t.strategy.style with
+  | Tahoe ->
+    (* No fast recovery: retransmit and slow-start from one. *)
+    t.in_recovery <- false;
+    t.dup_count <- 0;
+    t.cwnd <- 1.
+  | Reno | Newreno ->
+    t.in_recovery <- true;
+    t.cwnd <- t.ssthresh +. float_of_int t.dup_count);
+  let retx = send t ~now ~seq:t.snd_una ~retx:true in
+  [ retx; arm_rto t ]
+
+let cancel_td t =
+  if t.td_armed then begin
+    t.td_armed <- false;
+    [ Action.Cancel_timer { key = td_key } ]
+  end
+  else []
+
+(* Duplicate-ACK handling under the [Time_delayed] trigger: arm the
+   delay timer on the first duplicate; once the third arrives, re-arm it
+   so it expires [max(srtt / 2, DT)] after the first duplicate. *)
+let td_on_dup t ~now =
+  let half_srtt =
+    match Rto.srtt t.rto with
+    | Some srtt -> srtt /. 2.
+    | None -> t.config.Config.initial_rto /. 2.
+  in
+  if t.dup_count = 1 then begin
+    t.first_dup_at <- now;
+    t.td_armed <- true;
+    [ Action.Set_timer { key = td_key; delay = half_srtt } ]
+  end
+  else if t.dup_count = 3 then begin
+    let dt = now -. t.first_dup_at in
+    let expires_at = t.first_dup_at +. Float.max half_srtt dt in
+    t.td_armed <- true;
+    [ Action.Set_timer { key = td_key; delay = Float.max (expires_at -. now) 0. } ]
+  end
+  else []
+
+let on_dup_ack t ~now =
+  t.dup_count <- t.dup_count + 1;
+  if t.in_recovery then begin
+    (* Window inflation: each duplicate signals a departure. *)
+    t.cwnd <- Float.min (t.cwnd +. 1.) t.config.Config.max_cwnd;
+    send_new_data t ~now
+  end
+  else begin
+    let trigger_actions =
+      match t.strategy.trigger with
+      | Dupthresh ->
+        if t.dup_count = t.config.Config.dupthresh && t.snd_una > t.recover
+        then enter_recovery t ~now
+        else []
+      | Time_delayed -> if t.snd_una > t.recover then td_on_dup t ~now else []
+    in
+    trigger_actions @ send_new_data t ~now
+  end
+
+(* Karn: sample only if the newly covered leading segment was never
+   retransmitted. *)
+let maybe_sample_rtt t ~now ~ack_next =
+  let seq = ack_next - 1 in
+  if not (Hashtbl.mem t.retransmitted seq) then begin
+    match Hashtbl.find_opt t.send_times seq with
+    | Some sent_at -> Rto.sample t.rto (now -. sent_at)
+    | None -> ()
+  end
+
+let forget_below t bound =
+  for seq = t.snd_una to bound - 1 do
+    Hashtbl.remove t.send_times seq;
+    Hashtbl.remove t.retransmitted seq
+  done
+
+let on_new_ack t ~now ~ack_next =
+  maybe_sample_rtt t ~now ~ack_next;
+  Rto.reset_backoff t.rto;
+  let newly = ack_next - t.snd_una in
+  let recovery_actions =
+    if t.in_recovery then begin
+      if ack_next > t.recover then begin
+        (* Full acknowledgement: deflate and leave recovery. *)
+        t.in_recovery <- false;
+        t.cwnd <- t.ssthresh;
+        t.dup_count <- 0;
+        []
+      end
+      else begin
+        match t.strategy.style with
+        | Newreno ->
+          (* Partial acknowledgement: retransmit the next hole, deflate
+             by the amount acknowledged, stay in recovery. *)
+          t.cwnd <- Float.max (t.cwnd -. float_of_int newly +. 1.) 1.;
+          [ send t ~now ~seq:ack_next ~retx:true ]
+        | Reno | Tahoe ->
+          (* Classic Reno: the first new ACK ends recovery; remaining
+             holes must re-trigger fast retransmit or time out. *)
+          t.in_recovery <- false;
+          t.cwnd <- t.ssthresh;
+          t.dup_count <- 0;
+          []
+      end
+    end
+    else begin
+      t.dup_count <- 0;
+      grow_window t;
+      []
+    end
+  in
+  forget_below t ack_next;
+  t.snd_una <- ack_next;
+  let td_cancel = cancel_td t in
+  let sends = send_new_data t ~now in
+  let timer =
+    if flight t > 0 || not (all_data_sent t) then [ arm_rto t ]
+    else [ Action.Cancel_timer { key = rto_key } ]
+  in
+  recovery_actions @ td_cancel @ sends @ timer
+
+let on_ack t ~now (ack : Types.ack) =
+  if finished t then []
+  else if ack.Types.next > t.snd_una then on_new_ack t ~now ~ack_next:ack.Types.next
+  else if ack.Types.next = t.snd_una && flight t > 0 then on_dup_ack t ~now
+  else [] (* stale reordered ACK *)
+
+let on_rto t ~now =
+  if flight t = 0 && all_data_sent t then []
+  else begin
+    t.n_timeouts <- t.n_timeouts + 1;
+    (* FlightSize is bounded by cwnd so a frozen cumulative ACK cannot
+       inflate the next slow-start threshold. *)
+    let effective_flight = Float.min (float_of_int (flight t)) t.cwnd in
+    t.ssthresh <- Float.max (effective_flight /. 2.) 2.;
+    t.cwnd <- 1.;
+    t.dup_count <- 0;
+    t.in_recovery <- false;
+    t.recover <- t.snd_next - 1;
+    Rto.backoff t.rto;
+    let retx =
+      if flight t > 0 then begin
+        (* Go-back-N (ns-2 Reno): rewind transmission to the first
+           unacknowledged segment. Without a scoreboard the sender has
+           no other way to locate holes once nothing is in flight. *)
+        let first = [ send t ~now ~seq:t.snd_una ~retx:true ] in
+        t.snd_next <- t.snd_una + 1;
+        first
+      end
+      else send_new_data t ~now
+    in
+    let td = cancel_td t in
+    td @ retx @ [ arm_rto t ]
+  end
+
+let on_td_timer t ~now =
+  t.td_armed <- false;
+  if (not t.in_recovery) && t.dup_count > 0 && flight t > 0 then
+    enter_recovery t ~now
+  else []
+
+let on_timer t ~now ~key =
+  if key = rto_key then on_rto t ~now
+  else if key = td_key then on_td_timer t ~now
+  else []

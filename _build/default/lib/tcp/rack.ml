@@ -1,0 +1,23 @@
+let name = "RACK"
+
+type t = Sack_core.t
+
+(* DSACK-based reordering detection widens the adaptive reo_wnd; the
+   dupthresh policy is irrelevant (dupthresh is unused by the Rack
+   trigger). *)
+let create config =
+  Sack_core.create ~response:Sack_core.dsack_nm ~trigger:Sack_core.Rack config
+
+let start = Sack_core.start
+
+let on_ack = Sack_core.on_ack
+
+let on_timer = Sack_core.on_timer
+
+let cwnd = Sack_core.cwnd
+
+let acked = Sack_core.acked
+
+let finished = Sack_core.finished
+
+let metrics = Sack_core.metrics

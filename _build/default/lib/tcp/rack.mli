@@ -1,0 +1,11 @@
+(** RACK: time-based loss detection in the style of RFC 8985
+    (simplified; no tail-loss probe).
+
+    Not a baseline from the paper but its modern mainstream descendant,
+    included as an extension: like TCP-PR it infers loss from *time*
+    — a segment is lost once a later-sent segment has been delivered
+    for at least a reordering window — rather than from duplicate-ACK
+    counts, and the reordering window adapts when DSACKs reveal
+    reordering. *)
+
+include Sender.S

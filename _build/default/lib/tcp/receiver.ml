@@ -1,0 +1,111 @@
+type disposition =
+  | Ack_now of Types.ack
+  | Defer of Types.ack
+
+type t = {
+  config : Config.t;
+  mutable rcv_next : int;
+  mutable out_of_order : Intervals.t;
+  (* Sequence numbers of recent out-of-order arrivals, most recent
+     first; used to order SACK blocks by recency as RFC 2018 requires. *)
+  mutable recent : int list;
+  mutable duplicates : int;
+  (* Delayed ACKs: true while one in-order segment is awaiting
+     acknowledgement. *)
+  mutable ack_deferred : bool;
+  (* Generation counter stamped on every acknowledgement (TCP-DOOR's
+     ACK duplication sequence number). *)
+  mutable serial : int;
+}
+
+let create config =
+  Config.validate config;
+  { config;
+    rcv_next = 0;
+    out_of_order = Intervals.empty;
+    recent = [];
+    duplicates = 0;
+    ack_deferred = false;
+    serial = 0 }
+
+let rcv_next t = t.rcv_next
+
+let in_order_segments t = t.rcv_next
+
+let duplicates t = t.duplicates
+
+let buffered t = Intervals.cardinal t.out_of_order
+
+(* Up to [max_sack_blocks] blocks: the block containing the most recent
+   arrival first, then blocks containing earlier arrivals, without
+   repeats. Stale entries (already cumulatively acked or merged) are
+   pruned as a side effect. *)
+let sack_blocks t =
+  let rec build acc blocks seqs =
+    match seqs with
+    | [] -> (List.rev acc, List.rev blocks)
+    | seq :: rest ->
+      if List.length blocks >= Types.max_sack_blocks then
+        (List.rev acc, List.rev blocks)
+      else begin
+        match Intervals.containing t.out_of_order seq with
+        | None -> build acc blocks rest (* stale: drop from recency list *)
+        | Some (first, last) ->
+          let block = { Types.first; last } in
+          if List.mem block blocks then build acc blocks rest
+          else build (seq :: acc) (block :: blocks) rest
+      end
+  in
+  let kept, blocks = build [] [] t.recent in
+  t.recent <- kept;
+  blocks
+
+let receive t ?(retx = false) ~seq () =
+  assert (seq >= 0);
+  let buffered_before = not (Intervals.is_empty t.out_of_order) in
+  let duplicate = seq < t.rcv_next || Intervals.mem t.out_of_order seq in
+  let in_order = (not duplicate) && seq = t.rcv_next in
+  if duplicate then t.duplicates <- t.duplicates + 1
+  else if in_order then begin
+    t.rcv_next <- t.rcv_next + 1;
+    (* Drain any out-of-order run that is now contiguous. *)
+    (match Intervals.containing t.out_of_order t.rcv_next with
+    | Some (_, last) -> t.rcv_next <- last + 1
+    | None -> ());
+    t.out_of_order <- Intervals.remove_below t.out_of_order t.rcv_next
+  end
+  else begin
+    t.out_of_order <- Intervals.add t.out_of_order seq;
+    t.recent <- seq :: List.filter (fun s -> s <> seq) t.recent
+  end;
+  let dsack = if duplicate then Some { Types.first = seq; last = seq } else None in
+  let serial = t.serial in
+  t.serial <- serial + 1;
+  let ack =
+    { Types.next = t.rcv_next;
+      sacks = sack_blocks t;
+      dsack;
+      for_seq = seq;
+      for_retx = retx;
+      serial }
+  in
+  (* RFC 1122/5681: only a lone, in-order, non-hole-filling segment may
+     have its acknowledgement deferred; everything else — duplicates,
+     gaps, arrivals draining the buffer, or a second in-order segment —
+     is acknowledged at once. *)
+  if
+    t.config.Config.delayed_ack && in_order && (not buffered_before)
+    && ack.Types.sacks = []
+    && not t.ack_deferred
+  then begin
+    t.ack_deferred <- true;
+    Defer ack
+  end
+  else begin
+    t.ack_deferred <- false;
+    Ack_now ack
+  end
+
+let on_data t ?retx ~seq () =
+  match receive t ?retx ~seq () with
+  | Ack_now ack | Defer ack -> ack

@@ -1,0 +1,48 @@
+(** TCP receiver (sink).
+
+    Generates one acknowledgement per arriving data segment: cumulative
+    ACK, up to {!Types.max_sack_blocks} SACK blocks (most recently
+    updated block first, per RFC 2018), and a DSACK report for duplicate
+    arrivals (RFC 2883). TCP-PR requires no receiver changes — every
+    sender variant in this repository talks to this one sink, which is
+    exactly the paper's backward-compatibility claim. *)
+
+type t
+
+(** Whether the acknowledgement should go out immediately or may be
+    deferred under RFC 1122 delayed ACKs. A deferred acknowledgement
+    must be transmitted when the next segment arrives or when the
+    delayed-ACK timer ([Config.delack_timeout]) fires, whichever comes
+    first; {!Connection} implements the timer. *)
+type disposition =
+  | Ack_now of Types.ack
+  | Defer of Types.ack
+
+val create : Config.t -> t
+
+(** [receive t ?retx ~seq ()] registers arrival of segment [seq],
+    echoing [retx] back to the sender (see {!Types.ack}). With
+    [Config.delayed_ack] set, every second in-order segment — and any
+    out-of-order, duplicate or hole-filling arrival — is acknowledged
+    immediately; a first lone in-order segment is deferred. *)
+val receive : t -> ?retx:bool -> seq:int -> unit -> disposition
+
+(** [on_data t ~seq] is [receive] with the disposition erased: the
+    acknowledgement that (eventually) goes out. Convenient for driving
+    senders directly in tests. *)
+val on_data : t -> ?retx:bool -> seq:int -> unit -> Types.ack
+
+(** [rcv_next t] is the lowest sequence number not yet received; all
+    segments below it have been delivered in order. *)
+val rcv_next : t -> int
+
+(** [in_order_segments t] equals [rcv_next t]: segments delivered to the
+    application. *)
+val in_order_segments : t -> int
+
+(** [duplicates t] counts duplicate data arrivals (spurious
+    retransmissions reaching the sink). *)
+val duplicates : t -> int
+
+(** [buffered t] counts segments held in the out-of-order buffer. *)
+val buffered : t -> int

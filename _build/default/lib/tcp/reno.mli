@@ -1,0 +1,5 @@
+(** Classic TCP-Reno: fast retransmit and fast recovery, but recovery
+    ends at the first partial acknowledgement — multiple losses in one
+    window usually cost a timeout. *)
+
+include Sender.S

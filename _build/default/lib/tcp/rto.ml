@@ -1,0 +1,42 @@
+type t = {
+  config : Config.t;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable has_sample : bool;
+  mutable multiplier : float;
+}
+
+let create config =
+  { config; srtt = 0.; rttvar = 0.; has_sample = false; multiplier = 1. }
+
+let sample t rtt =
+  assert (rtt >= 0.);
+  if not t.has_sample then begin
+    t.srtt <- rtt;
+    t.rttvar <- rtt /. 2.;
+    t.has_sample <- true
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+  end
+
+let base t =
+  if not t.has_sample then t.config.Config.initial_rto
+  else
+    let g = t.config.Config.timer_granularity in
+    t.srtt +. Float.max g (4. *. t.rttvar)
+
+let current t =
+  let rto = base t *. t.multiplier in
+  let rto = Float.max rto t.config.Config.min_rto in
+  Float.min rto t.config.Config.max_rto
+
+let backoff t =
+  if current t < t.config.Config.max_rto then t.multiplier <- t.multiplier *. 2.
+
+let reset_backoff t = t.multiplier <- 1.
+
+let srtt t = if t.has_sample then Some t.srtt else None
+
+let rttvar t = if t.has_sample then Some t.rttvar else None

@@ -1,0 +1,31 @@
+(** Retransmission-timeout estimation, RFC 2988 / Jacobson–Karels.
+
+    [srtt] and [rttvar] follow the standard gains (1/8, 1/4); the RTO is
+    [srtt + max(G, 4 * rttvar)] clamped to the configured floor and
+    ceiling, where [G] is the timer granularity. Exponential back-off
+    doubles the RTO on each timeout and is cleared when new data is
+    acknowledged (Karn's algorithm is the caller's responsibility: do
+    not feed samples from retransmitted segments). *)
+
+type t
+
+val create : Config.t -> t
+
+(** [sample t rtt] folds a round-trip-time measurement in. *)
+val sample : t -> float -> unit
+
+(** [current t] is the RTO in seconds, back-off included. *)
+val current : t -> float
+
+(** [backoff t] doubles the RTO (clamped to [max_rto]). *)
+val backoff : t -> unit
+
+(** [reset_backoff t] clears exponential back-off (on new ACK). *)
+val reset_backoff : t -> unit
+
+(** [srtt t] is the smoothed RTT, or [None] before the first sample. *)
+val srtt : t -> float option
+
+(** [rttvar t] is the RTT variation estimate, [None] before the first
+    sample. *)
+val rttvar : t -> float option

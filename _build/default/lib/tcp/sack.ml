@@ -1,0 +1,5 @@
+include Sack_variant.Make (struct
+  let name = "SACK"
+
+  let response = Sack_core.plain_sack
+end)

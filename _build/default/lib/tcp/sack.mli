@@ -1,0 +1,4 @@
+(** TCP-SACK sender (RFC 2018 + RFC 3517 scoreboard), the standard
+    baseline the paper measures fairness against. Ignores DSACK. *)
+
+include Sender.S

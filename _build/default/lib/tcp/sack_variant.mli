@@ -1,0 +1,8 @@
+(** Functor stamping out {!Sender.S} implementations from
+    {!Sack_core} with a fixed spurious-retransmission response. *)
+
+module Make (_ : sig
+  val name : string
+
+  val response : Sack_core.response
+end) : Sender.S

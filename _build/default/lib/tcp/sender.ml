@@ -1,0 +1,41 @@
+module type S = sig
+  val name : string
+
+  type t
+
+  val create : Config.t -> t
+
+  val start : t -> now:float -> Action.t list
+
+  val on_ack : t -> now:float -> Types.ack -> Action.t list
+
+  val on_timer : t -> now:float -> key:int -> Action.t list
+
+  val cwnd : t -> float
+
+  val acked : t -> int
+
+  val finished : t -> bool
+
+  val metrics : t -> (string * float) list
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let pack (module M : S) config = Packed ((module M), M.create config)
+
+let name (Packed ((module M), _)) = M.name
+
+let start (Packed ((module M), state)) ~now = M.start state ~now
+
+let on_ack (Packed ((module M), state)) ~now ack = M.on_ack state ~now ack
+
+let on_timer (Packed ((module M), state)) ~now ~key = M.on_timer state ~now ~key
+
+let cwnd (Packed ((module M), state)) = M.cwnd state
+
+let acked (Packed ((module M), state)) = M.acked state
+
+let finished (Packed ((module M), state)) = M.finished state
+
+let metrics (Packed ((module M), state)) = M.metrics state

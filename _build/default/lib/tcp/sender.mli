@@ -1,0 +1,65 @@
+(** Uniform interface implemented by every TCP sender variant.
+
+    A sender is a state machine driven by three events — connection
+    start, ACK arrival, timer expiry — each returning the {!Action.t}
+    list to execute. Time is passed in by the caller so variants stay
+    engine-agnostic. *)
+
+module type S = sig
+  (** Human-readable variant name (appears in experiment tables). *)
+  val name : string
+
+  type t
+
+  val create : Config.t -> t
+
+  (** [start t ~now] opens the connection: typically sends the initial
+      window and arms the retransmission timer. *)
+  val start : t -> now:float -> Action.t list
+
+  (** [on_ack t ~now ack] processes an arriving acknowledgement. *)
+  val on_ack : t -> now:float -> Types.ack -> Action.t list
+
+  (** [on_timer t ~now ~key] handles expiry of the timer armed under
+      [key]. Spurious keys (already superseded) must be ignored. *)
+  val on_timer : t -> now:float -> key:int -> Action.t list
+
+  (** Current congestion window, in segments. *)
+  val cwnd : t -> float
+
+  (** Highest cumulative acknowledgement seen (segments delivered
+      in order at the receiver). *)
+  val acked : t -> int
+
+  (** [finished t] is true once a bounded transfer
+      ([Config.total_segments = Some n]) has been fully acknowledged.
+      Always false for unbounded transfers. *)
+  val finished : t -> bool
+
+  (** Diagnostic counters (retransmissions, timeouts, spurious
+      retransmissions detected, ...), for tests and experiment output. *)
+  val metrics : t -> (string * float) list
+end
+
+(** A sender module packed with its state, as stored by
+    {!Connection}. *)
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+(** [pack (module M) config] instantiates a variant. *)
+val pack : (module S) -> Config.t -> packed
+
+val name : packed -> string
+
+val start : packed -> now:float -> Action.t list
+
+val on_ack : packed -> now:float -> Types.ack -> Action.t list
+
+val on_timer : packed -> now:float -> key:int -> Action.t list
+
+val cwnd : packed -> float
+
+val acked : packed -> int
+
+val finished : packed -> bool
+
+val metrics : packed -> (string * float) list

@@ -1,0 +1,4 @@
+(** TCP-Tahoe: the oldest baseline — fast retransmit without fast
+    recovery; every inferred loss returns the sender to slow start. *)
+
+include Sender.S

@@ -1,0 +1,9 @@
+(** TCP-DOOR (Wang & Zhang, MobiHoc 2002) — the MANET-targeted scheme
+    from the paper's related work: TCP-SACK extended with out-of-order
+    ACK detection. An out-of-order ACK (detected through the serial
+    number the receiver stamps on every acknowledgement) signals a
+    route change rather than congestion: congestion responses are
+    disabled for one RTT and a response taken within the previous two
+    RTTs is undone. *)
+
+include Sender.S

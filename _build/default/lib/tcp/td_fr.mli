@@ -1,0 +1,8 @@
+(** Time-delayed fast recovery (TD-FR).
+
+    NewReno whose fast retransmit waits [max(srtt / 2, DT)] after the
+    first duplicate ACK ([DT] = spread between the first and third
+    duplicates) and fires only if duplicates persist — the
+    Paxson / Blanton–Allman scheme the paper compares against. *)
+
+include Sender.S

@@ -1,0 +1,1 @@
+lib/topo/dumbbell.mli: Net Sim

@@ -1,0 +1,1 @@
+lib/topo/multipath_lattice.ml: Array List Net

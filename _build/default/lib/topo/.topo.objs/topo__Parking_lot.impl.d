@@ -1,0 +1,1 @@
+lib/topo/parking_lot.ml: Array List Net

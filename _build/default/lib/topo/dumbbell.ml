@@ -1,0 +1,50 @@
+type t = {
+  network : Net.Network.t;
+  left_router : Net.Node.t;
+  right_router : Net.Node.t;
+  sources : Net.Node.t array;
+  sinks : Net.Node.t array;
+  bottleneck_forward : Net.Link.t;
+  bottleneck_reverse : Net.Link.t;
+}
+
+let create engine ?(pairs = 1) ?(bottleneck_bandwidth_bps = 15e6)
+    ?(bottleneck_delay_s = 0.020) ?(access_bandwidth_bps = 100e6)
+    ?(access_delay_s = 0.001) ?(queue_capacity = 50)
+    ?(access_queue_capacity = 1000) () =
+  if pairs < 1 then invalid_arg "Dumbbell.create: pairs must be >= 1";
+  let network = Net.Network.create engine in
+  let left_router = Net.Network.add_node network in
+  let right_router = Net.Network.add_node network in
+  let bottleneck_forward, bottleneck_reverse =
+    Net.Network.add_duplex network ~src:left_router ~dst:right_router
+      ~bandwidth_bps:bottleneck_bandwidth_bps ~delay_s:bottleneck_delay_s
+      ~capacity:queue_capacity ()
+  in
+  let attach router =
+    let host = Net.Network.add_node network in
+    ignore
+      (Net.Network.add_duplex network ~src:host ~dst:router
+         ~bandwidth_bps:access_bandwidth_bps ~delay_s:access_delay_s
+         ~capacity:access_queue_capacity ());
+    host
+  in
+  let sources = Array.init pairs (fun _ -> attach left_router) in
+  let sinks = Array.init pairs (fun _ -> attach right_router) in
+  { network;
+    left_router;
+    right_router;
+    sources;
+    sinks;
+    bottleneck_forward;
+    bottleneck_reverse }
+
+let route_forward t ~pair =
+  [ Net.Node.id t.left_router;
+    Net.Node.id t.right_router;
+    Net.Node.id t.sinks.(pair) ]
+
+let route_reverse t ~pair =
+  [ Net.Node.id t.right_router;
+    Net.Node.id t.left_router;
+    Net.Node.id t.sources.(pair) ]

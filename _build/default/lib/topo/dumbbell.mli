@@ -1,0 +1,46 @@
+(** Dumbbell (single-bottleneck) topology, Section 4.
+
+    [pairs] source hosts on the left and sink hosts on the right hang
+    off two routers joined by the bottleneck link. The paper's fairness
+    runs give all competing flows a common source and destination —
+    create the topology with [pairs = 1] and multiplex flows by flow id
+    on pair 0. *)
+
+type t = {
+  network : Net.Network.t;
+  left_router : Net.Node.t;
+  right_router : Net.Node.t;
+  sources : Net.Node.t array;
+  sinks : Net.Node.t array;
+  bottleneck_forward : Net.Link.t;
+  bottleneck_reverse : Net.Link.t;
+}
+
+(** [create engine ()] builds the topology.
+    @param pairs host pairs (default 1).
+    @param bottleneck_bandwidth_bps default 15 Mb/s.
+    @param bottleneck_delay_s default 20 ms.
+    @param access_bandwidth_bps default 100 Mb/s.
+    @param access_delay_s default 1 ms.
+    @param queue_capacity packets in the bottleneck queues (default 50,
+    the ns-2 default).
+    @param access_queue_capacity packets in the access-link queues
+    (default 1000): deep enough that hosts never drop their own send
+    bursts, so all congestion loss happens at the bottleneck. *)
+val create :
+  Sim.Engine.t ->
+  ?pairs:int ->
+  ?bottleneck_bandwidth_bps:float ->
+  ?bottleneck_delay_s:float ->
+  ?access_bandwidth_bps:float ->
+  ?access_delay_s:float ->
+  ?queue_capacity:int ->
+  ?access_queue_capacity:int ->
+  unit ->
+  t
+
+(** [route_forward t ~pair] is the data route source->sink for [pair]. *)
+val route_forward : t -> pair:int -> int list
+
+(** [route_reverse t ~pair] is the ACK route sink->source for [pair]. *)
+val route_reverse : t -> pair:int -> int list

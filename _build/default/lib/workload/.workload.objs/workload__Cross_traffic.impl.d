@@ -1,0 +1,1 @@
+lib/workload/cross_traffic.ml: Ftp List Printf Tcp Topo

@@ -1,0 +1,1 @@
+lib/workload/cross_traffic.mli: Ftp Sim Tcp Topo

@@ -1,0 +1,1 @@
+lib/workload/ftp.ml: List Sim Tcp

@@ -1,0 +1,1 @@
+lib/workload/ftp.mli: Net Sim Tcp

@@ -1,0 +1,15 @@
+(** Parking-lot cross traffic: one long-lived TCP-SACK flow per pair of
+    the paper's connection matrix (Fig. 1), optionally several per
+    pair. *)
+
+(** [spawn parking_lot ~flows_per_pair ~first_flow ~config ~start_rng
+    ~start_window ()] starts the cross flows and returns them. *)
+val spawn :
+  Topo.Parking_lot.t ->
+  flows_per_pair:int ->
+  first_flow:int ->
+  config:Tcp.Config.t ->
+  start_rng:Sim.Rng.t ->
+  start_window:float ->
+  unit ->
+  Ftp.flow list

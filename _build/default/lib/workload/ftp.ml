@@ -1,0 +1,32 @@
+type flow = { label : string; connection : Tcp.Connection.t }
+
+let spawn network ~sender ~label ~count ~first_flow ~src ~dst ~route_data
+    ~route_ack ~config ~start_rng ~start_window () =
+  if count < 0 then invalid_arg "Ftp.spawn: negative count";
+  if start_window < 0. then invalid_arg "Ftp.spawn: negative start window";
+  let config = { config with Tcp.Config.total_segments = None } in
+  let make index =
+    let connection =
+      Tcp.Connection.create network ~flow:(first_flow + index) ~src ~dst
+        ~sender ~config ~route_data ~route_ack ()
+    in
+    let jitter =
+      if start_window = 0. then 0.
+      else Sim.Rng.float_range start_rng ~lo:0. ~hi:start_window
+    in
+    Tcp.Connection.start connection ~at:jitter;
+    { label; connection }
+  in
+  List.init count make
+
+let snapshot_bytes flows =
+  List.map (fun f -> Tcp.Connection.received_bytes f.connection) flows
+
+let throughputs flows ~window_start_bytes ~seconds =
+  if List.length flows <> List.length window_start_bytes then
+    invalid_arg "Ftp.throughputs: snapshot length mismatch";
+  List.map2
+    (fun f start ->
+      let bytes = Tcp.Connection.received_bytes f.connection - start in
+      (f.label, float_of_int bytes *. 8. /. seconds /. 1e6))
+    flows window_start_bytes

@@ -1,0 +1,38 @@
+(** Long-lived bulk-transfer ("FTP") flow batches.
+
+    Every flow has an unbounded backlog ([Config.total_segments] is
+    forced to [None]) and starts at a jittered time inside
+    [start_window] so competing flows do not phase-lock — the standard
+    ns-2 methodology for steady-state throughput measurements. *)
+
+type flow = { label : string; connection : Tcp.Connection.t }
+
+(** [spawn network ~sender ~label ~count ~first_flow ~src ~dst
+    ~route_data ~route_ack ~config ~start_rng ~start_window ()] creates
+    and starts [count] connections with flow ids
+    [first_flow .. first_flow + count - 1]. *)
+val spawn :
+  Net.Network.t ->
+  sender:(module Tcp.Sender.S) ->
+  label:string ->
+  count:int ->
+  first_flow:int ->
+  src:Net.Node.t ->
+  dst:Net.Node.t ->
+  route_data:(unit -> int list) ->
+  route_ack:(unit -> int list) ->
+  config:Tcp.Config.t ->
+  start_rng:Sim.Rng.t ->
+  start_window:float ->
+  unit ->
+  flow list
+
+(** [throughputs flows ~window_start_bytes ~seconds] pairs each flow's
+    label with its Mb/s over a window, given the byte counters captured
+    at the window start (in the same order as [flows]). *)
+val throughputs :
+  flow list -> window_start_bytes:int list -> seconds:float -> (string * float) list
+
+(** [snapshot_bytes flows] captures cumulative received bytes, for use
+    as [window_start_bytes] later. *)
+val snapshot_bytes : flow list -> int list

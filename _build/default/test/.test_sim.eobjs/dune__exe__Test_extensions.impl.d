@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Core Experiments List Net Option Printf Sim Stats Tcp

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Experiments List Net Printf Sim Stats Tcp Topo Workload

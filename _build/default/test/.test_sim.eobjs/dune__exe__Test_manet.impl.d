@@ -1,0 +1,1 @@
+test/test_manet.ml: Alcotest Core Experiments List Manet Net Sim

@@ -1,0 +1,1 @@
+test/test_multipath.ml: Alcotest Array Gen Multipath Printf QCheck QCheck_alcotest Sim Topo

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Net Option QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Fun Int List Option QCheck QCheck_alcotest Set Sim Tcp

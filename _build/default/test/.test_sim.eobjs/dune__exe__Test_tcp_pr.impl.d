@@ -1,0 +1,1 @@
+test/test_tcp_pr.ml: Alcotest Core Gen List Option Printf QCheck QCheck_alcotest Tcp

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Hashtbl List Net Option Sim Topo

@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Core Hashtbl List QCheck QCheck_alcotest Sim Tcp

@@ -1,0 +1,149 @@
+(* Tests for epsilon-parameterised multi-path routing. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let rng () = Sim.Rng.create 99
+
+let test_epsilon_zero_uniform () =
+  let r = Multipath.Epsilon_routing.create (rng ()) ~epsilon:0. ~costs:[| 0.; 1.; 2. |] in
+  Array.iter
+    (fun w -> check_float "uniform" (1. /. 3.) w)
+    (Multipath.Epsilon_routing.weights r)
+
+let test_epsilon_large_degenerate () =
+  let r =
+    Multipath.Epsilon_routing.create (rng ()) ~epsilon:500. ~costs:[| 0.; 1.; 2. |]
+  in
+  let w = Multipath.Epsilon_routing.weights r in
+  check_float "all mass on cheapest" 1. w.(0);
+  check_float "none elsewhere" 0. w.(1)
+
+let test_epsilon_monotone_in_cost () =
+  let r =
+    Multipath.Epsilon_routing.create (rng ()) ~epsilon:1. ~costs:[| 0.; 1.; 2. |]
+  in
+  let w = Multipath.Epsilon_routing.weights r in
+  Alcotest.(check bool) "cheaper gets more" true (w.(0) > w.(1) && w.(1) > w.(2))
+
+let test_epsilon_exact_softmax () =
+  let r =
+    Multipath.Epsilon_routing.create (rng ()) ~epsilon:1. ~costs:[| 0.; 1. |]
+  in
+  let w = Multipath.Epsilon_routing.weights r in
+  let z = 1. +. exp (-1.) in
+  check_float "softmax w0" (1. /. z) w.(0);
+  check_float "softmax w1" (exp (-1.) /. z) w.(1)
+
+let test_min_cost_shift_invariance () =
+  (* Adding a constant to every cost must not change the weights. *)
+  let w1 =
+    Multipath.Epsilon_routing.weights
+      (Multipath.Epsilon_routing.create (rng ()) ~epsilon:2. ~costs:[| 0.; 1. |])
+  in
+  let w2 =
+    Multipath.Epsilon_routing.weights
+      (Multipath.Epsilon_routing.create (rng ()) ~epsilon:2.
+         ~costs:[| 10.; 11. |])
+  in
+  Array.iteri (fun i w -> check_float "shift invariant" w w2.(i)) w1
+
+let test_of_hop_counts () =
+  let r =
+    Multipath.Epsilon_routing.of_hop_counts (rng ()) ~epsilon:0.
+      ~hop_counts:[| 3; 4; 5 |]
+  in
+  Array.iter
+    (fun w -> check_float "uniform over hops" (1. /. 3.) w)
+    (Multipath.Epsilon_routing.weights r)
+
+let test_for_lattice () =
+  let engine = Sim.Engine.create () in
+  let lattice = Topo.Multipath_lattice.create engine () in
+  let r = Multipath.Epsilon_routing.for_lattice (rng ()) ~epsilon:500. lattice in
+  let w = Multipath.Epsilon_routing.weights r in
+  check_float "shortest path only" 1. w.(0)
+
+let test_sampling_matches_weights () =
+  let r =
+    Multipath.Epsilon_routing.create (rng ()) ~epsilon:1. ~costs:[| 0.; 1.; 2. |]
+  in
+  let weights = Multipath.Epsilon_routing.weights r in
+  let n = 50_000 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to n do
+    let i = Multipath.Epsilon_routing.sample r in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i w ->
+      let observed = float_of_int counts.(i) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "frequency of path %d" i)
+        true
+        (abs_float (observed -. w) < 0.01))
+    weights
+
+let test_route_picks_from_array () =
+  let r = Multipath.Epsilon_routing.create (rng ()) ~epsilon:500. ~costs:[| 0.; 5. |] in
+  for _ = 1 to 50 do
+    Alcotest.(check string) "always the cheap route" "cheap"
+      (Multipath.Epsilon_routing.route r [| "cheap"; "dear" |])
+  done
+
+let test_rejects_bad_arguments () =
+  Alcotest.check_raises "negative epsilon"
+    (Invalid_argument "Epsilon_routing.create: negative epsilon") (fun () ->
+      ignore
+        (Multipath.Epsilon_routing.create (rng ()) ~epsilon:(-1.) ~costs:[| 0. |]));
+  Alcotest.check_raises "no paths"
+    (Invalid_argument "Epsilon_routing.create: no paths") (fun () ->
+      ignore (Multipath.Epsilon_routing.create (rng ()) ~epsilon:1. ~costs:[||]))
+
+let weights_normalised_prop =
+  QCheck.Test.make ~name:"weights sum to 1 and are non-negative" ~count:300
+    QCheck.(
+      pair (float_range 0. 50.)
+        (list_of_size (Gen.int_range 1 8) (float_range 0. 10.)))
+    (fun (epsilon, costs) ->
+      let r =
+        Multipath.Epsilon_routing.create (Sim.Rng.create 1) ~epsilon
+          ~costs:(Array.of_list costs)
+      in
+      let w = Multipath.Epsilon_routing.weights r in
+      let total = Array.fold_left ( +. ) 0. w in
+      abs_float (total -. 1.) < 1e-9 && Array.for_all (fun x -> x >= 0.) w)
+
+let epsilon_monotone_prop =
+  (* Raising epsilon never increases the weight of a costlier path
+     relative to the cheapest. *)
+  QCheck.Test.make ~name:"higher epsilon concentrates mass" ~count:200
+    QCheck.(pair (float_range 0. 5.) (float_range 0.1 5.))
+    (fun (eps, extra) ->
+      let weight epsilon =
+        (Multipath.Epsilon_routing.weights
+           (Multipath.Epsilon_routing.create (Sim.Rng.create 1) ~epsilon
+              ~costs:[| 0.; 1. |])).(1)
+      in
+      weight (eps +. extra) <= weight eps +. 1e-12)
+
+let () =
+  Alcotest.run "multipath"
+    [ ( "epsilon-routing",
+        [ Alcotest.test_case "epsilon 0 uniform" `Quick test_epsilon_zero_uniform;
+          Alcotest.test_case "epsilon 500 degenerate" `Quick
+            test_epsilon_large_degenerate;
+          Alcotest.test_case "monotone in cost" `Quick
+            test_epsilon_monotone_in_cost;
+          Alcotest.test_case "exact softmax" `Quick test_epsilon_exact_softmax;
+          Alcotest.test_case "shift invariance" `Quick
+            test_min_cost_shift_invariance;
+          Alcotest.test_case "of hop counts" `Quick test_of_hop_counts;
+          Alcotest.test_case "for lattice" `Quick test_for_lattice;
+          Alcotest.test_case "sampling matches weights" `Quick
+            test_sampling_matches_weights;
+          Alcotest.test_case "route picks from array" `Quick
+            test_route_picks_from_array;
+          Alcotest.test_case "rejects bad arguments" `Quick
+            test_rejects_bad_arguments;
+          QCheck_alcotest.to_alcotest ~long:false weights_normalised_prop;
+          QCheck_alcotest.to_alcotest ~long:false epsilon_monotone_prop ] ) ]

@@ -1,0 +1,455 @@
+(* Tests for the network substrate: packets, queues, loss models, link
+   timing, and source-routed forwarding. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let mk_packet ?(uid = 0) ?(flow = 0) ?(size = 1000) ~src ~dst ~route () =
+  Net.Packet.create ~uid ~flow ~src ~dst ~size ~route ~born:0.
+    (Net.Packet.Raw 0)
+
+(* ------------------------------------------------------------------ *)
+(* Drop_tail                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_drop_tail_fifo () =
+  let q = Net.Drop_tail.create ~capacity:3 in
+  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] () in
+  Alcotest.(check bool) "accepts" true (Net.Drop_tail.offer q (p 1));
+  Alcotest.(check bool) "accepts" true (Net.Drop_tail.offer q (p 2));
+  let first = Option.get (Net.Drop_tail.poll q) in
+  Alcotest.(check int) "fifo order" 1 first.Net.Packet.uid
+
+let test_drop_tail_overflow () =
+  let q = Net.Drop_tail.create ~capacity:2 in
+  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] () in
+  ignore (Net.Drop_tail.offer q (p 1));
+  ignore (Net.Drop_tail.offer q (p 2));
+  Alcotest.(check bool) "rejects when full" false (Net.Drop_tail.offer q (p 3));
+  Alcotest.(check int) "drop counted" 1 (Net.Drop_tail.drops q);
+  Alcotest.(check int) "enqueued counted" 2 (Net.Drop_tail.enqueued q);
+  Alcotest.(check int) "length" 2 (Net.Drop_tail.length q)
+
+let drop_tail_prop =
+  QCheck.Test.make ~name:"never exceeds capacity" ~count:300
+    QCheck.(pair (int_range 1 20) (list bool))
+    (fun (capacity, ops) ->
+      let q = Net.Drop_tail.create ~capacity in
+      List.iteri
+        (fun i offer ->
+          if offer then
+            ignore
+              (Net.Drop_tail.offer q (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ()))
+          else ignore (Net.Drop_tail.poll q))
+        ops;
+      Net.Drop_tail.length q <= capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Loss_model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_loss_perfect () =
+  let p = mk_packet ~src:0 ~dst:1 ~route:[ 1 ] () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "never drops" false
+      (Net.Loss_model.drops Net.Loss_model.perfect p)
+  done
+
+let test_loss_periodic () =
+  let model = Net.Loss_model.periodic ~period:3 in
+  let p = mk_packet ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let outcomes = List.init 9 (fun _ -> Net.Loss_model.drops model p) in
+  Alcotest.(check (list bool))
+    "every third drops"
+    [ false; false; true; false; false; true; false; false; true ]
+    outcomes
+
+let test_loss_bernoulli_rate () =
+  let rng = Sim.Rng.create 5 in
+  let model = Net.Loss_model.bernoulli rng ~p:0.3 in
+  let p = mk_packet ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let n = 20_000 in
+  let drops = ref 0 in
+  for _ = 1 to n do
+    if Net.Loss_model.drops model p then incr drops
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_loss_custom () =
+  let model = Net.Loss_model.custom (fun p -> p.Net.Packet.uid mod 2 = 0) in
+  let even = mk_packet ~uid:4 ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let odd = mk_packet ~uid:5 ~src:0 ~dst:1 ~route:[ 1 ] () in
+  Alcotest.(check bool) "even dropped" true (Net.Loss_model.drops model even);
+  Alcotest.(check bool) "odd passes" false (Net.Loss_model.drops model odd)
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* 1000-byte packet on a 1 Mb/s link: 8 ms transmission; delivery at
+   transmission + propagation. *)
+let test_link_timing () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6
+      ~delay_s:0.010 ~capacity:10 ()
+  in
+  let delivered = ref [] in
+  Net.Link.set_deliver link (fun p ->
+      delivered := (Sim.Engine.now engine, p.Net.Packet.uid) :: !delivered);
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Sim.Engine.run_to_completion engine;
+  match !delivered with
+  | [ (time, 1) ] -> check_float "tx + prop" 0.018 time
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_link_serialises () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6
+      ~delay_s:0.010 ~capacity:10 ()
+  in
+  let delivered = ref [] in
+  Net.Link.set_deliver link (fun p ->
+      delivered := (Sim.Engine.now engine, p.Net.Packet.uid) :: !delivered);
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Net.Link.send link (mk_packet ~uid:2 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Sim.Engine.run_to_completion engine;
+  match List.rev !delivered with
+  | [ (t1, 1); (t2, 2) ] ->
+    check_float "first" 0.018 t1;
+    (* Second starts transmitting when the first finishes at 8 ms. *)
+    check_float "second serialised" 0.026 t2
+  | _ -> Alcotest.fail "expected two deliveries in order"
+
+let test_link_queue_overflow_drops () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6
+      ~delay_s:0.001 ~capacity:2 ()
+  in
+  let count = ref 0 in
+  Net.Link.set_deliver link (fun _ -> incr count);
+  (* One on the wire + two queued fit; the other two drop. *)
+  for i = 1 to 5 do
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ())
+  done;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check int) "delivered" 3 !count;
+  Alcotest.(check int) "queue drops" 2 (Net.Link.queue_drops link);
+  Alcotest.(check int) "transmitted" 3 (Net.Link.transmitted_packets link);
+  Alcotest.(check int) "bytes" 3000 (Net.Link.transmitted_bytes link)
+
+let test_link_fifo_order () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e7
+      ~delay_s:0.002 ~capacity:100 ()
+  in
+  let order = ref [] in
+  Net.Link.set_deliver link (fun p -> order := p.Net.Packet.uid :: !order);
+  for i = 1 to 20 do
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ())
+  done;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_link_loss_injection () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e7
+      ~delay_s:0.001 ~capacity:100
+      ~loss:(Net.Loss_model.periodic ~period:2) ()
+  in
+  let count = ref 0 in
+  Net.Link.set_deliver link (fun _ -> incr count);
+  for i = 1 to 10 do
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ())
+  done;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check int) "half delivered" 5 !count;
+  Alcotest.(check int) "losses counted" 5 (Net.Link.injected_losses link)
+
+let test_link_set_bandwidth () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6 ~delay_s:0.
+      ~capacity:10 ()
+  in
+  let times = ref [] in
+  Net.Link.set_deliver link (fun _ -> times := Sim.Engine.now engine :: !times);
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Sim.Engine.run_to_completion engine;
+  Net.Link.set_bandwidth link 2e6;
+  Net.Link.send link (mk_packet ~uid:2 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Sim.Engine.run_to_completion engine;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    check_float "1 Mb/s tx" 0.008 t1;
+    check_float "2 Mb/s tx" (0.008 +. 0.004) t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let line_network () =
+  (* 0 - 1 - 2 chain with duplex links. *)
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let nodes = Net.Network.add_nodes network 3 in
+  (match nodes with
+  | [ a; b; c ] ->
+    ignore
+      (Net.Network.add_duplex network ~src:a ~dst:b ~bandwidth_bps:1e7
+         ~delay_s:0.001 ~capacity:10 ());
+    ignore
+      (Net.Network.add_duplex network ~src:b ~dst:c ~bandwidth_bps:1e7
+         ~delay_s:0.001 ~capacity:10 ())
+  | _ -> assert false);
+  (engine, network, Array.of_list nodes)
+
+let test_network_forwards_route () =
+  let engine, network, nodes = line_network () in
+  let received = ref None in
+  Net.Node.attach nodes.(2) ~flow:7 (fun p ->
+      received := Some (p.Net.Packet.uid, p.Net.Packet.hops));
+  let packet =
+    Net.Packet.create ~uid:42 ~flow:7 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+      ~born:0. (Net.Packet.Raw 9)
+  in
+  Net.Network.originate network ~from:nodes.(0) packet;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check (option (pair int int))) "delivered over 2 hops"
+    (Some (42, 2))
+    !received
+
+let test_network_stranded_without_handler () =
+  let engine, network, nodes = line_network () in
+  let packet =
+    Net.Packet.create ~uid:1 ~flow:9 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+      ~born:0. (Net.Packet.Raw 0)
+  in
+  Net.Network.originate network ~from:nodes.(0) packet;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check int) "stranded counted" 1 (Net.Node.stranded nodes.(2))
+
+let test_network_detach () =
+  let engine, network, nodes = line_network () in
+  let hits = ref 0 in
+  Net.Node.attach nodes.(2) ~flow:1 (fun _ -> incr hits);
+  Net.Node.detach nodes.(2) ~flow:1;
+  let packet =
+    Net.Packet.create ~uid:1 ~flow:1 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+      ~born:0. (Net.Packet.Raw 0)
+  in
+  Net.Network.originate network ~from:nodes.(0) packet;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check int) "handler removed" 0 !hits
+
+let test_network_shortest_path () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  (* Square with a diagonal: 0-1, 1-3, 0-2, 2-3, plus 0-3 direct. *)
+  let n = Array.of_list (Net.Network.add_nodes network 4) in
+  let duplex a b =
+    ignore
+      (Net.Network.add_duplex network ~src:n.(a) ~dst:n.(b) ~bandwidth_bps:1e6
+         ~delay_s:0.001 ~capacity:5 ())
+  in
+  duplex 0 1;
+  duplex 1 3;
+  duplex 0 2;
+  duplex 2 3;
+  Alcotest.(check (option (list int)))
+    "two hops via 1"
+    (Some [ 1; 3 ])
+    (Net.Network.shortest_path network ~src:0 ~dst:3);
+  duplex 0 3;
+  Alcotest.(check (option (list int)))
+    "direct link wins"
+    (Some [ 3 ])
+    (Net.Network.shortest_path network ~src:0 ~dst:3);
+  Alcotest.(check (option (list int)))
+    "self" (Some [])
+    (Net.Network.shortest_path network ~src:0 ~dst:0)
+
+let test_network_shortest_path_unreachable () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let n = Array.of_list (Net.Network.add_nodes network 2) in
+  ignore n;
+  Alcotest.(check (option (list int)))
+    "no route" None
+    (Net.Network.shortest_path network ~src:0 ~dst:1)
+
+let test_network_duplicate_link_rejected () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let n = Array.of_list (Net.Network.add_nodes network 2) in
+  ignore
+    (Net.Network.add_link network ~src:n.(0) ~dst:n.(1) ~bandwidth_bps:1e6
+       ~delay_s:0.001 ~capacity:5 ());
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Network.add_link: duplicate link 0->1") (fun () ->
+      ignore
+        (Net.Network.add_link network ~src:n.(0) ~dst:n.(1) ~bandwidth_bps:1e6
+           ~delay_s:0.001 ~capacity:5 ()))
+
+let test_network_uids_unique () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let a = Net.Network.fresh_uid network in
+  let b = Net.Network.fresh_uid network in
+  Alcotest.(check bool) "distinct" true (a <> b)
+
+(* Per-path FIFO: packets following the same route arrive in send
+   order, no matter the congestion — reordering can only come from path
+   diversity. *)
+let per_path_fifo_prop =
+  QCheck.Test.make ~name:"per-path FIFO delivery" ~count:50
+    QCheck.(int_range 2 60)
+    (fun count ->
+      let engine, network, nodes = line_network () in
+      let order = ref [] in
+      Net.Node.attach nodes.(2) ~flow:0 (fun p ->
+          order := p.Net.Packet.uid :: !order);
+      for i = 1 to count do
+        let packet =
+          Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:2 ~size:200
+            ~route:[ 1; 2 ] ~born:0. (Net.Packet.Raw 0)
+        in
+        Net.Network.originate network ~from:nodes.(0) packet
+      done;
+      Sim.Engine.run_to_completion engine;
+      let delivered = List.rev !order in
+      delivered = List.sort compare delivered)
+
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer_records_lifecycle () =
+  let engine, network, nodes = line_network () in
+  let tracer = Net.Tracer.attach network in
+  Net.Node.attach nodes.(2) ~flow:0 (fun _ -> ());
+  let packet =
+    Net.Packet.create ~uid:7 ~flow:0 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+      ~born:0. (Net.Packet.Raw 0)
+  in
+  Net.Network.originate network ~from:nodes.(0) packet;
+  Sim.Engine.run_to_completion engine;
+  (* Two hops: transmit + deliver on each link. *)
+  let kinds =
+    List.map (fun r -> r.Net.Tracer.kind) (Net.Tracer.records tracer)
+  in
+  Alcotest.(check int) "four events" 4 (List.length kinds);
+  Alcotest.(check bool) "starts with transmission" true
+    (List.nth_opt kinds 0 = Some Net.Link.Transmit_start);
+  Alcotest.(check bool) "ends with delivery" true
+    (List.nth_opt kinds 3 = Some Net.Link.Delivered)
+
+let test_tracer_records_queue_drop () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let a = Net.Network.add_node network in
+  let b = Net.Network.add_node network in
+  ignore
+    (Net.Network.add_link network ~src:a ~dst:b ~bandwidth_bps:1e5
+       ~delay_s:0.001 ~capacity:1 ());
+  let tracer = Net.Tracer.attach network in
+  Net.Node.attach b ~flow:0 (fun _ -> ());
+  for i = 1 to 5 do
+    let packet =
+      Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:500 ~route:[ 1 ]
+        ~born:0. (Net.Packet.Raw 0)
+    in
+    Net.Network.originate network ~from:a packet
+  done;
+  Sim.Engine.run_to_completion engine;
+  let count kind =
+    List.length
+      (List.filter
+         (fun r -> r.Net.Tracer.kind = kind)
+         (Net.Tracer.records tracer))
+  in
+  Alcotest.(check int) "drops recorded" 3 (count Net.Link.Queue_dropped);
+  Alcotest.(check int) "buffering recorded" 1 (count Net.Link.Queued);
+  Alcotest.(check int) "deliveries recorded" 2 (count Net.Link.Delivered)
+
+let test_tracer_flow_filter_and_capacity () =
+  let engine, network, nodes = line_network () in
+  let tracer = Net.Tracer.attach ~flow:1 ~capacity:3 network in
+  Net.Node.attach nodes.(2) ~flow:0 (fun _ -> ());
+  Net.Node.attach nodes.(2) ~flow:1 (fun _ -> ());
+  for i = 1 to 4 do
+    let flow = i mod 2 in
+    let packet =
+      Net.Packet.create ~uid:i ~flow ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+        ~born:0. (Net.Packet.Raw 0)
+    in
+    Net.Network.originate network ~from:nodes.(0) packet
+  done;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check bool) "only flow 1 recorded" true
+    (List.for_all
+       (fun r -> r.Net.Tracer.flow = 1)
+       (Net.Tracer.records tracer));
+  Alcotest.(check int) "capped at capacity" 3 (Net.Tracer.length tracer);
+  Alcotest.(check bool) "overflow counted" true (Net.Tracer.dropped tracer > 0)
+
+let test_tracer_renders () =
+  let engine, network, nodes = line_network () in
+  let tracer = Net.Tracer.attach network in
+  Net.Node.attach nodes.(2) ~flow:0 (fun _ -> ());
+  let packet =
+    Net.Packet.create ~uid:1 ~flow:0 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+      ~born:0. (Net.Packet.Raw 0)
+  in
+  Net.Network.originate network ~from:nodes.(0) packet;
+  Sim.Engine.run_to_completion engine;
+  let rendered = Net.Tracer.to_string tracer in
+  Alcotest.(check bool) "has transmit lines" true
+    (String.length rendered > 0 && rendered.[0] = '+')
+
+let () =
+  Alcotest.run "net"
+    [ ( "drop-tail",
+        [ Alcotest.test_case "fifo" `Quick test_drop_tail_fifo;
+          Alcotest.test_case "overflow" `Quick test_drop_tail_overflow;
+          QCheck_alcotest.to_alcotest ~long:false drop_tail_prop ] );
+      ( "loss-model",
+        [ Alcotest.test_case "perfect" `Quick test_loss_perfect;
+          Alcotest.test_case "periodic" `Quick test_loss_periodic;
+          Alcotest.test_case "bernoulli rate" `Quick test_loss_bernoulli_rate;
+          Alcotest.test_case "custom" `Quick test_loss_custom ] );
+      ( "link",
+        [ Alcotest.test_case "timing" `Quick test_link_timing;
+          Alcotest.test_case "serialises" `Quick test_link_serialises;
+          Alcotest.test_case "queue overflow" `Quick
+            test_link_queue_overflow_drops;
+          Alcotest.test_case "fifo order" `Quick test_link_fifo_order;
+          Alcotest.test_case "loss injection" `Quick test_link_loss_injection;
+          Alcotest.test_case "set bandwidth" `Quick test_link_set_bandwidth ] );
+      ( "network",
+        [ Alcotest.test_case "forwards route" `Quick test_network_forwards_route;
+          Alcotest.test_case "stranded" `Quick
+            test_network_stranded_without_handler;
+          Alcotest.test_case "detach" `Quick test_network_detach;
+          Alcotest.test_case "shortest path" `Quick test_network_shortest_path;
+          Alcotest.test_case "unreachable" `Quick
+            test_network_shortest_path_unreachable;
+          Alcotest.test_case "duplicate link" `Quick
+            test_network_duplicate_link_rejected;
+          Alcotest.test_case "unique uids" `Quick test_network_uids_unique;
+          QCheck_alcotest.to_alcotest ~long:false per_path_fifo_prop ] );
+      ( "tracer",
+        [ Alcotest.test_case "records lifecycle" `Quick
+            test_tracer_records_lifecycle;
+          Alcotest.test_case "records queue drop" `Quick
+            test_tracer_records_queue_drop;
+          Alcotest.test_case "flow filter and capacity" `Quick
+            test_tracer_flow_filter_and_capacity;
+          Alcotest.test_case "renders" `Quick test_tracer_renders ] ) ]

@@ -1,0 +1,286 @@
+(* Tests for the SACK engine: scoreboard loss detection, pipe-governed
+   transmission, DSACK spurious-retransmission responses (the
+   Blanton-Allman policies), and the TD-FR delayed trigger. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let sends actions =
+  List.filter_map
+    (function Tcp.Action.Send { seq; retx } -> Some (seq, retx) | _ -> None)
+    actions
+
+let retransmissions actions =
+  List.filter_map (fun (seq, retx) -> if retx then Some seq else None)
+    (sends actions)
+
+let new_sends actions =
+  List.filter_map (fun (seq, retx) -> if retx then None else Some seq)
+    (sends actions)
+
+let timer_sets actions =
+  List.filter_map
+    (function
+      | Tcp.Action.Set_timer { key; delay } -> Some (key, delay) | _ -> None)
+    actions
+
+let timer_cancels actions =
+  List.filter_map
+    (function Tcp.Action.Cancel_timer { key } -> Some key | _ -> None)
+    actions
+
+let ack ?(sacks = []) ?dsack ~next ~for_seq () =
+  let block (first, last) = { Tcp.Types.first; last } in
+  { Tcp.Types.next;
+    sacks = List.map block sacks;
+    dsack = Option.map block dsack;
+    for_seq;
+    for_retx = false;
+    serial = 0 }
+
+let make ?(response = Tcp.Sack_core.plain_sack)
+    ?(trigger = Tcp.Sack_core.Immediate) ?(cwnd = 8.) () =
+  let config = { Tcp.Config.default with Tcp.Config.initial_cwnd = cwnd } in
+  let t = Tcp.Sack_core.create ~response ~trigger config in
+  ignore (Tcp.Sack_core.start t ~now:0.);
+  t
+
+(* Standard opening: a window is in flight, segment [base] is lost, the
+   next three segments arrive and produce SACK-bearing duplicates.
+   Returns the actions of the third duplicate. *)
+let three_dups ?(base = 0) t =
+  let dup i =
+    Tcp.Sack_core.on_ack t ~now:(0.1 +. (0.01 *. float_of_int i))
+      (ack ~next:base ~for_seq:(base + i) ~sacks:[ (base + 1, base + i) ] ())
+  in
+  ignore (dup 1);
+  ignore (dup 2);
+  dup 3
+
+let test_sack_loss_detection_and_retransmit () =
+  let t = make () in
+  let a3 = three_dups t in
+  Alcotest.(check (list int)) "retransmits the hole" [ 0 ] (retransmissions a3);
+  Alcotest.(check bool) "in recovery" true (Tcp.Sack_core.in_recovery t);
+  check_float "halved" 4. (Tcp.Sack_core.cwnd t)
+
+let test_sack_no_retransmit_before_dupthresh () =
+  let t = make () in
+  let a =
+    Tcp.Sack_core.on_ack t ~now:0.1
+      (ack ~next:0 ~for_seq:1 ~sacks:[ (1, 1) ] ())
+  in
+  Alcotest.(check (list int)) "no retx after one sack" [] (retransmissions a);
+  let a =
+    Tcp.Sack_core.on_ack t ~now:0.11
+      (ack ~next:0 ~for_seq:2 ~sacks:[ (1, 2) ] ())
+  in
+  Alcotest.(check (list int)) "no retx after two" [] (retransmissions a)
+
+let test_sack_pipe_accounting () =
+  let t = make () in
+  ignore (three_dups t);
+  (* Flight is 10 (0..7 plus two limited-transmit segments), 3 SACKed,
+     the lost segment retransmitted and back in flight: pipe = 7. It
+     legitimately exceeds the halved window right after the reduction
+     and decays as further SACKs arrive. *)
+  Alcotest.(check int) "pipe" 7 (Tcp.Sack_core.pipe t)
+
+let test_sack_extended_limited_transmit () =
+  (* SACKed arrivals shrink the pipe, releasing new data before any
+     loss is declared. *)
+  let t = make ~cwnd:4. () in
+  let a =
+    Tcp.Sack_core.on_ack t ~now:0.1
+      (ack ~next:0 ~for_seq:1 ~sacks:[ (1, 1) ] ())
+  in
+  Alcotest.(check (list int)) "one new segment" [ 4 ] (new_sends a)
+
+let test_sack_recovery_exit_restores_growth () =
+  let t = make () in
+  ignore (three_dups t);
+  (* Cumulative covering everything outstanding exits recovery. *)
+  ignore (Tcp.Sack_core.on_ack t ~now:0.2 (ack ~next:20 ~for_seq:0 ()));
+  Alcotest.(check bool) "left recovery" false (Tcp.Sack_core.in_recovery t);
+  let before = Tcp.Sack_core.cwnd t in
+  ignore (Tcp.Sack_core.on_ack t ~now:0.3 (ack ~next:21 ~for_seq:20 ()));
+  Alcotest.(check bool) "window grows again" true (Tcp.Sack_core.cwnd t > before)
+
+let test_sack_rto_marks_lost_and_slow_starts () =
+  let t = make () in
+  let actions = Tcp.Sack_core.on_timer t ~now:3. ~key:0 in
+  check_float "cwnd 1" 1. (Tcp.Sack_core.cwnd t);
+  Alcotest.(check (list int)) "retransmits first hole" [ 0 ]
+    (retransmissions actions);
+  Alcotest.(check bool) "timer re-armed" true
+    (List.mem_assoc 0 (timer_sets actions))
+
+let test_sack_max_burst_cap () =
+  let t = make ~cwnd:64. () in
+  (* A cumulative jump opens a huge window at once; at most 4 segments
+     may leave per event. *)
+  let a = Tcp.Sack_core.on_ack t ~now:0.1 (ack ~next:8 ~for_seq:7 ()) in
+  Alcotest.(check bool) "burst capped" true (List.length (new_sends a) <= 4)
+
+let test_sack_dupack_does_not_restart_rto () =
+  let t = make () in
+  let a =
+    Tcp.Sack_core.on_ack t ~now:0.1
+      (ack ~next:0 ~for_seq:1 ~sacks:[ (1, 1) ] ())
+  in
+  Alcotest.(check bool) "no rto restart on dup" false
+    (List.mem_assoc 0 (timer_sets a));
+  let a = Tcp.Sack_core.on_ack t ~now:0.2 (ack ~next:1 ~for_seq:0 ()) in
+  Alcotest.(check bool) "advance restarts rto" true
+    (List.mem_assoc 0 (timer_sets a))
+
+(* --- DSACK responses ------------------------------------------------ *)
+
+(* Force a spurious fast retransmission of seq 0 (it was merely
+   reordered), then deliver the DSACK that reveals it. *)
+let spurious_episode ?(response = Tcp.Sack_core.inc_by_1) () =
+  let t = make ~response () in
+  ignore (three_dups t);
+  (* Late original arrives: cumulative jumps to 4. *)
+  ignore (Tcp.Sack_core.on_ack t ~now:0.2 (ack ~next:4 ~for_seq:0 ()));
+  (* The retransmission lands as a duplicate: DSACK for 0. *)
+  ignore
+    (Tcp.Sack_core.on_ack t ~now:0.21 (ack ~next:4 ~for_seq:0 ~dsack:(0, 0) ()));
+  t
+
+let test_dsack_detects_spurious () =
+  let t = spurious_episode () in
+  let metric name = List.assoc name (Tcp.Sack_core.metrics t) in
+  check_float "one spurious detected" 1. (metric "spurious_detected")
+
+let test_dsack_restores_window () =
+  let t = spurious_episode ~response:Tcp.Sack_core.dsack_nm () in
+  (* dupthresh unchanged for DSACK-NM... *)
+  Alcotest.(check int) "dupthresh static" 3 (Tcp.Sack_core.dupthresh t);
+  (* ...but ssthresh was restored to the pre-retransmit cwnd (8), so
+     once recovery ends slow start climbs back: growth is +1 per ack,
+     not +1/cwnd. *)
+  ignore (Tcp.Sack_core.on_ack t ~now:0.3 (ack ~next:20 ~for_seq:9 ()));
+  let before = Tcp.Sack_core.cwnd t in
+  ignore (Tcp.Sack_core.on_ack t ~now:0.31 (ack ~next:21 ~for_seq:20 ()));
+  Alcotest.(check bool) "slow-start growth (+1)" true
+    (Tcp.Sack_core.cwnd t >= before +. 0.99)
+
+let test_dsack_plain_sack_ignores () =
+  let t = spurious_episode ~response:Tcp.Sack_core.plain_sack () in
+  let metric name = List.assoc name (Tcp.Sack_core.metrics t) in
+  check_float "nothing detected" 0. (metric "spurious_detected");
+  Alcotest.(check int) "dupthresh untouched" 3 (Tcp.Sack_core.dupthresh t)
+
+let test_dsack_inc_by_1 () =
+  let t = spurious_episode ~response:Tcp.Sack_core.inc_by_1 () in
+  Alcotest.(check int) "dupthresh incremented" 4 (Tcp.Sack_core.dupthresh t)
+
+let test_dsack_inc_by_n_averages () =
+  let t = make ~response:Tcp.Sack_core.inc_by_n ~cwnd:16. () in
+  (* Seven duplicate ACKs before the late original arrives. *)
+  for i = 1 to 7 do
+    ignore
+      (Tcp.Sack_core.on_ack t ~now:(0.1 +. (0.01 *. float_of_int i))
+         (ack ~next:0 ~for_seq:i ~sacks:[ (1, i) ] ()))
+  done;
+  ignore (Tcp.Sack_core.on_ack t ~now:0.2 (ack ~next:8 ~for_seq:0 ()));
+  ignore
+    (Tcp.Sack_core.on_ack t ~now:0.21 (ack ~next:8 ~for_seq:0 ~dsack:(0, 0) ()));
+  (* avg(3, 7) = 5. *)
+  Alcotest.(check int) "averaged" 5 (Tcp.Sack_core.dupthresh t)
+
+let test_dsack_ewma_stays_at_stable_observation () =
+  let t = spurious_episode ~response:Tcp.Sack_core.ewma () in
+  (* EWMA starts at 3 and the observation is 3: stays 3. *)
+  Alcotest.(check int) "stable at observation" 3 (Tcp.Sack_core.dupthresh t)
+
+let test_higher_dupthresh_tolerates_reordering () =
+  let t = make ~response:Tcp.Sack_core.inc_by_1 ~cwnd:16. () in
+  (* First spurious event raises dupthresh to 4... *)
+  ignore (three_dups t);
+  ignore (Tcp.Sack_core.on_ack t ~now:0.2 (ack ~next:4 ~for_seq:0 ()));
+  ignore
+    (Tcp.Sack_core.on_ack t ~now:0.21 (ack ~next:4 ~for_seq:0 ~dsack:(0, 0) ()));
+  Alcotest.(check int) "dupthresh 4" 4 (Tcp.Sack_core.dupthresh t);
+  (* ...so the same 3-duplicate reordering pattern no longer triggers a
+     retransmission. *)
+  let a3 = three_dups ~base:4 t in
+  Alcotest.(check (list int)) "tolerated" [] (retransmissions a3)
+
+(* --- TD-FR ----------------------------------------------------------- *)
+
+let test_td_fr_delays_retransmission () =
+  let t = make ~trigger:Tcp.Sack_core.Time_delayed () in
+  let a3 = three_dups t in
+  Alcotest.(check (list int)) "no immediate retx" [] (retransmissions a3);
+  Alcotest.(check bool) "not yet in recovery" false
+    (Tcp.Sack_core.in_recovery t)
+
+let test_td_fr_fires_and_retransmits () =
+  let t = make ~trigger:Tcp.Sack_core.Time_delayed () in
+  ignore (three_dups t);
+  let a = Tcp.Sack_core.on_timer t ~now:2. ~key:1 in
+  Alcotest.(check (list int)) "retransmits after delay" [ 0 ]
+    (retransmissions a);
+  Alcotest.(check bool) "entered recovery" true (Tcp.Sack_core.in_recovery t)
+
+let test_td_fr_cancelled_by_reordering () =
+  let t = make ~trigger:Tcp.Sack_core.Time_delayed () in
+  ignore (three_dups t);
+  (* The "lost" packet arrives before the delay expires: cumulative
+     covers it and the wait is cancelled. *)
+  let a = Tcp.Sack_core.on_ack t ~now:0.15 (ack ~next:4 ~for_seq:0 ()) in
+  Alcotest.(check (list int)) "delay cancelled" [ 1 ] (timer_cancels a);
+  let late = Tcp.Sack_core.on_timer t ~now:2. ~key:1 in
+  Alcotest.(check (list int)) "a stale firing does nothing" []
+    (retransmissions late);
+  Alcotest.(check bool) "never entered recovery" false
+    (Tcp.Sack_core.in_recovery t)
+
+let test_td_fr_window_survives_reordering () =
+  let t = make ~trigger:Tcp.Sack_core.Time_delayed () in
+  ignore (three_dups t);
+  ignore (Tcp.Sack_core.on_ack t ~now:0.15 (ack ~next:4 ~for_seq:0 ()));
+  (* Reordering resolved without recovery: the window was never
+     halved. *)
+  Alcotest.(check bool) "window not reduced" true (Tcp.Sack_core.cwnd t >= 8.)
+
+let () =
+  Alcotest.run "sack"
+    [ ( "scoreboard",
+        [ Alcotest.test_case "loss detection" `Quick
+            test_sack_loss_detection_and_retransmit;
+          Alcotest.test_case "below dupthresh" `Quick
+            test_sack_no_retransmit_before_dupthresh;
+          Alcotest.test_case "pipe accounting" `Quick test_sack_pipe_accounting;
+          Alcotest.test_case "extended limited transmit" `Quick
+            test_sack_extended_limited_transmit;
+          Alcotest.test_case "recovery exit" `Quick
+            test_sack_recovery_exit_restores_growth;
+          Alcotest.test_case "rto" `Quick
+            test_sack_rto_marks_lost_and_slow_starts;
+          Alcotest.test_case "max burst" `Quick test_sack_max_burst_cap;
+          Alcotest.test_case "dupack keeps rto" `Quick
+            test_sack_dupack_does_not_restart_rto ] );
+      ( "dsack-responses",
+        [ Alcotest.test_case "detects spurious" `Quick
+            test_dsack_detects_spurious;
+          Alcotest.test_case "restores window" `Quick test_dsack_restores_window;
+          Alcotest.test_case "plain sack ignores" `Quick
+            test_dsack_plain_sack_ignores;
+          Alcotest.test_case "inc by 1" `Quick test_dsack_inc_by_1;
+          Alcotest.test_case "inc by n averages" `Quick
+            test_dsack_inc_by_n_averages;
+          Alcotest.test_case "ewma" `Quick
+            test_dsack_ewma_stays_at_stable_observation;
+          Alcotest.test_case "tolerates reordering after adapt" `Quick
+            test_higher_dupthresh_tolerates_reordering ] );
+      ( "td-fr",
+        [ Alcotest.test_case "delays retransmission" `Quick
+            test_td_fr_delays_retransmission;
+          Alcotest.test_case "fires and retransmits" `Quick
+            test_td_fr_fires_and_retransmits;
+          Alcotest.test_case "cancelled by reordering" `Quick
+            test_td_fr_cancelled_by_reordering;
+          Alcotest.test_case "window survives reordering" `Quick
+            test_td_fr_window_survives_reordering ] ) ]

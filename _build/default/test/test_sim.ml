@@ -1,0 +1,319 @@
+(* Tests for the simulation substrate: Rng, Event_queue, Engine, Trace. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 7 in
+  let b = Sim.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Sim.Rng.create 7 in
+  let b = Sim.Rng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.bits64 a <> Sim.Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_split_deterministic () =
+  let mk () = Sim.Rng.split (Sim.Rng.create 7) "flows" in
+  let a = mk () and b = mk () in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same child" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_split_label_matters () =
+  let parent = Sim.Rng.create 7 in
+  let a = Sim.Rng.split parent "x" in
+  let parent2 = Sim.Rng.create 7 in
+  let b = Sim.Rng.split parent2 "y" in
+  Alcotest.(check bool)
+    "labels give different streams" true
+    (Sim.Rng.bits64 a <> Sim.Rng.bits64 b)
+
+let test_rng_copy_independent () =
+  let a = Sim.Rng.create 3 in
+  let b = Sim.Rng.copy a in
+  let x = Sim.Rng.bits64 a in
+  let y = Sim.Rng.bits64 b in
+  Alcotest.(check int64) "copy starts at same state" x y
+
+let test_rng_float_mean () =
+  let rng = Sim.Rng.create 11 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Sim.Rng.float rng
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Sim.Rng.create 13 in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Sim.Rng.exponential rng ~mean:2.5
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 2.5" true (abs_float (mean -. 2.5) < 0.1)
+
+let test_rng_choose_weighted () =
+  let rng = Sim.Rng.create 17 in
+  let counts = [| 0; 0; 0 |] in
+  let weights = [| 0.7; 0.2; 0.1 |] in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let i = Sim.Rng.choose rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i w ->
+      let observed = float_of_int counts.(i) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "weight %d respected" i)
+        true
+        (abs_float (observed -. w) < 0.02))
+    weights
+
+let test_rng_shuffle_permutation () =
+  let rng = Sim.Rng.create 19 in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let rng_props =
+  [ QCheck.Test.make ~name:"float in [0,1)" ~count:1000
+      QCheck.(pair small_int unit)
+      (fun (seed, ()) ->
+        let rng = Sim.Rng.create seed in
+        let x = Sim.Rng.float rng in
+        x >= 0. && x < 1.);
+    QCheck.Test.make ~name:"int below bound" ~count:1000
+      QCheck.(pair small_int (int_range 1 1_000_000))
+      (fun (seed, bound) ->
+        let rng = Sim.Rng.create seed in
+        let x = Sim.Rng.int rng bound in
+        x >= 0 && x < bound) ]
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let drain queue =
+  let rec loop acc =
+    match Sim.Event_queue.pop queue with
+    | None -> List.rev acc
+    | Some (time, payload) -> loop ((time, payload) :: acc)
+  in
+  loop []
+
+let test_queue_orders_by_time () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.push q ~time:3. "c");
+  ignore (Sim.Event_queue.push q ~time:1. "a");
+  ignore (Sim.Event_queue.push q ~time:2. "b");
+  Alcotest.(check (list (pair (float 0.) string)))
+    "sorted" [ (1., "a"); (2., "b"); (3., "c") ] (drain q)
+
+let test_queue_fifo_on_ties () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.push q ~time:1. "first");
+  ignore (Sim.Event_queue.push q ~time:1. "second");
+  ignore (Sim.Event_queue.push q ~time:1. "third");
+  Alcotest.(check (list string))
+    "insertion order" [ "first"; "second"; "third" ]
+    (List.map snd (drain q))
+
+let test_queue_cancel () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.push q ~time:1. "keep1");
+  let id = Sim.Event_queue.push q ~time:2. "drop" in
+  ignore (Sim.Event_queue.push q ~time:3. "keep2");
+  Sim.Event_queue.cancel q id;
+  Alcotest.(check int) "length excludes cancelled" 2 (Sim.Event_queue.length q);
+  Alcotest.(check (list string))
+    "cancelled skipped" [ "keep1"; "keep2" ]
+    (List.map snd (drain q))
+
+let test_queue_cancel_after_pop_is_noop () =
+  let q = Sim.Event_queue.create () in
+  let id = Sim.Event_queue.push q ~time:1. "x" in
+  ignore (Sim.Event_queue.pop q);
+  Sim.Event_queue.cancel q id;
+  ignore (Sim.Event_queue.push q ~time:2. "y");
+  Alcotest.(check int) "length intact" 1 (Sim.Event_queue.length q)
+
+let test_queue_peek () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.(check (option (float 0.))) "empty" None (Sim.Event_queue.peek_time q);
+  let id = Sim.Event_queue.push q ~time:5. "x" in
+  ignore (Sim.Event_queue.push q ~time:7. "y");
+  Alcotest.(check (option (float 0.)))
+    "earliest" (Some 5.) (Sim.Event_queue.peek_time q);
+  Sim.Event_queue.cancel q id;
+  Alcotest.(check (option (float 0.)))
+    "skips cancelled" (Some 7.) (Sim.Event_queue.peek_time q)
+
+let queue_props =
+  [ QCheck.Test.make ~name:"pop returns times sorted" ~count:300
+      QCheck.(list (float_bound_exclusive 1000.))
+      (fun times ->
+        let q = Sim.Event_queue.create () in
+        List.iter (fun t -> ignore (Sim.Event_queue.push q ~time:t ())) times;
+        let popped = List.map fst (drain q) in
+        popped = List.sort compare popped);
+    QCheck.Test.make ~name:"length = pushes - pops - cancels" ~count:300
+      QCheck.(list (pair (float_bound_exclusive 100.) bool))
+      (fun entries ->
+        let q = Sim.Event_queue.create () in
+        let cancelled = ref 0 in
+        List.iter
+          (fun (t, cancel) ->
+            let id = Sim.Event_queue.push q ~time:t () in
+            if cancel then begin
+              Sim.Event_queue.cancel q id;
+              incr cancelled
+            end)
+          entries;
+        Sim.Event_queue.length q = List.length entries - !cancelled) ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_runs_in_order () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let note label () = log := label :: !log in
+  ignore (Sim.Engine.schedule_at engine ~time:2. (note "b"));
+  ignore (Sim.Engine.schedule_at engine ~time:1. (note "a"));
+  ignore (Sim.Engine.schedule_at engine ~time:3. (note "c"));
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let engine = Sim.Engine.create () in
+  let seen = ref [] in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:1.5 (fun () ->
+         seen := Sim.Engine.now engine :: !seen));
+  ignore
+    (Sim.Engine.schedule_after engine ~delay:0.5 (fun () ->
+         seen := Sim.Engine.now engine :: !seen));
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check (list (float 1e-12))) "clock at event times" [ 1.5; 0.5 ]
+    !seen
+
+let test_engine_run_until () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule_at engine ~time:1. (fun () -> incr fired));
+  ignore (Sim.Engine.schedule_at engine ~time:5. (fun () -> incr fired));
+  Sim.Engine.run engine ~until:2.;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock at until" 2. (Sim.Engine.now engine);
+  Sim.Engine.run engine ~until:10.;
+  Alcotest.(check int) "second fired" 2 !fired
+
+let test_engine_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref false in
+  let id = Sim.Engine.schedule_at engine ~time:1. (fun () -> fired := true) in
+  Sim.Engine.cancel engine id;
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check bool) "not fired" false !fired
+
+let test_engine_rejects_past () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_at engine ~time:5. (fun () -> ()));
+  Sim.Engine.run_to_completion engine;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule_at: time 1 is before now 5") (fun () ->
+      ignore (Sim.Engine.schedule_at engine ~time:1. (fun () -> ())))
+
+let test_engine_nested_scheduling () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:1. (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.Engine.schedule_after engine ~delay:1. (fun () ->
+                log := "inner" :: !log))));
+  Sim.Engine.run_to_completion engine;
+  Alcotest.(check (list string)) "nested order" [ "outer"; "inner" ]
+    (List.rev !log);
+  check_float "final clock" 2. (Sim.Engine.now engine)
+
+let test_engine_pending () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_at engine ~time:1. (fun () -> ()));
+  ignore (Sim.Engine.schedule_at engine ~time:2. (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.Engine.pending engine);
+  Sim.Engine.run engine ~until:1.5;
+  Alcotest.(check int) "one pending" 1 (Sim.Engine.pending engine)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_counters () =
+  let trace = Sim.Trace.create () in
+  Sim.Trace.incr trace "drops";
+  Sim.Trace.incr trace "drops";
+  Sim.Trace.add trace "bytes" 1500.;
+  check_float "incr accumulates" 2. (Sim.Trace.get trace "drops");
+  check_float "add accumulates" 1500. (Sim.Trace.get trace "bytes");
+  check_float "missing is zero" 0. (Sim.Trace.get trace "nope");
+  Alcotest.(check (list (pair string (float 0.))))
+    "sorted listing"
+    [ ("bytes", 1500.); ("drops", 2.) ]
+    (Sim.Trace.to_list trace);
+  Sim.Trace.reset trace;
+  check_float "reset" 0. (Sim.Trace.get trace "drops")
+
+let () =
+  Alcotest.run "sim"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick
+            test_rng_seed_changes_stream;
+          Alcotest.test_case "split deterministic" `Quick
+            test_rng_split_deterministic;
+          Alcotest.test_case "split label matters" `Quick
+            test_rng_split_label_matters;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "choose weighted" `Quick test_rng_choose_weighted;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) rng_props );
+      ( "event-queue",
+        [ Alcotest.test_case "orders by time" `Quick test_queue_orders_by_time;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_on_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "cancel after pop" `Quick
+            test_queue_cancel_after_pop_is_noop;
+          Alcotest.test_case "peek" `Quick test_queue_peek ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) queue_props );
+      ( "engine",
+        [ Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "pending" `Quick test_engine_pending ] );
+      ("trace", [ Alcotest.test_case "counters" `Quick test_trace_counters ]) ]

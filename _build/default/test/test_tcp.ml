@@ -1,0 +1,420 @@
+(* Tests for the TCP framework: Intervals, Rto, Receiver, and the
+   NewReno sender driven as a pure state machine. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let sends actions =
+  List.filter_map
+    (function Tcp.Action.Send { seq; retx } -> Some (seq, retx) | _ -> None)
+    actions
+
+let new_sends actions =
+  List.filter_map (fun (seq, retx) -> if retx then None else Some seq)
+    (sends actions)
+
+let retransmissions actions =
+  List.filter_map (fun (seq, retx) -> if retx then Some seq else None)
+    (sends actions)
+
+let timer_keys actions =
+  List.filter_map
+    (function Tcp.Action.Set_timer { key; _ } -> Some key | _ -> None)
+    actions
+
+let ack ?(sacks = []) ?dsack ~next ~for_seq () =
+  let block (first, last) = { Tcp.Types.first; last } in
+  { Tcp.Types.next;
+    sacks = List.map block sacks;
+    dsack = Option.map block dsack;
+    for_seq;
+    for_retx = false;
+    serial = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let intervals_of points =
+  List.fold_left Tcp.Intervals.add Tcp.Intervals.empty points
+
+let test_intervals_merge () =
+  let t = intervals_of [ 1; 3; 2 ] in
+  Alcotest.(check (list (pair int int))) "coalesced" [ (1, 3) ]
+    (Tcp.Intervals.to_list t)
+
+let test_intervals_disjoint () =
+  let t = intervals_of [ 1; 5; 3 ] in
+  Alcotest.(check (list (pair int int)))
+    "three singletons"
+    [ (1, 1); (3, 3); (5, 5) ]
+    (Tcp.Intervals.to_list t)
+
+let test_intervals_add_range_overlap () =
+  let t = Tcp.Intervals.add_range Tcp.Intervals.empty ~first:1 ~last:3 in
+  let t = Tcp.Intervals.add_range t ~first:6 ~last:8 in
+  let t = Tcp.Intervals.add_range t ~first:2 ~last:7 in
+  Alcotest.(check (list (pair int int))) "merged all" [ (1, 8) ]
+    (Tcp.Intervals.to_list t)
+
+let test_intervals_remove_below () =
+  let t = Tcp.Intervals.add_range Tcp.Intervals.empty ~first:1 ~last:10 in
+  let t = Tcp.Intervals.remove_below t 5 in
+  Alcotest.(check (list (pair int int))) "truncated" [ (5, 10) ]
+    (Tcp.Intervals.to_list t)
+
+let test_intervals_remove_range () =
+  let t = Tcp.Intervals.add_range Tcp.Intervals.empty ~first:1 ~last:10 in
+  let t = Tcp.Intervals.remove_range t ~first:4 ~last:6 in
+  Alcotest.(check (list (pair int int)))
+    "split"
+    [ (1, 3); (7, 10) ]
+    (Tcp.Intervals.to_list t)
+
+let test_intervals_counts () =
+  let t = intervals_of [ 1; 2; 3; 7; 9; 10 ] in
+  Alcotest.(check int) "cardinal" 6 (Tcp.Intervals.cardinal t);
+  Alcotest.(check int) "above 3" 3 (Tcp.Intervals.count_above t 3);
+  Alcotest.(check int) "above 0" 6 (Tcp.Intervals.count_above t 0);
+  Alcotest.(check int) "above 10" 0 (Tcp.Intervals.count_above t 10);
+  Alcotest.(check (option int)) "min" (Some 1) (Tcp.Intervals.min_elt t);
+  Alcotest.(check (option int)) "max" (Some 10) (Tcp.Intervals.max_elt t)
+
+let test_intervals_containing () =
+  let t = intervals_of [ 1; 2; 3; 7 ] in
+  Alcotest.(check (option (pair int int)))
+    "inside"
+    (Some (1, 3))
+    (Tcp.Intervals.containing t 2);
+  Alcotest.(check (option (pair int int)))
+    "outside" None
+    (Tcp.Intervals.containing t 5)
+
+module Int_set = Set.Make (Int)
+
+let intervals_model_prop =
+  (* Against a naive set model: membership, cardinality, invariant. *)
+  QCheck.Test.make ~name:"intervals agree with set model" ~count:500
+    QCheck.(list (int_range 0 60))
+    (fun points ->
+      let t = intervals_of points in
+      let model = Int_set.of_list points in
+      Tcp.Intervals.invariant t
+      && Tcp.Intervals.cardinal t = Int_set.cardinal model
+      && List.for_all
+           (fun x -> Tcp.Intervals.mem t x = Int_set.mem x model)
+           (List.init 62 Fun.id))
+
+let intervals_remove_prop =
+  QCheck.Test.make ~name:"remove_range agrees with set model" ~count:500
+    QCheck.(triple (list (int_range 0 40)) (int_range 0 40) (int_range 0 40))
+    (fun (points, a, b) ->
+      let first = min a b and last = max a b in
+      let t = Tcp.Intervals.remove_range (intervals_of points) ~first ~last in
+      let model =
+        Int_set.filter (fun x -> x < first || x > last) (Int_set.of_list points)
+      in
+      Tcp.Intervals.invariant t
+      && Tcp.Intervals.cardinal t = Int_set.cardinal model
+      && List.for_all
+           (fun x -> Tcp.Intervals.mem t x = Int_set.mem x model)
+           (List.init 42 Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Rto                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rto_config = { Tcp.Config.default with Tcp.Config.min_rto = 0.2 }
+
+let test_rto_initial () =
+  let rto = Tcp.Rto.create Tcp.Config.default in
+  check_float "initial 3 s" 3. (Tcp.Rto.current rto);
+  Alcotest.(check (option (float 0.))) "no srtt" None (Tcp.Rto.srtt rto)
+
+let test_rto_first_sample () =
+  let rto = Tcp.Rto.create rto_config in
+  Tcp.Rto.sample rto 0.1;
+  Alcotest.(check (option (float 1e-9))) "srtt = rtt" (Some 0.1)
+    (Tcp.Rto.srtt rto);
+  Alcotest.(check (option (float 1e-9)))
+    "rttvar = rtt/2" (Some 0.05) (Tcp.Rto.rttvar rto);
+  (* srtt + 4 * rttvar = 0.3, above the 0.2 floor. *)
+  check_float "rto" 0.3 (Tcp.Rto.current rto)
+
+let test_rto_converges () =
+  let rto = Tcp.Rto.create rto_config in
+  for _ = 1 to 200 do
+    Tcp.Rto.sample rto 0.1
+  done;
+  (match Tcp.Rto.srtt rto with
+  | Some srtt -> check_float "srtt converges" 0.1 srtt
+  | None -> Alcotest.fail "expected srtt");
+  (* With constant samples rttvar decays to zero; the floor holds. *)
+  check_float "rto at floor" 0.2 (Tcp.Rto.current rto)
+
+let test_rto_backoff () =
+  let rto = Tcp.Rto.create rto_config in
+  Tcp.Rto.sample rto 0.1;
+  let base = Tcp.Rto.current rto in
+  Tcp.Rto.backoff rto;
+  check_float "doubled" (2. *. base) (Tcp.Rto.current rto);
+  Tcp.Rto.backoff rto;
+  check_float "doubled again" (4. *. base) (Tcp.Rto.current rto);
+  Tcp.Rto.reset_backoff rto;
+  check_float "reset" base (Tcp.Rto.current rto)
+
+let test_rto_max_clamp () =
+  let rto = Tcp.Rto.create { rto_config with Tcp.Config.max_rto = 10. } in
+  Tcp.Rto.sample rto 1.;
+  for _ = 1 to 20 do
+    Tcp.Rto.backoff rto
+  done;
+  check_float "clamped" 10. (Tcp.Rto.current rto)
+
+(* ------------------------------------------------------------------ *)
+(* Receiver                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_receiver_in_order () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  let a0 = Tcp.Receiver.on_data r ~seq:0 () in
+  Alcotest.(check int) "advances" 1 a0.Tcp.Types.next;
+  Alcotest.(check int) "echo" 0 a0.Tcp.Types.for_seq;
+  Alcotest.(check bool) "no sacks" true (a0.Tcp.Types.sacks = []);
+  Alcotest.(check bool) "no dsack" true (a0.Tcp.Types.dsack = None);
+  let a1 = Tcp.Receiver.on_data r ~seq:1 () in
+  Alcotest.(check int) "advances" 2 a1.Tcp.Types.next
+
+let test_receiver_gap_sack () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  let a = Tcp.Receiver.on_data r ~seq:2 () in
+  Alcotest.(check int) "cumulative frozen" 1 a.Tcp.Types.next;
+  (match a.Tcp.Types.sacks with
+  | [ { Tcp.Types.first = 2; last = 2 } ] -> ()
+  | _ -> Alcotest.fail "expected single sack block [2,2]");
+  Alcotest.(check int) "buffered" 1 (Tcp.Receiver.buffered r)
+
+let test_receiver_sack_recency_order () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:2 ());
+  ignore (Tcp.Receiver.on_data r ~seq:5 ());
+  let a = Tcp.Receiver.on_data r ~seq:8 () in
+  (match a.Tcp.Types.sacks with
+  | [ b1; b2; b3 ] ->
+    Alcotest.(check int) "most recent first" 8 b1.Tcp.Types.first;
+    Alcotest.(check int) "then previous" 5 b2.Tcp.Types.first;
+    Alcotest.(check int) "then oldest" 2 b3.Tcp.Types.first
+  | _ -> Alcotest.fail "expected three blocks");
+  (* A fourth distinct block pushes the oldest out (max 3 reported). *)
+  ignore (Tcp.Receiver.on_data r ~seq:11 ());
+  let a = Tcp.Receiver.on_data r ~seq:14 () in
+  Alcotest.(check int) "still three" 3 (List.length a.Tcp.Types.sacks)
+
+let test_receiver_blocks_merge () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:2 ());
+  ignore (Tcp.Receiver.on_data r ~seq:4 ());
+  let a = Tcp.Receiver.on_data r ~seq:3 () in
+  (match a.Tcp.Types.sacks with
+  | first :: _ ->
+    Alcotest.(check (pair int int))
+      "merged block" (2, 4)
+      (first.Tcp.Types.first, first.Tcp.Types.last)
+  | [] -> Alcotest.fail "expected a block");
+  Alcotest.(check int) "one merged block only" 1 (List.length a.Tcp.Types.sacks)
+
+let test_receiver_hole_fill_drains () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:2 ());
+  ignore (Tcp.Receiver.on_data r ~seq:3 ());
+  let a = Tcp.Receiver.on_data r ~seq:1 () in
+  Alcotest.(check int) "jumps over buffered run" 4 a.Tcp.Types.next;
+  Alcotest.(check bool) "no stale sacks" true (a.Tcp.Types.sacks = []);
+  Alcotest.(check int) "buffer drained" 0 (Tcp.Receiver.buffered r)
+
+let test_receiver_dsack_below_cumulative () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:1 ());
+  let a = Tcp.Receiver.on_data r ~seq:0 () in
+  (match a.Tcp.Types.dsack with
+  | Some { Tcp.Types.first = 0; last = 0 } -> ()
+  | _ -> Alcotest.fail "expected dsack [0,0]");
+  Alcotest.(check int) "cumulative unchanged" 2 a.Tcp.Types.next;
+  Alcotest.(check int) "duplicate counted" 1 (Tcp.Receiver.duplicates r)
+
+let test_receiver_dsack_in_buffer () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:3 ());
+  let a = Tcp.Receiver.on_data r ~seq:3 () in
+  match a.Tcp.Types.dsack with
+  | Some { Tcp.Types.first = 3; last = 3 } -> ()
+  | _ -> Alcotest.fail "expected dsack [3,3]"
+
+(* Feeding any arrival order of a permutation of 0..n-1 ends with
+   rcv_next = n and an empty out-of-order buffer. *)
+let receiver_permutation_prop =
+  QCheck.Test.make ~name:"any arrival order drains completely" ~count:300
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let rng = Sim.Rng.create n in
+      let order = Array.init n Fun.id in
+      Sim.Rng.shuffle rng order;
+      let r = Tcp.Receiver.create Tcp.Config.default in
+      Array.iter (fun seq -> ignore (Tcp.Receiver.on_data r ~seq ())) order;
+      Tcp.Receiver.rcv_next r = n && Tcp.Receiver.buffered r = 0)
+
+(* ------------------------------------------------------------------ *)
+(* NewReno sender                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let newreno ?(total = None) ?(cwnd = 1.) () =
+  let config =
+    { Tcp.Config.default with
+      Tcp.Config.total_segments = total;
+      initial_cwnd = cwnd }
+  in
+  Tcp.Newreno.create config
+
+let test_newreno_start () =
+  let t = newreno ~cwnd:2. () in
+  let actions = Tcp.Newreno.start t ~now:0. in
+  Alcotest.(check (list int)) "initial window" [ 0; 1 ] (new_sends actions);
+  Alcotest.(check (list int)) "rto armed" [ 0 ] (timer_keys actions)
+
+let test_newreno_slow_start_growth () =
+  let t = newreno () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  ignore (Tcp.Newreno.on_ack t ~now:0.1 (ack ~next:1 ~for_seq:0 ()));
+  check_float "cwnd 2 after 1 ack" 2. (Tcp.Newreno.cwnd t);
+  ignore (Tcp.Newreno.on_ack t ~now:0.2 (ack ~next:2 ~for_seq:1 ()));
+  check_float "cwnd 3" 3. (Tcp.Newreno.cwnd t);
+  Alcotest.(check int) "acked" 2 (Tcp.Newreno.acked t)
+
+let test_newreno_fast_retransmit_at_dupthresh () =
+  let t = newreno ~cwnd:8. () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  ignore (Tcp.Newreno.on_ack t ~now:0.1 (ack ~next:1 ~for_seq:0 ()));
+  (* Three duplicate ACKs for next = 1 (packet 1 lost). *)
+  let dup for_seq = ack ~next:1 ~for_seq () in
+  let a1 = Tcp.Newreno.on_ack t ~now:0.11 (dup 2) in
+  Alcotest.(check (list int)) "no retx on 1st dup" [] (retransmissions a1);
+  let a2 = Tcp.Newreno.on_ack t ~now:0.12 (dup 3) in
+  Alcotest.(check (list int)) "no retx on 2nd dup" [] (retransmissions a2);
+  let a3 = Tcp.Newreno.on_ack t ~now:0.13 (dup 4) in
+  Alcotest.(check (list int)) "retransmits hole" [ 1 ] (retransmissions a3)
+
+let test_newreno_limited_transmit () =
+  let t = newreno ~cwnd:4. () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  (* First two dupacks each allow one new segment beyond cwnd. *)
+  let a1 = Tcp.Newreno.on_ack t ~now:0.1 (ack ~next:0 ~for_seq:1 ()) in
+  Alcotest.(check (list int)) "one new on 1st dup" [ 4 ] (new_sends a1);
+  let a2 = Tcp.Newreno.on_ack t ~now:0.11 (ack ~next:0 ~for_seq:2 ()) in
+  Alcotest.(check (list int)) "one new on 2nd dup" [ 5 ] (new_sends a2)
+
+let test_newreno_partial_ack_retransmits () =
+  let t = newreno ~cwnd:8. () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  (* Lose packets 0 and 3: dupacks for next = 0. *)
+  let dup for_seq = ack ~next:0 ~for_seq () in
+  ignore (Tcp.Newreno.on_ack t ~now:0.1 (dup 1));
+  ignore (Tcp.Newreno.on_ack t ~now:0.11 (dup 2));
+  let fr = Tcp.Newreno.on_ack t ~now:0.12 (dup 4) in
+  Alcotest.(check (list int)) "fast retransmit 0" [ 0 ] (retransmissions fr);
+  (* Retransmission of 0 arrives; cumulative moves to 3 (3 still lost):
+     partial ack must retransmit 3 without leaving recovery. *)
+  let partial = Tcp.Newreno.on_ack t ~now:0.2 (ack ~next:3 ~for_seq:0 ()) in
+  Alcotest.(check (list int)) "retransmits next hole" [ 3 ]
+    (retransmissions partial)
+
+let test_newreno_full_ack_deflates () =
+  let t = newreno ~cwnd:8. () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  let dup for_seq = ack ~next:0 ~for_seq () in
+  ignore (Tcp.Newreno.on_ack t ~now:0.1 (dup 1));
+  ignore (Tcp.Newreno.on_ack t ~now:0.11 (dup 2));
+  ignore (Tcp.Newreno.on_ack t ~now:0.12 (dup 3));
+  (* Full ACK covering everything sent (limited transmit pushed
+     snd_next to 10): recovery exits, cwnd returns to
+     ssthresh = min(flight, cwnd)/2 = 4. *)
+  ignore (Tcp.Newreno.on_ack t ~now:0.2 (ack ~next:10 ~for_seq:0 ()));
+  check_float "deflated to ssthresh" 4. (Tcp.Newreno.cwnd t)
+
+let test_newreno_rto_collapses () =
+  let t = newreno ~cwnd:8. () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  let actions = Tcp.Newreno.on_timer t ~now:3. ~key:0 in
+  check_float "cwnd 1" 1. (Tcp.Newreno.cwnd t);
+  Alcotest.(check (list int)) "retransmits first unacked" [ 0 ]
+    (retransmissions actions);
+  Alcotest.(check (list int)) "timer re-armed" [ 0 ] (timer_keys actions)
+
+let test_newreno_finishes () =
+  let t = newreno ~total:(Some 3) ~cwnd:4. () in
+  let start = Tcp.Newreno.start t ~now:0. in
+  Alcotest.(check (list int)) "only 3 to send" [ 0; 1; 2 ] (new_sends start);
+  Alcotest.(check bool) "not finished" false (Tcp.Newreno.finished t);
+  ignore (Tcp.Newreno.on_ack t ~now:0.1 (ack ~next:3 ~for_seq:2 ()));
+  Alcotest.(check bool) "finished" true (Tcp.Newreno.finished t)
+
+let test_newreno_stale_ack_ignored () =
+  let t = newreno ~cwnd:4. () in
+  ignore (Tcp.Newreno.start t ~now:0.);
+  ignore (Tcp.Newreno.on_ack t ~now:0.1 (ack ~next:2 ~for_seq:1 ()));
+  let actions = Tcp.Newreno.on_ack t ~now:0.2 (ack ~next:1 ~for_seq:0 ()) in
+  Alcotest.(check int) "no reaction to stale ack" 0 (List.length actions);
+  Alcotest.(check int) "snd_una unchanged" 2 (Tcp.Newreno.acked t)
+
+let () =
+  Alcotest.run "tcp"
+    [ ( "intervals",
+        [ Alcotest.test_case "merge" `Quick test_intervals_merge;
+          Alcotest.test_case "disjoint" `Quick test_intervals_disjoint;
+          Alcotest.test_case "add_range overlap" `Quick
+            test_intervals_add_range_overlap;
+          Alcotest.test_case "remove_below" `Quick test_intervals_remove_below;
+          Alcotest.test_case "remove_range" `Quick test_intervals_remove_range;
+          Alcotest.test_case "counts" `Quick test_intervals_counts;
+          Alcotest.test_case "containing" `Quick test_intervals_containing;
+          QCheck_alcotest.to_alcotest ~long:false intervals_model_prop;
+          QCheck_alcotest.to_alcotest ~long:false intervals_remove_prop ] );
+      ( "rto",
+        [ Alcotest.test_case "initial" `Quick test_rto_initial;
+          Alcotest.test_case "first sample" `Quick test_rto_first_sample;
+          Alcotest.test_case "converges" `Quick test_rto_converges;
+          Alcotest.test_case "backoff" `Quick test_rto_backoff;
+          Alcotest.test_case "max clamp" `Quick test_rto_max_clamp ] );
+      ( "receiver",
+        [ Alcotest.test_case "in order" `Quick test_receiver_in_order;
+          Alcotest.test_case "gap produces sack" `Quick test_receiver_gap_sack;
+          Alcotest.test_case "recency order" `Quick
+            test_receiver_sack_recency_order;
+          Alcotest.test_case "blocks merge" `Quick test_receiver_blocks_merge;
+          Alcotest.test_case "hole fill drains" `Quick
+            test_receiver_hole_fill_drains;
+          Alcotest.test_case "dsack below cumulative" `Quick
+            test_receiver_dsack_below_cumulative;
+          Alcotest.test_case "dsack in buffer" `Quick
+            test_receiver_dsack_in_buffer;
+          QCheck_alcotest.to_alcotest ~long:false receiver_permutation_prop ] );
+      ( "newreno",
+        [ Alcotest.test_case "start" `Quick test_newreno_start;
+          Alcotest.test_case "slow start growth" `Quick
+            test_newreno_slow_start_growth;
+          Alcotest.test_case "fast retransmit" `Quick
+            test_newreno_fast_retransmit_at_dupthresh;
+          Alcotest.test_case "limited transmit" `Quick
+            test_newreno_limited_transmit;
+          Alcotest.test_case "partial ack" `Quick
+            test_newreno_partial_ack_retransmits;
+          Alcotest.test_case "full ack deflates" `Quick
+            test_newreno_full_ack_deflates;
+          Alcotest.test_case "rto collapses" `Quick test_newreno_rto_collapses;
+          Alcotest.test_case "bounded transfer" `Quick test_newreno_finishes;
+          Alcotest.test_case "stale ack ignored" `Quick
+            test_newreno_stale_ack_ignored ] ) ]

@@ -1,0 +1,184 @@
+(* Torture property test: every sender variant must complete a bounded
+   transfer through a hostile model network — random loss in both
+   directions, random extra delay (reordering), and ACK duplication —
+   for any seed. The model network is implemented directly on the
+   sender's action interface, so failures localise to the congestion
+   control logic, not the simulator.
+
+   The key liveness invariant: no matter what the network does (short of
+   dropping everything forever), TCP eventually delivers every segment
+   exactly once to the application. *)
+
+type event =
+  | Data_arrives of int * bool  (* seq, is_retx *)
+  | Ack_arrives of Tcp.Types.ack
+  | Timer_fires of int  (* key *)
+
+(* A deterministic chaos network driving one sender against the real
+   Receiver. Packets suffer base delay plus random jitter (reordering),
+   independent loss in each direction, and occasional ACK duplication.
+   An agenda of timestamped events keeps everything ordered. *)
+module Chaos = struct
+  type t = {
+    rng : Sim.Rng.t;
+    loss : float;
+    jitter : float;
+    base_delay : float;
+    mutable now : float;
+    mutable next_id : int;
+    mutable agenda : (float * int * event) list;
+    (* live timers: key -> (id, fire time); replaced on re-arm *)
+    timers : (int, int * float) Hashtbl.t;
+    mutable cancelled : int list;
+  }
+
+  let create ~seed ~loss ~jitter =
+    { rng = Sim.Rng.create seed;
+      loss;
+      jitter;
+      base_delay = 0.05;
+      now = 0.;
+      next_id = 0;
+      agenda = [];
+      timers = Hashtbl.create 8;
+      cancelled = [] }
+
+  let schedule t ~delay event =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.agenda <-
+      List.merge
+        (fun (ta, ia, _) (tb, ib, _) -> compare (ta, ia) (tb, ib))
+        t.agenda
+        [ (t.now +. delay, id, event) ];
+    id
+
+  let transit_delay t =
+    t.base_delay +. Sim.Rng.float_range t.rng ~lo:0. ~hi:t.jitter
+
+  let perform t actions =
+    let handle = function
+      | Tcp.Action.Send { seq; retx } ->
+        if not (Sim.Rng.bool t.rng ~p:t.loss) then
+          ignore
+            (schedule t ~delay:(transit_delay t) (Data_arrives (seq, retx)))
+      | Tcp.Action.Set_timer { key; delay } ->
+        (match Hashtbl.find_opt t.timers key with
+        | Some (old_id, _) -> t.cancelled <- old_id :: t.cancelled
+        | None -> ());
+        let id = schedule t ~delay (Timer_fires key) in
+        Hashtbl.replace t.timers key (id, t.now +. delay)
+      | Tcp.Action.Cancel_timer { key } -> (
+        match Hashtbl.find_opt t.timers key with
+        | Some (old_id, _) ->
+          t.cancelled <- old_id :: t.cancelled;
+          Hashtbl.remove t.timers key
+        | None -> ())
+    in
+    List.iter handle actions
+
+  let send_ack t ack =
+    if not (Sim.Rng.bool t.rng ~p:t.loss) then begin
+      ignore (schedule t ~delay:(transit_delay t) (Ack_arrives ack));
+      (* Occasionally the network duplicates an ACK. *)
+      if Sim.Rng.bool t.rng ~p:0.02 then
+        ignore (schedule t ~delay:(transit_delay t) (Ack_arrives ack))
+    end
+
+  let pop t =
+    match t.agenda with
+    | [] -> None
+    | (time, id, event) :: rest ->
+      t.agenda <- rest;
+      if List.mem id t.cancelled then begin
+        t.cancelled <- List.filter (fun i -> i <> id) t.cancelled;
+        Some (time, None)
+      end
+      else begin
+        t.now <- time;
+        (match event with
+        | Timer_fires key -> (
+          match Hashtbl.find_opt t.timers key with
+          | Some (live_id, _) when live_id = id -> Hashtbl.remove t.timers key
+          | Some _ | None -> ())
+        | Data_arrives _ | Ack_arrives _ -> ());
+        Some (time, Some event)
+      end
+end
+
+let run_torture ~seed ~loss ~jitter (module M : Tcp.Sender.S) =
+  let total = 60 in
+  let config =
+    { Tcp.Config.default with
+      Tcp.Config.total_segments = Some total;
+      min_rto = 0.3;
+      initial_rto = 1. }
+  in
+  let sender = M.create config in
+  let receiver = Tcp.Receiver.create config in
+  let net = Chaos.create ~seed ~loss ~jitter in
+  Chaos.perform net (M.start sender ~now:0.);
+  let steps = ref 0 in
+  let max_steps = 100_000 in
+  while (not (M.finished sender)) && !steps < max_steps do
+    incr steps;
+    match Chaos.pop net with
+    | None ->
+      (* Nothing scheduled and not finished: liveness failure. *)
+      steps := max_steps
+    | Some (_, None) -> () (* cancelled event *)
+    | Some (_, Some (Data_arrives (seq, retx))) ->
+      let ack = Tcp.Receiver.on_data receiver ~retx ~seq () in
+      Chaos.send_ack net ack
+    | Some (now, Some (Ack_arrives ack)) ->
+      Chaos.perform net (M.on_ack sender ~now ack)
+    | Some (now, Some (Timer_fires key)) ->
+      Chaos.perform net (M.on_timer sender ~now ~key)
+  done;
+  M.finished sender && Tcp.Receiver.in_order_segments receiver = total
+
+let variants : (string * (module Tcp.Sender.S)) list =
+  [ ("TCP-PR", (module Core.Tcp_pr));
+    ("TCP-SACK", (module Tcp.Sack));
+    ("NewReno", (module Tcp.Newreno));
+    ("Tahoe", (module Tcp.Tahoe));
+    ("Reno", (module Tcp.Reno));
+    ("TD-FR", (module Tcp.Td_fr));
+    ("DSACK-NM", (module Tcp.Dsack_nm));
+    ("Inc by 1", (module Tcp.Inc_by_1));
+    ("Inc by N", (module Tcp.Inc_by_n));
+    ("EWMA", (module Tcp.Dupthresh_ewma));
+    ("Eifel", (module Tcp.Eifel));
+    ("TCP-DOOR", (module Tcp.Tcp_door));
+    ("RACK", (module Tcp.Rack)) ]
+
+let torture_prop (name, sender_module) =
+  QCheck.Test.make
+    ~name:(name ^ " survives loss + reordering + duplication")
+    ~count:25
+    QCheck.(triple small_int (float_range 0. 0.15) (float_range 0. 0.08))
+    (fun (seed, loss, jitter) ->
+      run_torture ~seed:(seed + 1) ~loss ~jitter sender_module)
+
+(* Sanity: the harness itself can fail — a network that drops everything
+   must be reported as not finishing. *)
+let test_harness_detects_starvation () =
+  Alcotest.(check bool) "all-loss network never finishes" false
+    (run_torture ~seed:1 ~loss:1.0 ~jitter:0. (module Tcp.Sack))
+
+let test_harness_clean_network () =
+  Alcotest.(check bool) "lossless network finishes" true
+    (run_torture ~seed:1 ~loss:0. ~jitter:0. (module Tcp.Sack))
+
+let () =
+  Alcotest.run "torture"
+    [ ( "harness",
+        [ Alcotest.test_case "detects starvation" `Quick
+            test_harness_detects_starvation;
+          Alcotest.test_case "clean network" `Quick test_harness_clean_network
+        ] );
+      ( "liveness",
+        List.map
+          (fun variant ->
+            QCheck_alcotest.to_alcotest ~long:false (torture_prop variant))
+          variants ) ]
