@@ -1,4 +1,4 @@
-.PHONY: all build test bench figures doc clean
+.PHONY: all build test bench bench-quick figures doc clean
 
 all: build
 
@@ -17,6 +17,12 @@ bench:
 
 bench-record:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Quick perf snapshot: bench-scale Figs. 2/3/6 plus the bechamel
+# micro-benchmarks; records wall-clock and ns/run numbers in
+# results/BENCH_PR1.json. BENCH_JOBS=N parallelises the figure grids.
+bench-quick:
+	dune exec bench/main.exe -- quick
 
 # Regenerate every paper figure and extension table at full scale
 # (about half an hour; see results/ for the archived outputs).

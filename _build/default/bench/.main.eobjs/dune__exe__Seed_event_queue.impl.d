@@ -1,0 +1,1 @@
+bench/seed_event_queue.ml: Array Hashtbl

@@ -7,18 +7,74 @@
    versions.
 
    Part 2 runs bechamel micro-benchmarks of the hot paths: the event
-   queue, the Newton ewrtt update, sender ACK processing, the receiver,
-   and epsilon-routing sampling. *)
+   queue (against the frozen PR-0 implementation in
+   Seed_event_queue), the Newton ewrtt update, sender ACK processing,
+   the receiver, and epsilon-routing sampling.
+
+   Usage: main.exe [all|figures|micro|quick] [--jobs N]
+     all      figures + extensions + ablations + micro-benchmarks (default)
+     figures  Figs. 2/3/4/6 only
+     micro    micro-benchmarks only
+     quick    Figs. 2/3/6 + micro-benchmarks (the `make bench-quick` target)
+   --jobs N (or BENCH_JOBS=N) runs figure grid points on N domains;
+   the tables are identical to a sequential run.
+
+   Every run appends wall-clock seconds per figure and ns/run per
+   micro-benchmark to results/BENCH_PR1.json so later PRs can track
+   the perf trajectory. *)
 
 open Bechamel
 open Toolkit
 
 (* ------------------------------------------------------------------ *)
-(* Part 1: figure regeneration                                         *)
+(* Knobs and perf record                                               *)
 (* ------------------------------------------------------------------ *)
 
-let heading title =
-  Printf.printf "\n===== %s =====\n%!" title
+let jobs =
+  let from_env =
+    match Sys.getenv_opt "BENCH_JOBS" with
+    | Some s -> int_of_string_opt s
+    | None -> None
+  in
+  let from_argv =
+    let result = ref None in
+    Array.iteri
+      (fun i arg ->
+        if arg = "--jobs" && i + 1 < Array.length Sys.argv then
+          result := int_of_string_opt Sys.argv.(i + 1))
+      Sys.argv;
+    !result
+  in
+  let requested =
+    match (from_argv, from_env) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> Sim.Domain_pool.default_jobs ()
+  in
+  max 1 requested
+
+let mode =
+  let known = [ "all"; "figures"; "micro"; "quick" ] in
+  let picked = ref "all" in
+  Array.iteri
+    (fun i arg -> if i > 0 && List.mem arg known then picked := arg)
+    Sys.argv;
+  !picked
+
+let figure_seconds : (string * float) list ref = ref []
+
+let micro_ns : (string * float) list ref = ref []
+
+let heading title = Printf.printf "\n===== %s =====\n%!" title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  figure_seconds := (name, Unix.gettimeofday () -. t0) :: !figure_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
 
 let fig2 () =
   heading "Fig. 2 - fairness: k TCP-PR + k TCP-SACK flows (mean T ~ 1)";
@@ -26,7 +82,7 @@ let fig2 () =
     Printf.printf "\n--- %s ---\n"
       (Experiments.Fig2_fairness.topology_name topology);
     Experiments.Fig2_fairness.series ~seed:1 ~warmup:20. ~window:30.
-      ~counts:[ 1; 4; 16 ] topology ()
+      ~counts:[ 1; 4; 16 ] ~jobs topology ()
     |> Experiments.Fig2_fairness.to_table
     |> Stats.Table.print
   in
@@ -39,7 +95,7 @@ let fig3 () =
     Printf.printf "\n--- %s ---\n"
       (Experiments.Fig2_fairness.topology_name topology);
     Experiments.Fig3_cov.series ~seed:1 ~warmup:20. ~window:30.
-      ~flows_per_protocol:4 ~scales:[ 1.0; 0.5; 0.25 ] topology ()
+      ~flows_per_protocol:4 ~scales:[ 1.0; 0.5; 0.25 ] ~jobs topology ()
     |> Experiments.Fig3_cov.to_table |> Stats.Table.print
   in
   run Experiments.Fig2_fairness.Dumbbell;
@@ -52,7 +108,7 @@ let fig4 () =
       (Experiments.Fig2_fairness.topology_name topology);
     Experiments.Fig4_param.grid ~seed:1 ~warmup:20. ~window:30.
       ~flows_per_protocol:4 ~alphas:[ 0.9; 0.995 ] ~betas:[ 1.; 3.; 10. ]
-      topology ()
+      ~jobs topology ()
     |> Experiments.Fig4_param.to_table |> Stats.Table.print
   in
   run Experiments.Fig2_fairness.Dumbbell;
@@ -63,7 +119,7 @@ let fig6 () =
   let delays = [ 0.010; 0.060 ] in
   let points =
     Experiments.Fig6_multipath.grid ~seed:1 ~warmup:20. ~duration:60.
-      ~epsilons:[ 0.; 1.; 4.; 10.; 500. ] ~delays ()
+      ~epsilons:[ 0.; 1.; 4.; 10.; 500. ] ~delays ~jobs ()
   in
   List.iter
     (fun delay_s ->
@@ -79,11 +135,11 @@ let extensions () =
     Experiments.Fig6_multipath.grid ~seed:1 ~warmup:20. ~duration:60.
       ~epsilons:[ 0.; 4.; 500. ] ~delays:[ 0.010 ]
       ~variants:(Experiments.Variants.tcp_pr :: Experiments.Variants.extensions)
-      ()
+      ~jobs ()
   in
   Experiments.Fig6_multipath.to_table ~delay_s:0.010 points |> Stats.Table.print;
   print_endline "\nDelay jitter (Mb/s; 2 x 20 ms path, per-packet uniform jitter):";
-  Experiments.Jitter.sweep ~seed:1 ~duration:30. ()
+  Experiments.Jitter.sweep ~seed:1 ~duration:30. ~jobs ()
   |> Experiments.Jitter.to_table |> Stats.Table.print;
   print_endline "\nRoute flaps (1 s residence, 5 ms vs 40 ms paths):";
   List.iter
@@ -91,7 +147,7 @@ let extensions () =
       Printf.printf "  %-9s %6.2f Mb/s  retx=%-5.0f spurious dups=%d\n" label
         r.Experiments.Route_flap.mbps r.Experiments.Route_flap.retransmits
         r.Experiments.Route_flap.spurious_duplicates)
-    (Experiments.Route_flap.compare ~seed:1 ~duration:40. ())
+    (Experiments.Route_flap.compare ~seed:1 ~duration:40. ~jobs ())
 
 let ablations () =
   heading "Ablations - TCP-PR design choices";
@@ -105,17 +161,17 @@ let ablations () =
   List.iter
     (fun (snapshot, mbps) ->
       Printf.printf "  snapshot=%-5b %6.2f Mb/s\n" snapshot mbps)
-    (Experiments.Ablations.snapshot_halving ~seed:1 ~duration:30. ());
+    (Experiments.Ablations.snapshot_halving ~seed:1 ~duration:30. ~jobs ());
   print_endline "\nmemorize list (bursty 2% loss path):";
   List.iter
     (fun (memorize, mbps) ->
       Printf.printf "  memorize=%-5b %6.2f Mb/s\n" memorize mbps)
-    (Experiments.Ablations.memorize_list ~seed:1 ~duration:30. ());
+    (Experiments.Ablations.memorize_list ~seed:1 ~duration:30. ~jobs ());
   print_endline "\nbeta sensitivity (multi-path, eps=0):";
   List.iter
     (fun (beta, mbps) -> Printf.printf "  beta=%-4g %6.2f Mb/s\n" beta mbps)
     (Experiments.Ablations.beta_sweep ~seed:1 ~duration:30.
-       ~betas:[ 1.5; 3.; 10. ] ())
+       ~betas:[ 1.5; 3.; 10. ] ~jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: micro-benchmarks                                            *)
@@ -129,6 +185,18 @@ let bench_event_queue =
            ignore (Sim.Event_queue.push q ~time:(float_of_int (i * 7919 mod 256)) i)
          done;
          while Sim.Event_queue.pop q <> None do
+           ()
+         done))
+
+let bench_event_queue_seed =
+  Test.make ~name:"event_queue(seed impl): 256 push + pop"
+    (Staged.stage (fun () ->
+         let q = Seed_event_queue.create () in
+         for i = 0 to 255 do
+           ignore
+             (Seed_event_queue.push q ~time:(float_of_int (i * 7919 mod 256)) i)
+         done;
+         while Seed_event_queue.pop q <> None do
            ()
          done))
 
@@ -211,6 +279,7 @@ let microbenchmarks () =
   heading "Micro-benchmarks (bechamel, monotonic clock)";
   let tests =
     [ bench_event_queue;
+      bench_event_queue_seed;
       bench_newton;
       bench_receiver;
       bench_pr_ack_processing;
@@ -225,6 +294,12 @@ let microbenchmarks () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
+  let strip_group name =
+    (* bechamel reports "g/<test name>"; drop the group prefix *)
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
   let print_result test =
     let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
     let analysis = Analyze.all ols Instance.monotonic_clock results in
@@ -232,19 +307,89 @@ let microbenchmarks () =
       (fun name ols_result ->
         match Analyze.OLS.estimates ols_result with
         | Some [ time_per_run ] ->
+          micro_ns := (strip_group name, time_per_run) :: !micro_ns;
           Printf.printf "  %-45s %12.1f ns/run\n%!" name time_per_run
         | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
       analysis
   in
   List.iter print_result tests
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable record                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char buffer '\\'; Buffer.add_char buffer c
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let json_object_of buffer ~indent pairs format_value =
+  Buffer.add_string buffer "{";
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_string buffer ",";
+      Buffer.add_string buffer
+        (Printf.sprintf "\n%s\"%s\": %s" indent (json_escape name)
+           (format_value value)))
+    pairs;
+  Buffer.add_string buffer ("\n" ^ String.sub indent 0 (String.length indent - 2));
+  Buffer.add_string buffer "}"
+
+let write_record ~total_s =
+  (try if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
+   with Unix.Unix_error _ -> ());
+  let path = "results/BENCH_PR1.json" in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "{\n";
+  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 1,\n");
+  Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string buffer (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buffer (Printf.sprintf "  \"total_wall_clock_s\": %.3f,\n" total_s);
+  Buffer.add_string buffer "  \"figures_wall_clock_s\": ";
+  json_object_of buffer ~indent:"    " (List.rev !figure_seconds)
+    (Printf.sprintf "%.3f");
+  Buffer.add_string buffer ",\n  \"microbenchmarks_ns_per_run\": ";
+  json_object_of buffer ~indent:"    " (List.rev !micro_ns)
+    (Printf.sprintf "%.1f");
+  Buffer.add_string buffer "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buffer);
+  close_out oc;
+  Printf.printf "\nPerf record written to %s\n" path
+
 let () =
   let t0 = Unix.gettimeofday () in
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  fig6 ();
-  extensions ();
-  ablations ();
-  microbenchmarks ();
-  Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "mode=%s jobs=%d\n%!" mode jobs;
+  (match mode with
+  | "figures" ->
+    timed "fig2" fig2;
+    timed "fig3" fig3;
+    timed "fig4" fig4;
+    timed "fig6" fig6
+  | "micro" -> microbenchmarks ()
+  | "quick" ->
+    timed "fig2" fig2;
+    timed "fig3" fig3;
+    timed "fig6" fig6;
+    microbenchmarks ()
+  | _ ->
+    timed "fig2" fig2;
+    timed "fig3" fig3;
+    timed "fig4" fig4;
+    timed "fig6" fig6;
+    timed "extensions" extensions;
+    timed "ablations" ablations;
+    microbenchmarks ());
+  let total_s = Unix.gettimeofday () -. t0 in
+  write_record ~total_s;
+  Printf.printf "Total bench time: %.1f s\n" total_s

@@ -1,0 +1,89 @@
+(* Frozen copy of the PR-0 Sim.Event_queue implementation (boxed
+   entries + a pending Hashtbl touched on every push/pop/peek). Kept
+   only as the micro-benchmark baseline so BENCH_PR1.json can record
+   the seed number next to the struct-of-arrays heap that replaced it.
+   Do not use outside bench/. *)
+
+type id = int
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+  pending : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  { heap = Array.make 64 None; size = 0; next_seq = 0; pending = Hashtbl.create 64 }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i =
+  match t.heap.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && entry_lt (get t left) (get t !smallest) then
+    smallest := left;
+  if right < t.size && entry_lt (get t right) (get t !smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t ~time payload =
+  if t.size = Array.length t.heap then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.heap.(t.size) <- Some { time; seq; payload };
+  t.size <- t.size + 1;
+  Hashtbl.replace t.pending seq ();
+  sift_up t (t.size - 1);
+  seq
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let rec pop t =
+  match pop_min t with
+  | None -> None
+  | Some e ->
+    if Hashtbl.mem t.pending e.seq then begin
+      Hashtbl.remove t.pending e.seq;
+      Some (e.time, e.payload)
+    end
+    else pop t

@@ -32,6 +32,17 @@ let quick_term =
   let doc = "Shrink warmup/measurement windows and flow counts for a fast run." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_term =
+  let doc =
+    "Run independent grid points on $(docv) domains. Output is \
+     byte-identical to --jobs 1 for the same seed: each point builds its \
+     own engine and results are collected in input order."
+  in
+  Arg.(
+    value
+    & opt int (Sim.Domain_pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let csv_term =
   let doc = "Emit tables as CSV instead of aligned text." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -46,20 +57,23 @@ let section topology =
   Printf.printf "\n--- %s ---\n"
     (Experiments.Fig2_fairness.topology_name topology)
 
-let fig2 seed quick csv topologies =
+let fig2 seed quick csv jobs topologies =
   let warmup, window = windows ~quick in
+  let jobs = max 1 jobs in
   let counts = if quick then [ 1; 2; 8 ] else [ 1; 2; 4; 8; 16; 32 ] in
   print_endline
     "Fig. 2 - normalized throughput of k TCP-PR + k TCP-SACK flows (mean ~ 1 = fair)";
   let run topology =
     section topology;
-    Experiments.Fig2_fairness.series ~seed ~warmup ~window ~counts topology ()
+    Experiments.Fig2_fairness.series ~seed ~warmup ~window ~counts ~jobs
+      topology ()
     |> Experiments.Fig2_fairness.to_table |> render ~csv
   in
   List.iter run topologies
 
-let fig3 seed quick csv topologies =
+let fig3 seed quick csv jobs topologies =
   let warmup, window = windows ~quick in
+  let jobs = max 1 jobs in
   let flows_per_protocol = if quick then 4 else 8 in
   let scales =
     if quick then [ 1.0; 0.5; 0.25 ] else [ 1.0; 0.7; 0.5; 0.35; 0.25 ]
@@ -69,13 +83,14 @@ let fig3 seed quick csv topologies =
   let run topology =
     section topology;
     Experiments.Fig3_cov.series ~seed ~warmup ~window ~flows_per_protocol
-      ~scales topology ()
+      ~scales ~jobs topology ()
     |> Experiments.Fig3_cov.to_table |> render ~csv
   in
   List.iter run topologies
 
-let fig4 seed quick csv flows topologies =
+let fig4 seed quick csv jobs flows topologies =
   let warmup, window = windows ~quick in
+  let jobs = max 1 jobs in
   let flows_per_protocol =
     match flows with Some n -> n | None -> if quick then 4 else 8
   in
@@ -86,14 +101,15 @@ let fig4 seed quick csv flows topologies =
   let run topology =
     section topology;
     Experiments.Fig4_param.grid ~seed ~warmup ~window ~flows_per_protocol
-      ~alphas ~betas topology ()
+      ~alphas ~betas ~jobs topology ()
     |> Experiments.Fig4_param.to_table |> render ~csv
   in
   List.iter run topologies
 
-let fig6 seed quick csv extended =
+let fig6 seed quick csv jobs extended =
   let warmup = if quick then 20. else 40. in
   let duration = if quick then 60. else 160. in
+  let jobs = max 1 jobs in
   let epsilons = [ 0.; 1.; 4.; 10.; 500. ] in
   let delays = if quick then [ 0.010 ] else [ 0.010; 0.060 ] in
   let variants =
@@ -107,7 +123,7 @@ let fig6 seed quick csv extended =
       "(extended with Eifel, TCP-DOOR and RACK - not part of the paper's comparison)";
   let points =
     Experiments.Fig6_multipath.grid ~seed ~warmup ~duration ~epsilons ~delays
-      ~variants ()
+      ~variants ~jobs ()
   in
   let show delay_s =
     Printf.printf "\n--- per-link delay %g ms ---\n" (delay_s *. 1000.);
@@ -115,8 +131,9 @@ let fig6 seed quick csv extended =
   in
   List.iter show delays
 
-let flaps seed quick =
+let flaps seed quick jobs =
   let duration = if quick then 30. else 60. in
+  let jobs = max 1 jobs in
   print_endline
     "Route flaps (paper Section 1): all traffic flips between a 5 ms and a 40 ms";
   print_endline "path once per second; each flap reorders the packets in flight.";
@@ -131,20 +148,22 @@ let flaps seed quick =
           Printf.sprintf "%.2f" r.Experiments.Route_flap.mbps;
           Printf.sprintf "%.0f" r.Experiments.Route_flap.retransmits;
           string_of_int r.Experiments.Route_flap.spurious_duplicates ])
-    (Experiments.Route_flap.compare ~seed ~duration ());
+    (Experiments.Route_flap.compare ~seed ~duration ~jobs ());
   Stats.Table.print table
 
-let jitter seed quick =
+let jitter seed quick jobs =
   let duration = if quick then 20. else 60. in
+  let jobs = max 1 jobs in
   print_endline
     "Delay jitter (wireless-style intra-path reordering): throughput (Mb/s)";
   print_endline
     "over a 2 x 20 ms, 10 Mb/s path whose links add uniform per-packet jitter.";
-  Experiments.Jitter.sweep ~seed ~duration ()
+  Experiments.Jitter.sweep ~seed ~duration ~jobs ()
   |> Experiments.Jitter.to_table |> Stats.Table.print
 
-let manet seed quick =
+let manet seed quick jobs =
   let duration = if quick then 20. else 60. in
+  let jobs = max 1 jobs in
   print_endline
     "MANET (paper future work): 12 radios, random-waypoint mobility, pinned";
   print_endline
@@ -161,11 +180,12 @@ let manet seed quick =
           Printf.sprintf "%.2f" r.Experiments.Manet_experiment.mbps;
           Printf.sprintf "%.0f" r.Experiments.Manet_experiment.retransmits;
           string_of_int r.Experiments.Manet_experiment.spurious_duplicates ])
-    (Experiments.Manet_experiment.compare ~seed ~duration ());
+    (Experiments.Manet_experiment.compare ~seed ~duration ~jobs ());
   Stats.Table.print table
 
-let ablate seed quick which =
+let ablate seed quick jobs which =
   let duration = if quick then 30. else 60. in
+  let jobs = max 1 jobs in
   let run_newton () =
     print_endline
       "Newton approximation of alpha^(1/cwnd) (paper footnote 5; n = 2 in the kernel)";
@@ -190,20 +210,20 @@ let ablate seed quick which =
     List.iter
       (fun (snapshot, mbps) ->
         Printf.printf "  snapshot=%-5b %6.2f Mb/s\n" snapshot mbps)
-      (Experiments.Ablations.snapshot_halving ~seed ~duration ())
+      (Experiments.Ablations.snapshot_halving ~seed ~duration ~jobs ())
   in
   let run_memorize () =
     print_endline "\nMemorize list on a bursty lossy path (2% injected loss):";
     List.iter
       (fun (memorize, mbps) ->
         Printf.printf "  memorize=%-5b %6.2f Mb/s\n" memorize mbps)
-      (Experiments.Ablations.memorize_list ~seed ~duration ())
+      (Experiments.Ablations.memorize_list ~seed ~duration ~jobs ())
   in
   let run_beta () =
     print_endline "\nTCP-PR multi-path throughput (eps = 0) vs beta:";
     List.iter
       (fun (beta, mbps) -> Printf.printf "  beta=%-4g %6.2f Mb/s\n" beta mbps)
-      (Experiments.Ablations.beta_sweep ~seed ~duration ())
+      (Experiments.Ablations.beta_sweep ~seed ~duration ~jobs ())
   in
   let run_beta_fairness () =
     print_endline "\nTCP-SACK mean normalized throughput vs TCP-PR beta (dumbbell):";
@@ -211,7 +231,7 @@ let ablate seed quick which =
       (fun (beta, mean) -> Printf.printf "  beta=%-4g %6.3f\n" beta mean)
       (Experiments.Ablations.beta_fairness ~seed
          ~flows_per_protocol:(if quick then 4 else 8)
-         ())
+         ~jobs ())
   in
   match which with
   | "newton" -> run_newton ()
@@ -227,7 +247,8 @@ let ablate seed quick which =
     run_beta_fairness ()
   | other -> Printf.eprintf "unknown ablation %S\n" other
 
-let demo seed =
+let demo seed jobs =
+  let jobs = max 1 jobs in
   print_endline "Demo: TCP-PR vs TCP-SACK, single shared 15 Mb/s bottleneck";
   let result =
     Experiments.Runner.dumbbell_fairness ~seed ~warmup:10. ~window:30.
@@ -244,25 +265,29 @@ let demo seed =
     (fun (label, mbps) -> Printf.printf "  %-10s %6.2f Mb/s\n" label mbps)
     result.Experiments.Runner.throughputs;
   print_endline "\nDemo: the same pair under full multi-path routing (eps = 0)";
-  List.iter
+  Experiments.Runner.parallel_map ~jobs
     (fun (label, sender) ->
-      let mbps =
+      ( label,
         Experiments.Runner.multipath_throughput ~seed ~duration:30. ~epsilon:0.
-          ~sender ()
-      in
-      Printf.printf "  %-10s %6.2f Mb/s\n" label mbps)
+          ~sender () ))
     [ Experiments.Variants.tcp_pr; Experiments.Variants.tcp_sack ]
+  |> List.iter (fun (label, mbps) ->
+         Printf.printf "  %-10s %6.2f Mb/s\n" label mbps)
 
 let cmd_of name ~doc term =
   Cmd.v (Cmd.info name ~doc) term
 
 let fig2_cmd =
   cmd_of "fig2" ~doc:"Reproduce Fig. 2 (fairness vs number of flows)."
-    Term.(const fig2 $ seed_term $ quick_term $ csv_term $ topologies_term)
+    Term.(
+      const fig2 $ seed_term $ quick_term $ csv_term $ jobs_term
+      $ topologies_term)
 
 let fig3_cmd =
   cmd_of "fig3" ~doc:"Reproduce Fig. 3 (CoV vs loss rate)."
-    Term.(const fig3 $ seed_term $ quick_term $ csv_term $ topologies_term)
+    Term.(
+      const fig3 $ seed_term $ quick_term $ csv_term $ jobs_term
+      $ topologies_term)
 
 let fig4_cmd =
   let flows =
@@ -272,7 +297,9 @@ let fig4_cmd =
       & info [ "flows" ] ~docv:"N" ~doc:"Flows per protocol (paper: 32).")
   in
   cmd_of "fig4" ~doc:"Reproduce Fig. 4 (alpha/beta parameter grid)."
-    Term.(const fig4 $ seed_term $ quick_term $ csv_term $ flows $ topologies_term)
+    Term.(
+      const fig4 $ seed_term $ quick_term $ csv_term $ jobs_term $ flows
+      $ topologies_term)
 
 let fig6_cmd =
   let extended =
@@ -282,19 +309,20 @@ let fig6_cmd =
           ~doc:"Also run Eifel, TCP-DOOR and RACK (beyond the paper).")
   in
   cmd_of "fig6" ~doc:"Reproduce Fig. 6 (multi-path routing sweep)."
-    Term.(const fig6 $ seed_term $ quick_term $ csv_term $ extended)
+    Term.(
+      const fig6 $ seed_term $ quick_term $ csv_term $ jobs_term $ extended)
 
 let flaps_cmd =
   cmd_of "flaps" ~doc:"Route-flap reordering scenario (extension)."
-    Term.(const flaps $ seed_term $ quick_term)
+    Term.(const flaps $ seed_term $ quick_term $ jobs_term)
 
 let jitter_cmd =
   cmd_of "jitter" ~doc:"Delay-jitter reordering sweep (extension)."
-    Term.(const jitter $ seed_term $ quick_term)
+    Term.(const jitter $ seed_term $ quick_term $ jobs_term)
 
 let manet_cmd =
   cmd_of "manet" ~doc:"Mobile ad-hoc network scenario (paper future work)."
-    Term.(const manet $ seed_term $ quick_term)
+    Term.(const manet $ seed_term $ quick_term $ jobs_term)
 
 let ablate_cmd =
   let which =
@@ -305,11 +333,11 @@ let ablate_cmd =
           ~doc:"newton | snapshot | memorize | beta | beta-fairness | all")
   in
   cmd_of "ablate" ~doc:"Run the TCP-PR design-choice ablations."
-    Term.(const ablate $ seed_term $ quick_term $ which)
+    Term.(const ablate $ seed_term $ quick_term $ jobs_term $ which)
 
 let demo_cmd =
   cmd_of "demo" ~doc:"Two-minute tour: fairness and reordering robustness."
-    Term.(const demo $ seed_term)
+    Term.(const demo $ seed_term $ jobs_term)
 
 (* TCP_PR_LOG=debug turns on per-packet connection tracing. *)
 let setup_logging () =

@@ -1,1 +1,1 @@
-lib/experiments/jitter.ml: List Net Printf Sim Stats Tcp Variants
+lib/experiments/jitter.ml: List Net Printf Runner Sim Stats Tcp Variants

@@ -1,1 +1,1 @@
-lib/experiments/manet_experiment.ml: List Manet Sim Stats Tcp Variants
+lib/experiments/manet_experiment.ml: List Manet Runner Sim Stats Tcp Variants

@@ -1,1 +1,1 @@
-lib/experiments/route_flap.ml: List Net Sim Stats Tcp Variants
+lib/experiments/route_flap.ml: List Net Runner Sim Stats Tcp Variants

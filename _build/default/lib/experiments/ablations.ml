@@ -14,8 +14,8 @@ let multipath_pr ?seed ?duration ~config () =
   Runner.multipath_throughput ?seed ~warmup:5. ?duration ~epsilon:0.
     ~sender:(snd Variants.tcp_pr) ~config ()
 
-let snapshot_halving ?seed ?duration () =
-  List.map
+let snapshot_halving ?seed ?duration ?(jobs = 1) () =
+  Runner.parallel_map ~jobs
     (fun snapshot ->
       let config =
         { Tcp.Config.default with Tcp.Config.pr_snapshot_cwnd = snapshot }
@@ -55,21 +55,22 @@ let memorize_run ?(seed = 1) ?(duration = 60.) ~memorize () =
     ~bytes:(Tcp.Connection.received_bytes connection)
     ~seconds:duration
 
-let memorize_list ?seed ?duration () =
-  List.map
+let memorize_list ?seed ?duration ?(jobs = 1) () =
+  Runner.parallel_map ~jobs
     (fun memorize -> (memorize, memorize_run ?seed ?duration ~memorize ()))
     [ true; false ]
 
-let beta_sweep ?seed ?duration ?(betas = [ 1.0; 1.5; 2.; 3.; 5.; 10. ]) () =
-  List.map
+let beta_sweep ?seed ?duration ?(betas = [ 1.0; 1.5; 2.; 3.; 5.; 10. ])
+    ?(jobs = 1) () =
+  Runner.parallel_map ~jobs
     (fun beta ->
       let config = { Tcp.Config.default with Tcp.Config.pr_beta = beta } in
       (beta, multipath_pr ?seed ?duration ~config ()))
     betas
 
 let beta_fairness ?seed ?(flows_per_protocol = 8)
-    ?(betas = [ 1.0; 2.; 3.; 5.; 10. ]) () =
-  List.map
+    ?(betas = [ 1.0; 2.; 3.; 5.; 10. ]) ?(jobs = 1) () =
+  Runner.parallel_map ~jobs
     (fun beta ->
       let point =
         Fig4_param.run ?seed ~flows_per_protocol Fig2_fairness.Dumbbell

@@ -52,8 +52,8 @@ let run ?seed ?config ?warmup ?window topology ~flows_per_protocol () =
     mean_sack = mean sack_normalized }
 
 let series ?seed ?config ?warmup ?window ?(counts = [ 1; 2; 4; 8; 16; 32 ])
-    topology () =
-  List.map
+    ?(jobs = 1) topology () =
+  Runner.parallel_map ~jobs
     (fun flows_per_protocol ->
       run ?seed ?config ?warmup ?window topology ~flows_per_protocol ())
     counts

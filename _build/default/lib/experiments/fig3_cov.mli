@@ -30,7 +30,9 @@ val run :
   point
 
 (** [series topology ()] sweeps bandwidth scales (default
-    [1.0; 0.7; 0.5; 0.35; 0.25]); smaller scale = higher loss. *)
+    [1.0; 0.7; 0.5; 0.35; 0.25]); smaller scale = higher loss. [jobs]
+    parallelises the sweep ({!Runner.parallel_map}) without changing
+    the result. *)
 val series :
   ?seed:int ->
   ?config:Tcp.Config.t ->
@@ -38,6 +40,7 @@ val series :
   ?window:float ->
   ?flows_per_protocol:int ->
   ?scales:float list ->
+  ?jobs:int ->
   Fig2_fairness.topology ->
   unit ->
   point list

@@ -6,21 +6,26 @@ type point = {
 }
 
 let grid ?seed ?(warmup = 0.) ?(duration = 60.) ?(epsilons = [ 0.; 1.; 4.; 10.; 500. ])
-    ?(delays = [ 0.010; 0.060 ]) ?(variants = Variants.fig6) ?config () =
-  List.concat_map
-    (fun delay_s ->
-      List.concat_map
-        (fun (variant, sender) ->
-          List.map
-            (fun epsilon ->
-              let mbps =
-                Runner.multipath_throughput ?seed ~delay_s ?config ~warmup ~duration
-                  ~epsilon ~sender ()
-              in
-              { variant; epsilon; delay_s; mbps })
-            epsilons)
-        variants)
-    delays
+    ?(delays = [ 0.010; 0.060 ]) ?(variants = Variants.fig6) ?config
+    ?(jobs = 1) () =
+  let cells =
+    List.concat_map
+      (fun delay_s ->
+        List.concat_map
+          (fun (variant, sender) ->
+            List.map (fun epsilon -> (delay_s, variant, sender, epsilon))
+              epsilons)
+          variants)
+      delays
+  in
+  Runner.parallel_map ~jobs
+    (fun (delay_s, variant, sender, epsilon) ->
+      let mbps =
+        Runner.multipath_throughput ?seed ~delay_s ?config ~warmup ~duration
+          ~epsilon ~sender ()
+      in
+      { variant; epsilon; delay_s; mbps })
+    cells
 
 let to_table ~delay_s points =
   let points = List.filter (fun p -> p.delay_s = delay_s) points in

@@ -25,6 +25,7 @@ val grid :
   ?delays:float list ->
   ?variants:Variants.t list ->
   ?config:Tcp.Config.t ->
+  ?jobs:int ->
   unit ->
   point list
 

@@ -50,17 +50,20 @@ let default_variants =
     ("RACK", (module Tcp.Rack : Tcp.Sender.S)) ]
 
 let sweep ?(seed = 1) ?(duration = 60.) ?(jitters_ms = [ 0.; 5.; 20.; 50. ])
-    ?(variants = default_variants) () =
-  List.concat_map
-    (fun (variant, sender) ->
-      List.map
-        (fun jitter_ms ->
-          let mbps, spurious_duplicates =
-            run ~seed ~duration ~jitter_s:(jitter_ms /. 1000.) ~sender
-          in
-          { variant; jitter_ms; mbps; spurious_duplicates })
-        jitters_ms)
-    variants
+    ?(variants = default_variants) ?(jobs = 1) () =
+  let cells =
+    List.concat_map
+      (fun (variant, sender) ->
+        List.map (fun jitter_ms -> (variant, sender, jitter_ms)) jitters_ms)
+      variants
+  in
+  Runner.parallel_map ~jobs
+    (fun (variant, sender, jitter_ms) ->
+      let mbps, spurious_duplicates =
+        run ~seed ~duration ~jitter_s:(jitter_ms /. 1000.) ~sender
+      in
+      { variant; jitter_ms; mbps; spurious_duplicates })
+    cells
 
 let to_table points =
   let jitters =

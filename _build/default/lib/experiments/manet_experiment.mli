@@ -37,5 +37,6 @@ val compare :
   ?speed:float ->
   ?duration:float ->
   ?variants:Variants.t list ->
+  ?jobs:int ->
   unit ->
   (string * result) list

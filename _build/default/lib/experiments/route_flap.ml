@@ -54,8 +54,9 @@ let default_variants =
     ("TD-FR", (module Tcp.Td_fr : Tcp.Sender.S));
     ("RACK", (module Tcp.Rack : Tcp.Sender.S)) ]
 
-let compare ?seed ?flap_interval ?duration ?(variants = default_variants) () =
-  List.map
+let compare ?seed ?flap_interval ?duration ?(variants = default_variants)
+    ?(jobs = 1) () =
+  Runner.parallel_map ~jobs
     (fun (label, sender) ->
       (label, run ?seed ?flap_interval ?duration ~sender ()))
     variants

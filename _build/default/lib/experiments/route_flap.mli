@@ -38,5 +38,6 @@ val compare :
   ?flap_interval:float ->
   ?duration:float ->
   ?variants:Variants.t list ->
+  ?jobs:int ->
   unit ->
   (string * result) list

@@ -4,6 +4,10 @@ type flow_spec = {
   count : int;
 }
 
+let parallel_map ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else Array.to_list (Sim.Domain_pool.map ~jobs f (Array.of_list xs))
+
 type fairness_result = {
   throughputs : (string * float) list;
   loss_rate : float;

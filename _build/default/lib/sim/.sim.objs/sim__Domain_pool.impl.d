@@ -1,0 +1,1 @@
+lib/sim/domain_pool.ml: Array Atomic Domain

@@ -1,1 +1,1 @@
-lib/sim/event_queue.ml: Array Hashtbl
+lib/sim/event_queue.ml: Array Bytes Char

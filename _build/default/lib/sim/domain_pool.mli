@@ -1,0 +1,20 @@
+(** Work-queue pool of OCaml 5 domains for embarrassingly parallel
+    jobs (independent simulations of a parameter grid).
+
+    Workers claim jobs from a shared queue, so uneven job durations
+    balance across domains; results are collected in input order. Jobs
+    must not share mutable state — each experiment job builds its own
+    {!Engine}, which is what makes [~jobs:n] output identical to
+    [~jobs:1]. *)
+
+(** [default_jobs ()] is [Domain.recommended_domain_count () - 1]
+    (one domain is left for the submitting thread), at least 1. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] applies [f] to every element of [items] on a
+    pool of [jobs] domains and returns the results in input order.
+    [jobs] is clamped to [1 .. Array.length items]; with [jobs = 1] no
+    domain is spawned and [f] runs sequentially in the calling domain.
+    If any job raises, the first exception observed is re-raised after
+    all workers have stopped. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,101 +1,234 @@
+(* Struct-of-arrays binary min-heap ordered by (time, seq).
+
+   The previous implementation boxed every entry in an ['a entry option]
+   and touched a [Hashtbl] on every push/pop/peek; this one keeps three
+   parallel arrays (times / seqs / payloads) so the hot path is pure
+   array reads and writes, with no per-entry allocation.
+
+   Cancellation is lazy, as before, but membership of the "pending"
+   set is a bitmap indexed by [seq - bit_base] rather than a hash
+   table: ids are assigned densely (0, 1, 2, ...) so a bit per id in
+   the current window is both smaller and far cheaper than hashing.
+   Cancelled entries stay physically in the heap until they surface at
+   the top, or until more than half the heap is cancelled, at which
+   point the heap is compacted and re-heapified — so physical size
+   stays O(live events). *)
+
 type id = int
 
-type 'a entry = { time : float; seq : int; payload : 'a }
-
 type 'a t = {
-  mutable heap : 'a entry option array;
-  mutable size : int;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
+  mutable size : int;  (* physical entries in the heap, live + cancelled *)
+  mutable live : int;  (* non-cancelled entries *)
   mutable next_seq : int;
-  (* Ids currently in the heap and not cancelled. Cancellation removes
-     the id here; the heap entry is skipped lazily when it surfaces. *)
-  pending : (int, unit) Hashtbl.t;
+  (* Bit [seq - bit_base] is set while event [seq] is in the heap and
+     not cancelled. [bit_base] never exceeds the smallest seq
+     physically in the heap, so lookups for heap entries are always in
+     range; it is advanced (and the window shifted down) when the
+     bitmap would otherwise grow. *)
+  mutable bits : Bytes.t;
+  mutable bit_base : int;
 }
 
 let create () =
-  { heap = Array.make 64 None; size = 0; next_seq = 0; pending = Hashtbl.create 64 }
+  { times = [||];
+    seqs = [||];
+    payloads = [||];
+    size = 0;
+    live = 0;
+    next_seq = 0;
+    bits = Bytes.make 8 '\000';
+    bit_base = 0 }
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* --- pending bitmap ------------------------------------------------ *)
 
-let get t i =
-  match t.heap.(i) with
-  | Some e -> e
-  | None -> assert false
+let bit_capacity t = 8 * Bytes.length t.bits
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+let bit_is_set t seq =
+  let i = seq - t.bit_base in
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if entry_lt (get t i) (get t parent) then begin
-      swap t i parent;
-      sift_up t parent
+let set_bit t seq =
+  let i = seq - t.bit_base in
+  let j = i lsr 3 in
+  Bytes.unsafe_set t.bits j
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits j) lor (1 lsl (i land 7))))
+
+let clear_bit t seq =
+  let i = seq - t.bit_base in
+  let j = i lsr 3 in
+  Bytes.unsafe_set t.bits j
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits j) land lnot (1 lsl (i land 7))))
+
+(* Make room for bit [seq]: rebase the window onto the smallest seq
+   still in the heap (all bits below it are dead), then double the
+   buffer if the window is genuinely that wide. *)
+let ensure_bit_capacity t seq =
+  if seq - t.bit_base >= bit_capacity t then begin
+    if t.size = 0 then begin
+      t.bit_base <- seq;
+      Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
     end
+    else begin
+      let min_seq = ref max_int in
+      for i = 0 to t.size - 1 do
+        if t.seqs.(i) < !min_seq then min_seq := t.seqs.(i)
+      done;
+      let shift_bytes = (!min_seq - t.bit_base) / 8 in
+      if shift_bytes > 0 then begin
+        let len = Bytes.length t.bits in
+        Bytes.blit t.bits shift_bytes t.bits 0 (len - shift_bytes);
+        Bytes.fill t.bits (len - shift_bytes) shift_bytes '\000';
+        t.bit_base <- t.bit_base + (8 * shift_bytes)
+      end
+    end;
+    while seq - t.bit_base >= bit_capacity t do
+      let bigger = Bytes.make (2 * Bytes.length t.bits) '\000' in
+      Bytes.blit t.bits 0 bigger 0 (Bytes.length t.bits);
+      t.bits <- bigger
+    done
   end
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < t.size && entry_lt (get t left) (get t !smallest) then
-    smallest := left;
-  if right < t.size && entry_lt (get t right) (get t !smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+(* --- heap ----------------------------------------------------------- *)
+
+let place t i time seq payload =
+  t.times.(i) <- time;
+  t.seqs.(i) <- seq;
+  t.payloads.(i) <- payload
+
+(* Hole-based sifts: slot [i] is a hole; move entries across it until
+   (time, seq, payload) finds its position, then write once. *)
+let rec sift_up t i time seq payload =
+  if i = 0 then place t 0 time seq payload
+  else begin
+    let p = (i - 1) / 2 in
+    let pt = t.times.(p) in
+    if time < pt || (time = pt && seq < t.seqs.(p)) then begin
+      place t i pt t.seqs.(p) t.payloads.(p);
+      sift_up t p time seq payload
+    end
+    else place t i time seq payload
   end
 
-let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) None in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
+let rec sift_down t i time seq payload =
+  let l = (2 * i) + 1 in
+  if l >= t.size then place t i time seq payload
+  else begin
+    let r = l + 1 in
+    let c =
+      if
+        r < t.size
+        && (t.times.(r) < t.times.(l)
+           || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
+      then r
+      else l
+    in
+    let ct = t.times.(c) in
+    if ct < time || (ct = time && t.seqs.(c) < seq) then begin
+      place t i ct t.seqs.(c) t.payloads.(c);
+      sift_down t c time seq payload
+    end
+    else place t i time seq payload
+  end
+
+let resize_heap t ncap filler =
+  let times = Array.make ncap 0. in
+  let seqs = Array.make ncap 0 in
+  let payloads = Array.make ncap filler in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
+let ensure_heap_capacity t payload =
+  let cap = Array.length t.times in
+  if t.size = cap then
+    if cap = 0 then resize_heap t 64 payload
+    else resize_heap t (2 * cap) t.payloads.(0)
 
 let push t ~time payload =
-  if t.size = Array.length t.heap then grow t;
+  ensure_heap_capacity t payload;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  t.heap.(t.size) <- Some { time; seq; payload };
+  ensure_bit_capacity t seq;
+  set_bit t seq;
+  let i = t.size in
   t.size <- t.size + 1;
-  Hashtbl.replace t.pending seq ();
-  sift_up t (t.size - 1);
+  t.live <- t.live + 1;
+  sift_up t i time seq payload;
   seq
 
-let cancel t id = Hashtbl.remove t.pending id
-
-let pop_min t =
-  if t.size = 0 then None
-  else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    Some top
-  end
+(* Drop the root and restore the heap property. Stale payload slots
+   beyond [size] are not cleared: they only ever duplicate a reference
+   that is still live in the heap (the entry just sifted down), so
+   nothing is retained beyond its lifetime. *)
+let remove_top t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then sift_down t 0 t.times.(n) t.seqs.(n) t.payloads.(n)
 
 let rec pop t =
-  match pop_min t with
-  | None -> None
-  | Some e ->
-    if Hashtbl.mem t.pending e.seq then begin
-      Hashtbl.remove t.pending e.seq;
-      Some (e.time, e.payload)
+  if t.size = 0 then None
+  else begin
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let payload = t.payloads.(0) in
+    remove_top t;
+    if bit_is_set t seq then begin
+      clear_bit t seq;
+      t.live <- t.live - 1;
+      Some (time, payload)
     end
     else pop t
+  end
 
 let rec peek_time t =
   if t.size = 0 then None
-  else
-    let top = get t 0 in
-    if Hashtbl.mem t.pending top.seq then Some top.time
-    else begin
-      ignore (pop_min t);
-      peek_time t
+  else if bit_is_set t t.seqs.(0) then Some t.times.(0)
+  else begin
+    remove_top t;
+    peek_time t
+  end
+
+(* Filter out cancelled entries in place, bottom-up heapify the
+   survivors, and shrink the arrays when mostly empty, keeping memory
+   O(live). The (time, seq) order is total, so the rebuilt heap pops
+   in exactly the same sequence as the lazy one would have. *)
+let compact t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if bit_is_set t t.seqs.(i) then begin
+      place t !n t.times.(i) t.seqs.(i) t.payloads.(i);
+      incr n
     end
+  done;
+  t.size <- !n;
+  for i = ((t.size - 2) / 2) downto 0 do
+    sift_down t i t.times.(i) t.seqs.(i) t.payloads.(i)
+  done;
+  let cap = Array.length t.times in
+  if t.size = 0 then begin
+    t.times <- [||];
+    t.seqs <- [||];
+    t.payloads <- [||]
+  end
+  else if cap > 64 && 4 * t.size < cap then
+    resize_heap t (max 64 (2 * t.size)) t.payloads.(0)
 
-let length t = Hashtbl.length t.pending
+let cancel t id =
+  if id >= t.bit_base && id < t.next_seq && bit_is_set t id then begin
+    clear_bit t id;
+    t.live <- t.live - 1;
+    if t.size > 64 && t.size - t.live > t.live then compact t
+  end
 
-let is_empty t = length t = 0
+let length t = t.live
+
+let is_empty t = t.live = 0
+
+let heap_size t = t.size

@@ -1,8 +1,12 @@
 (** Priority queue of timestamped events.
 
     Events are ordered by time; ties are broken by insertion order, so
-    the simulation is deterministic. Cancellation is O(1): cancelled
-    entries are skipped lazily when popped. *)
+    the simulation is deterministic. Implemented as a struct-of-arrays
+    binary heap with a pending bitmap — push/pop/peek never allocate
+    per entry and never hash. Cancellation is O(1): cancelled entries
+    are skipped lazily when popped, and the heap is compacted whenever
+    more than half of it is cancelled, so memory stays proportional to
+    the number of live events. *)
 
 type 'a t
 
@@ -32,3 +36,9 @@ val length : 'a t -> int
 
 (** [is_empty t] is [length t = 0]. *)
 val is_empty : 'a t -> bool
+
+(** [heap_size t] is the number of physical heap slots in use,
+    including cancelled-but-not-yet-removed entries. Compaction keeps
+    it below twice {!length} (plus a small constant); exposed for
+    diagnostics and leak tests. *)
+val heap_size : 'a t -> int

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Experiments Fun List Sim Stats

@@ -1,1 +1,1 @@
-test/test_sim.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Sim
+test/test_sim.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,91 @@
+(* Parallel runner: Domain_pool / Runner.parallel_map semantics, and
+   the determinism regression the pool is designed around — a grid run
+   on 4 domains must produce exactly the same table as the sequential
+   run, point for point, bit for bit. *)
+
+let test_pool_matches_sequential () =
+  let items = Array.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int))
+    "order preserved" (Array.map f items)
+    (Sim.Domain_pool.map ~jobs:4 f items)
+
+let test_pool_empty () =
+  Alcotest.(check (array int))
+    "empty input" [||]
+    (Sim.Domain_pool.map ~jobs:4 (fun x -> x) [||])
+
+let test_pool_more_jobs_than_items () =
+  Alcotest.(check (array int))
+    "jobs clamped to item count" [| 2; 4 |]
+    (Sim.Domain_pool.map ~jobs:16 (fun x -> 2 * x) [| 1; 2 |])
+
+exception Job_failed of int
+
+let test_pool_propagates_exception () =
+  let items = Array.init 8 Fun.id in
+  match
+    Sim.Domain_pool.map ~jobs:4
+      (fun x -> if x = 5 then raise (Job_failed x) else x)
+      items
+  with
+  | _ -> Alcotest.fail "expected the job's exception"
+  | exception Job_failed 5 -> ()
+
+let test_parallel_map_list () =
+  let xs = List.init 17 Fun.id in
+  Alcotest.(check (list int))
+    "parallel_map = List.map"
+    (List.map (fun x -> 3 * x) xs)
+    (Experiments.Runner.parallel_map ~jobs:3 (fun x -> 3 * x) xs)
+
+(* Small Fig. 2 grid: 4 domains vs sequential must agree exactly
+   (same seeds, same ordering, same floats). *)
+let test_fig2_deterministic_across_jobs () =
+  let series jobs =
+    Experiments.Fig2_fairness.series ~seed:1 ~warmup:5. ~window:10.
+      ~counts:[ 1; 2 ] ~jobs Experiments.Fig2_fairness.Dumbbell ()
+  in
+  let sequential = series 1 and parallel = series 4 in
+  Alcotest.(check bool)
+    "fig2: jobs:4 table equals jobs:1 table" true (sequential = parallel);
+  Alcotest.(check string)
+    "fig2: rendered tables byte-identical"
+    (Stats.Table.to_csv (Experiments.Fig2_fairness.to_table sequential))
+    (Stats.Table.to_csv (Experiments.Fig2_fairness.to_table parallel))
+
+(* Same for a small Fig. 6 grid (multi-path lattice, two variants). *)
+let test_fig6_deterministic_across_jobs () =
+  let grid jobs =
+    Experiments.Fig6_multipath.grid ~seed:1 ~warmup:2. ~duration:8.
+      ~epsilons:[ 0.; 500. ] ~delays:[ 0.010 ]
+      ~variants:[ Experiments.Variants.tcp_pr; Experiments.Variants.tcp_sack ]
+      ~jobs ()
+  in
+  let sequential = grid 1 and parallel = grid 4 in
+  Alcotest.(check bool)
+    "fig6: jobs:4 grid equals jobs:1 grid" true (sequential = parallel);
+  Alcotest.(check string)
+    "fig6: rendered tables byte-identical"
+    (Stats.Table.to_csv
+       (Experiments.Fig6_multipath.to_table ~delay_s:0.010 sequential))
+    (Stats.Table.to_csv
+       (Experiments.Fig6_multipath.to_table ~delay_s:0.010 parallel))
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "domain-pool",
+        [ Alcotest.test_case "matches sequential" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "empty" `Quick test_pool_empty;
+          Alcotest.test_case "more jobs than items" `Quick
+            test_pool_more_jobs_than_items;
+          Alcotest.test_case "propagates exception" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "parallel_map over lists" `Quick
+            test_parallel_map_list ] );
+      ( "determinism",
+        [ Alcotest.test_case "fig2 grid identical across jobs" `Quick
+            test_fig2_deterministic_across_jobs;
+          Alcotest.test_case "fig6 grid identical across jobs" `Quick
+            test_fig6_deterministic_across_jobs ] ) ]

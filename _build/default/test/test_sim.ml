@@ -164,8 +164,123 @@ let test_queue_peek () =
   Alcotest.(check (option (float 0.)))
     "skips cancelled" (Some 7.) (Sim.Event_queue.peek_time q)
 
+(* Compaction keeps the physical heap proportional to the live count:
+   cancelled entries must not linger until they surface at the top. *)
+let test_queue_compaction_bounds_size () =
+  let q = Sim.Event_queue.create () in
+  let ids =
+    Array.init 10_000 (fun i ->
+        Sim.Event_queue.push q ~time:(float_of_int i) i)
+  in
+  for i = 0 to 9_899 do
+    Sim.Event_queue.cancel q ids.(i)
+  done;
+  Alcotest.(check int) "live count" 100 (Sim.Event_queue.length q);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap size %d is O(live)" (Sim.Event_queue.heap_size q))
+    true
+    (Sim.Event_queue.heap_size q <= 256);
+  let survivors = List.map snd (drain q) in
+  Alcotest.(check (list int))
+    "survivors intact"
+    (List.init 100 (fun i -> 9_900 + i))
+    survivors
+
+(* Model-based qcheck tests: the heap must agree with a naive sorted
+   association list under arbitrary interleavings of push / pop /
+   cancel / peek. Times are drawn from a small set so ties (and the
+   FIFO tie-break) are exercised constantly. *)
+
+type queue_op =
+  | Push of float
+  | Pop
+  | Cancel of int  (* cancel the id of the k-th push so far, mod count *)
+  | Peek
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (5, map (fun t -> Push (float_of_int t)) (int_bound 7));
+        (3, return Pop);
+        (2, map (fun k -> Cancel k) (int_bound 50));
+        (1, return Peek) ])
+
+let op_print = function
+  | Push t -> Printf.sprintf "Push %g" t
+  | Pop -> "Pop"
+  | Cancel k -> Printf.sprintf "Cancel %d" k
+  | Peek -> "Peek"
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_bound 200) op_gen)
+
+(* The model: a list of (time, seq, payload) kept sorted by (time, seq);
+   seq is the insertion index, so FIFO tie-break is by construction. *)
+let model_agrees ops =
+  let q = Sim.Event_queue.create () in
+  let model = ref [] in
+  let pushed = ref [||] in
+  let push_count = ref 0 in
+  let insert (t, s, p) =
+    let rec go = function
+      | [] -> [ (t, s, p) ]
+      | (t', s', _) :: _ as rest when t < t' || (t = t' && s < s') ->
+        (t, s, p) :: rest
+      | entry :: rest -> entry :: go rest
+    in
+    model := go !model
+  in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iter
+    (fun op ->
+      (match op with
+      | Push time ->
+        let payload = !push_count in
+        let id = Sim.Event_queue.push q ~time payload in
+        pushed := Array.append !pushed [| id |];
+        insert (time, !push_count, payload);
+        incr push_count
+      | Pop -> (
+        match (Sim.Event_queue.pop q, !model) with
+        | None, [] -> ()
+        | Some (t, p), (t', _, p') :: rest ->
+          check (t = t' && p = p');
+          model := rest
+        | Some _, [] | None, _ :: _ -> check false)
+      | Cancel k ->
+        if !push_count > 0 then begin
+          let idx = k mod !push_count in
+          Sim.Event_queue.cancel q !pushed.(idx);
+          model := List.filter (fun (_, s, _) -> s <> idx) !model
+        end
+      | Peek ->
+        let expected =
+          match !model with [] -> None | (t, _, _) :: _ -> Some t
+        in
+        check (Sim.Event_queue.peek_time q = expected));
+      check (Sim.Event_queue.length q = List.length !model);
+      check (Sim.Event_queue.is_empty q = (!model = [])))
+    ops;
+  (* drain: remaining events must come out in exact model order *)
+  let rec drain_both () =
+    match (Sim.Event_queue.pop q, !model) with
+    | None, [] -> ()
+    | Some (t, p), (t', _, p') :: rest ->
+      check (t = t' && p = p');
+      model := rest;
+      drain_both ()
+    | Some _, [] | None, _ :: _ -> check false
+  in
+  drain_both ();
+  !ok
+
 let queue_props =
-  [ QCheck.Test.make ~name:"pop returns times sorted" ~count:300
+  [ QCheck.Test.make ~name:"heap agrees with naive sorted-list model"
+      ~count:500 ops_arbitrary model_agrees;
+    QCheck.Test.make ~name:"pop returns times sorted" ~count:300
       QCheck.(list (float_bound_exclusive 1000.))
       (fun times ->
         let q = Sim.Event_queue.create () in
@@ -305,7 +420,9 @@ let () =
           Alcotest.test_case "cancel" `Quick test_queue_cancel;
           Alcotest.test_case "cancel after pop" `Quick
             test_queue_cancel_after_pop_is_noop;
-          Alcotest.test_case "peek" `Quick test_queue_peek ]
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "compaction bounds size" `Quick
+            test_queue_compaction_bounds_size ]
         @ List.map (QCheck_alcotest.to_alcotest ~long:false) queue_props );
       ( "engine",
         [ Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;

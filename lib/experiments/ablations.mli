@@ -19,18 +19,24 @@ val newton_accuracy :
     without the cwnd-at-send snapshot:
     [(snapshot_enabled, mbps)] pairs. *)
 val snapshot_halving :
-  ?seed:int -> ?duration:float -> unit -> (bool * float) list
+  ?seed:int -> ?duration:float -> ?jobs:int -> unit -> (bool * float) list
 
 (** Throughput on a lossy single path with and without the memorize
     list (bursts of drops should halve the window once, not once per
     drop): [(memorize_enabled, mbps)] pairs. *)
-val memorize_list : ?seed:int -> ?duration:float -> unit -> (bool * float) list
+val memorize_list :
+  ?seed:int -> ?duration:float -> ?jobs:int -> unit -> (bool * float) list
 
 (** TCP-PR multi-path throughput (epsilon = 0) as beta varies:
     [(beta, mbps)] rows. A beta near 1 misreads path-delay spread as
     loss; large beta only slows detection of real drops. *)
 val beta_sweep :
-  ?seed:int -> ?duration:float -> ?betas:float list -> unit -> (float * float) list
+  ?seed:int ->
+  ?duration:float ->
+  ?betas:float list ->
+  ?jobs:int ->
+  unit ->
+  (float * float) list
 
 (** Fairness cost of beta on the dumbbell: [(beta, mean normalized
     TCP-SACK throughput)] — the paper's observation that SACK gains
@@ -39,5 +45,6 @@ val beta_fairness :
   ?seed:int ->
   ?flows_per_protocol:int ->
   ?betas:float list ->
+  ?jobs:int ->
   unit ->
   (float * float) list

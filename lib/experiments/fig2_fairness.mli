@@ -33,13 +33,16 @@ val run :
   point
 
 (** [series topology ()] sweeps the flow counts (default
-    [1; 2; 4; 8; 16; 32] per protocol, i.e. 2..64 total flows). *)
+    [1; 2; 4; 8; 16; 32] per protocol, i.e. 2..64 total flows). [jobs]
+    runs the points on that many domains ({!Runner.parallel_map});
+    the result is identical to the sequential default. *)
 val series :
   ?seed:int ->
   ?config:Tcp.Config.t ->
   ?warmup:float ->
   ?window:float ->
   ?counts:int list ->
+  ?jobs:int ->
   topology ->
   unit ->
   point list

@@ -39,8 +39,8 @@ let run ?seed ?config ?warmup ?window ?(flows_per_protocol = 8) topology
     mean_sack = Stats.Fairness.mean_normalized ~group:sack ~all }
 
 let series ?seed ?config ?warmup ?window ?flows_per_protocol
-    ?(scales = [ 1.0; 0.7; 0.5; 0.35; 0.25 ]) topology () =
-  List.map
+    ?(scales = [ 1.0; 0.7; 0.5; 0.35; 0.25 ]) ?(jobs = 1) topology () =
+  Runner.parallel_map ~jobs
     (fun bandwidth_scale ->
       run ?seed ?config ?warmup ?window ?flows_per_protocol topology
         ~bandwidth_scale ())

@@ -41,15 +41,16 @@ let run ?seed ?warmup ?window ?(flows_per_protocol = 8) topology ~alpha ~beta
 
 let grid ?seed ?warmup ?window ?flows_per_protocol
     ?(alphas = [ 0.5; 0.9; 0.995 ]) ?(betas = [ 1.; 2.; 3.; 5.; 10. ])
-    topology () =
-  List.concat_map
-    (fun alpha ->
-      List.map
-        (fun beta ->
-          run ?seed ?warmup ?window ?flows_per_protocol topology ~alpha ~beta
-            ())
-        betas)
-    alphas
+    ?(jobs = 1) topology () =
+  let cells =
+    List.concat_map
+      (fun alpha -> List.map (fun beta -> (alpha, beta)) betas)
+      alphas
+  in
+  Runner.parallel_map ~jobs
+    (fun (alpha, beta) ->
+      run ?seed ?warmup ?window ?flows_per_protocol topology ~alpha ~beta ())
+    cells
 
 let to_table points =
   let table =

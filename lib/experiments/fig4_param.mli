@@ -36,6 +36,7 @@ val grid :
   ?flows_per_protocol:int ->
   ?alphas:float list ->
   ?betas:float list ->
+  ?jobs:int ->
   Fig2_fairness.topology ->
   unit ->
   point list

@@ -22,6 +22,7 @@ val sweep :
   ?duration:float ->
   ?jitters_ms:float list ->
   ?variants:Variants.t list ->
+  ?jobs:int ->
   unit ->
   point list
 

@@ -44,8 +44,9 @@ let default_variants =
     ("TCP-DOOR", (module Tcp.Tcp_door : Tcp.Sender.S));
     ("RACK", (module Tcp.Rack : Tcp.Sender.S)) ]
 
-let compare ?seed ?nodes ?speed ?duration ?(variants = default_variants) () =
-  List.map
+let compare ?seed ?nodes ?speed ?duration ?(variants = default_variants)
+    ?(jobs = 1) () =
+  Runner.parallel_map ~jobs
     (fun (label, sender) ->
       (label, run ?seed ?nodes ?speed ?duration ~sender ()))
     variants

@@ -21,6 +21,15 @@ type fairness_result = {
           the whole run *)
 }
 
+(** [parallel_map ~jobs f xs] maps [f] over the grid points [xs] on a
+    pool of [jobs] domains ({!Sim.Domain_pool}), preserving input
+    order, so tables built from the results are byte-identical to a
+    sequential run. With [jobs <= 1] this is exactly [List.map f xs] —
+    no domain is spawned. Each job must build its own {!Sim.Engine};
+    every experiment in this library does, so grid points never share
+    mutable state. *)
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
 (** [group result ~label] extracts the throughputs of one batch. *)
 val group : fairness_result -> label:string -> float list
 

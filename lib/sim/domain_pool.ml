@@ -1,0 +1,43 @@
+(* Work-queue pool of OCaml 5 domains.
+
+   Jobs are self-scheduled: every worker repeatedly claims the next
+   unclaimed index from a shared atomic counter, so uneven job costs
+   balance automatically (a domain stuck on a long simulation does not
+   hold up the short ones). Results are written into a slot per job,
+   so output order equals input order regardless of completion order.
+
+   Simulations never share state across domains: each job value is
+   immutable (grid coordinates, seeds, sender modules) and each job
+   builds its own engine, which is why parallel runs are bit-identical
+   to sequential ones. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ~jobs f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let jobs = min (max 1 jobs) n in
+    if jobs = 1 then Array.map f items
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let rec worker () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f items.(i) with
+          | result -> results.(i) <- Some result
+          | exception e ->
+            ignore (Atomic.compare_and_set failure None (Some e)));
+          worker ()
+        end
+      in
+      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      Array.iter Domain.join domains;
+      match Atomic.get failure with
+      | Some e -> raise e
+      | None ->
+        Array.map (function Some r -> r | None -> assert false) results
+    end
+  end
