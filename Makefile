@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick figures doc clean
+.PHONY: all build test bench bench-quick figures golden ci doc clean
 
 all: build
 
@@ -24,18 +24,38 @@ bench-record:
 bench-quick:
 	dune exec bench/main.exe -- quick
 
+# FIGURE_JOBS=N sets the domain count for the experiment grids
+# (default: the machine's cores; output is identical at any N).
+FIGURE_JOBS ?=
+FIGURE_FLAGS := $(if $(FIGURE_JOBS),--jobs $(FIGURE_JOBS))
+
 # Regenerate every paper figure and extension table at full scale
 # (about half an hour; see results/ for the archived outputs).
-figures: build
-	./_build/default/bin/tcp_pr_sim.exe fig2   > results/fig2.txt
-	./_build/default/bin/tcp_pr_sim.exe fig3   > results/fig3.txt
-	./_build/default/bin/tcp_pr_sim.exe fig4   > results/fig4.txt
-	./_build/default/bin/tcp_pr_sim.exe fig6   > results/fig6.txt
-	./_build/default/bin/tcp_pr_sim.exe fig6 --extended > results/fig6_extended.txt
-	./_build/default/bin/tcp_pr_sim.exe flaps  > results/flaps.txt
-	./_build/default/bin/tcp_pr_sim.exe jitter > results/jitter.txt
-	./_build/default/bin/tcp_pr_sim.exe manet  > results/manet.txt
-	./_build/default/bin/tcp_pr_sim.exe ablate all > results/ablations.txt
+figures:
+	mkdir -p results
+	dune exec -- bin/tcp_pr_sim.exe fig2 $(FIGURE_FLAGS) > results/fig2.txt
+	dune exec -- bin/tcp_pr_sim.exe fig3 $(FIGURE_FLAGS) > results/fig3.txt
+	dune exec -- bin/tcp_pr_sim.exe fig4 $(FIGURE_FLAGS) > results/fig4.txt
+	dune exec -- bin/tcp_pr_sim.exe fig6 $(FIGURE_FLAGS) > results/fig6.txt
+	dune exec -- bin/tcp_pr_sim.exe fig6 --extended $(FIGURE_FLAGS) > results/fig6_extended.txt
+	dune exec -- bin/tcp_pr_sim.exe flaps $(FIGURE_FLAGS) > results/flaps.txt
+	dune exec -- bin/tcp_pr_sim.exe jitter $(FIGURE_FLAGS) > results/jitter.txt
+	dune exec -- bin/tcp_pr_sim.exe manet $(FIGURE_FLAGS) > results/manet.txt
+	dune exec -- bin/tcp_pr_sim.exe ablate all $(FIGURE_FLAGS) > results/ablations.txt
+
+# Regenerate the golden conformance traces under test/golden/ (only
+# after an intended behaviour change; the directory is checked in and
+# verified by `dune runtest` and `make ci`).
+golden:
+	dune exec -- bin/tcp_pr_sim.exe check --seeds 0 --write-golden test/golden
+
+# Full gate: build everything, run the test suite, then a conformance
+# smoke run — fixed random scenarios over every sender variant with the
+# invariant monitors armed, plus the golden-trace digests.
+ci:
+	dune build @all
+	dune runtest
+	dune exec -- bin/tcp_pr_sim.exe check --seeds 30 --golden test/golden
 
 doc:
 	dune build @doc

@@ -247,6 +247,78 @@ let ablate seed quick jobs which =
     run_beta_fairness ()
   | other -> Printf.eprintf "unknown ablation %S\n" other
 
+let check seed seeds jobs variants golden write_golden =
+  let jobs = max 1 jobs in
+  let failures = ref 0 in
+  let variant_list =
+    match variants with
+    | [] -> Experiments.Variants.all
+    | names ->
+      List.map
+        (fun name ->
+          match Experiments.Variants.find name with
+          | Some variant -> variant
+          | None ->
+            Printf.eprintf "unknown variant %S\n" name;
+            exit 2)
+        names
+  in
+  (match write_golden with
+  | Some dir ->
+    Check.Golden.write ~dir ~jobs;
+    Printf.printf "golden traces written to %s/\n" dir
+  | None -> ());
+  if seeds > 0 then begin
+    Printf.printf
+      "Differential oracle: %d scenario(s) x %d variant(s), monitors armed\n"
+      seeds (List.length variant_list);
+    let grid =
+      List.concat_map
+        (fun offset ->
+          List.map (fun variant -> (seed + offset, variant)) variant_list)
+        (List.init seeds Fun.id)
+    in
+    let reports =
+      Experiments.Runner.parallel_map ~jobs
+        (fun (scenario_seed, variant) ->
+          Check.Oracle.run
+            (Check.Oracle.generate ~seed:scenario_seed)
+            ~variant)
+        grid
+    in
+    List.iter
+      (fun report ->
+        if Check.Oracle.passed report then
+          Printf.printf "  ok   %-9s %s\n" report.Check.Oracle.variant
+            (Check.Oracle.describe report.Check.Oracle.scenario)
+        else begin
+          incr failures;
+          Format.printf "  FAIL %a@." Check.Oracle.pp_report report
+        end)
+      reports
+  end;
+  (match golden with
+  | Some dir ->
+    Printf.printf "Golden traces vs %s/ (jobs=%d):\n" dir jobs;
+    List.iter
+      (fun (case_id, result) ->
+        match result with
+        | `Ok -> Printf.printf "  ok   %s\n" case_id
+        | `Missing ->
+          incr failures;
+          Printf.printf "  FAIL %s: no stored digest (run `make golden`)\n"
+            case_id
+        | `Mismatch detail ->
+          incr failures;
+          Printf.printf "  FAIL %s: trace drifted at %s\n" case_id detail)
+      (Check.Golden.verify ~dir ~jobs)
+  | None -> ());
+  if !failures > 0 then begin
+    Printf.printf "%d failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "all checks passed"
+
 let demo seed jobs =
   let jobs = max 1 jobs in
   print_endline "Demo: TCP-PR vs TCP-SACK, single shared 15 Mb/s bottleneck";
@@ -335,6 +407,43 @@ let ablate_cmd =
   cmd_of "ablate" ~doc:"Run the TCP-PR design-choice ablations."
     Term.(const ablate $ seed_term $ quick_term $ jobs_term $ which)
 
+let check_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) generated scenarios (seeds SEED..SEED+N-1); 0 skips \
+             the differential harness.")
+  in
+  let variants =
+    Arg.(
+      value & opt_all string []
+      & info [ "variant" ] ~docv:"NAME"
+          ~doc:"Restrict to this sender variant (repeatable; default all).")
+  in
+  let golden =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "golden" ] ~docv:"DIR"
+          ~doc:"Verify golden trace digests stored in $(docv).")
+  in
+  let write_golden =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-golden" ] ~docv:"DIR"
+          ~doc:"Recompute golden traces and digests into $(docv).")
+  in
+  cmd_of "check"
+    ~doc:
+      "Conformance oracle: differential torture scenarios with invariant \
+       monitors, plus golden-trace verification."
+    Term.(
+      const check $ seed_term $ seeds $ jobs_term $ variants $ golden
+      $ write_golden)
+
 let demo_cmd =
   cmd_of "demo" ~doc:"Two-minute tour: fairness and reordering robustness."
     Term.(const demo $ seed_term $ jobs_term)
@@ -358,4 +467,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig4_cmd; fig6_cmd; flaps_cmd; jitter_cmd;
-            manet_cmd; ablate_cmd; demo_cmd ]))
+            manet_cmd; ablate_cmd; check_cmd; demo_cmd ]))

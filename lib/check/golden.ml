@@ -1,0 +1,179 @@
+type kind =
+  | Fig_dumbbell of { bottleneck_bps : float }
+  | Fig_lattice
+
+type case = {
+  figure : string;
+  variant : string * (module Tcp.Sender.S);
+  kind : kind;
+}
+
+let id case =
+  case.figure ^ "__" ^ Experiments.Variants.canonical (fst case.variant)
+
+(* Short bounded transfers: long enough to include slow start, loss
+   recovery and (on the lattice) persistent reordering, short enough
+   that the whole suite recomputes in well under a second. *)
+let golden_config =
+  { Tcp.Config.default with
+    Tcp.Config.total_segments = Some 80;
+    min_rto = 0.2;
+    initial_rto = 1.;
+    max_rto = 16. }
+
+let collect_lines probe =
+  let buffer = Buffer.create 4096 in
+  Sim.Trace.on probe (fun event ->
+      Buffer.add_string buffer (Tcp.Probe.to_line event);
+      Buffer.add_char buffer '\n');
+  buffer
+
+let run_dumbbell ~bottleneck_bps (module M : Tcp.Sender.S) =
+  let engine = Sim.Engine.create () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:bottleneck_bps
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  let probe = Tcp.Probe.create () in
+  let buffer = collect_lines probe in
+  let connect flow sender =
+    Tcp.Connection.create ~probe network ~flow
+      ~src:topo.Topo.Dumbbell.sources.(0)
+      ~dst:topo.Topo.Dumbbell.sinks.(0)
+      ~sender ~config:golden_config
+      ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+      ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+      ()
+  in
+  (* The variant under test races the paper's TCP-SACK competitor for
+     the bottleneck, as in the Fig. 2/3 fairness runs. *)
+  let main = connect 0 (module M : Tcp.Sender.S) in
+  let competitor = connect 1 (snd Experiments.Variants.tcp_sack) in
+  Tcp.Connection.start main ~at:0.;
+  Tcp.Connection.start competitor ~at:0.05;
+  Sim.Engine.run engine ~until:60.;
+  Buffer.contents buffer
+
+let run_lattice (module M : Tcp.Sender.S) =
+  let engine = Sim.Engine.create () in
+  let topo = Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ] () in
+  let network = topo.Topo.Multipath_lattice.network in
+  let probe = Tcp.Probe.create () in
+  let buffer = collect_lines probe in
+  let rng = Sim.Rng.create 42 in
+  (* epsilon = 0: all paths equiprobable, maximal persistent
+     reordering — the Fig. 6 regime. *)
+  let sampler label =
+    Multipath.Epsilon_routing.for_lattice (Sim.Rng.split rng label)
+      ~epsilon:0. topo
+  in
+  let fwd = sampler "fwd" and rev = sampler "rev" in
+  let connection =
+    Tcp.Connection.create ~probe network ~flow:0
+      ~src:topo.Topo.Multipath_lattice.source
+      ~dst:topo.Topo.Multipath_lattice.destination
+      ~sender:(module M : Tcp.Sender.S)
+      ~config:golden_config
+      ~route_data:(fun () ->
+        Multipath.Epsilon_routing.route fwd
+          topo.Topo.Multipath_lattice.forward_routes)
+      ~route_ack:(fun () ->
+        Multipath.Epsilon_routing.route rev
+          topo.Topo.Multipath_lattice.reverse_routes)
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:60.;
+  Buffer.contents buffer
+
+let compute case =
+  let _, sender = case.variant in
+  match case.kind with
+  | Fig_dumbbell { bottleneck_bps } -> run_dumbbell ~bottleneck_bps sender
+  | Fig_lattice -> run_lattice sender
+
+let cases =
+  let dumbbell figure bottleneck_bps variant =
+    { figure; variant; kind = Fig_dumbbell { bottleneck_bps } }
+  in
+  let paired = [ Experiments.Variants.tcp_pr; Experiments.Variants.tcp_sack ] in
+  List.map (dumbbell "fig2" 1.5e6) paired
+  @ List.map (dumbbell "fig3" 0.75e6) paired
+  @ List.map
+      (fun variant -> { figure = "fig6"; variant; kind = Fig_lattice })
+      Experiments.Variants.fig6
+
+let digest_of_trace trace = Digest.to_hex (Digest.string trace)
+
+let compute_all ~jobs =
+  Experiments.Runner.parallel_map ~jobs
+    (fun case -> (id case, compute case))
+    cases
+
+let digest_file dir = Filename.concat dir "DIGESTS"
+
+let trace_file dir case_id = Filename.concat dir (case_id ^ ".trace")
+
+let write ~dir ~jobs =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let results = compute_all ~jobs in
+  let out = open_out (digest_file dir) in
+  List.iter
+    (fun (case_id, trace) ->
+      let file = open_out (trace_file dir case_id) in
+      output_string file trace;
+      close_out file;
+      Printf.fprintf out "%s  %s\n" (digest_of_trace trace) case_id)
+    results;
+  close_out out
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let load_digests dir =
+  let path = digest_file dir in
+  if not (Sys.file_exists path) then []
+  else
+    String.split_on_char '\n' (read_file path)
+    |> List.filter_map (fun line ->
+           match String.index_opt line ' ' with
+           | Some i ->
+             Some
+               ( String.trim (String.sub line i (String.length line - i)),
+                 String.sub line 0 i )
+           | None -> None)
+
+(* First differing line between the stored trace and the recomputed
+   one: the readable core of a golden failure report. *)
+let first_diff ~expected ~actual =
+  let e = String.split_on_char '\n' expected in
+  let a = String.split_on_char '\n' actual in
+  let rec scan n e a =
+    match (e, a) with
+    | [], [] -> Printf.sprintf "traces differ but no line does (line %d)" n
+    | x :: _, [] ->
+      Printf.sprintf "line %d: recomputed trace ends; stored has %S" n x
+    | [], y :: _ ->
+      Printf.sprintf "line %d: stored trace ends; recomputed has %S" n y
+    | x :: e', y :: a' ->
+      if String.equal x y then scan (n + 1) e' a'
+      else Printf.sprintf "line %d:\n  stored:     %s\n  recomputed: %s" n x y
+  in
+  scan 1 e a
+
+let verify ~dir ~jobs =
+  let stored = load_digests dir in
+  compute_all ~jobs
+  |> List.map (fun (case_id, trace) ->
+         match List.assoc_opt case_id stored with
+         | None -> (case_id, `Missing)
+         | Some digest when String.equal digest (digest_of_trace trace) ->
+           (case_id, `Ok)
+         | Some _ ->
+           let file = trace_file dir case_id in
+           let detail =
+             if Sys.file_exists file then
+               first_diff ~expected:(read_file file) ~actual:trace
+             else "digest differs and stored trace file is missing"
+           in
+           (case_id, `Mismatch detail))

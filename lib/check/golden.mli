@@ -1,0 +1,47 @@
+(** Golden-trace regression: canonical probe-event traces for a small
+    set of figure-derived scenarios, digested and checked into the
+    repository.
+
+    Each case is a deterministic miniature of one of the paper's
+    experiments (Fig. 2 and Fig. 3 dumbbell runs against a TCP-SACK
+    competitor; Fig. 6 single-flow multi-path runs). The full trace is
+    rendered through {!Tcp.Probe.to_line} — every behavioural change in
+    the sender, receiver, queues or scheduler shows up as a textual
+    difference — and its MD5 digest is stored in [DIGESTS], with the
+    trace itself alongside so a drift produces a readable line diff,
+    not just a hash mismatch.
+
+    Traces must be byte-identical at every [--jobs] value: cases are
+    recomputed through {!Experiments.Runner.parallel_map}, and each case
+    builds its own engine, so domain-parallel recomputation cannot
+    perturb the result. *)
+
+type case
+
+(** The checked-in case set: fig2 and fig3 for TCP-PR and TCP-SACK,
+    fig6 for the paper's six compared variants. *)
+val cases : case list
+
+(** Stable case identifier, e.g. ["fig6__tcp-pr"]; also the trace file
+    basename. *)
+val id : case -> string
+
+(** [compute case] renders the full canonical trace (newline-joined
+    probe lines, trailing newline). *)
+val compute : case -> string
+
+val digest_of_trace : string -> string
+
+(** [compute_all ~jobs] computes every case's [(id, trace)] on a domain
+    pool, in [cases] order. *)
+val compute_all : jobs:int -> (string * string) list
+
+(** [write ~dir ~jobs] (re)creates [dir] with one [<id>.trace] file per
+    case plus the [DIGESTS] index. *)
+val write : dir:string -> jobs:int -> unit
+
+(** [verify ~dir ~jobs] recomputes every case and checks it against
+    [dir]: [`Ok], [`Missing] when the digest entry is absent, or
+    [`Mismatch detail] where [detail] pinpoints the first differing
+    trace line against the stored [<id>.trace]. *)
+val verify : dir:string -> jobs:int -> (string * [ `Ok | `Missing | `Mismatch of string ]) list

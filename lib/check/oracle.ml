@@ -1,0 +1,219 @@
+type topology =
+  | Dumbbell
+  | Parking_lot
+  | Lattice
+
+type scenario = {
+  seed : int;
+  topology : topology;
+  loss : float;
+  jitter : float;
+  epsilon : float;
+  route_flap : bool;
+  delayed_ack : bool;
+  total_segments : int;
+  bandwidth_scale : float;
+  time_limit : float;
+}
+
+let generate ~seed =
+  let rng = Sim.Rng.split (Sim.Rng.create seed) "oracle-scenario" in
+  let topology =
+    match Sim.Rng.int rng 3 with
+    | 0 -> Dumbbell
+    | 1 -> Parking_lot
+    | _ -> Lattice
+  in
+  let hostile = topology <> Parking_lot in
+  (* The parking lot provides congestion loss from its own queues; the
+     other topologies get injected corruption loss and jitter. *)
+  let loss = if hostile then Sim.Rng.float_range rng ~lo:0. ~hi:0.06 else 0. in
+  let jitter =
+    if hostile then Sim.Rng.float_range rng ~lo:0. ~hi:0.02 else 0.
+  in
+  let epsilon = if Sim.Rng.bool rng ~p:0.5 then 0. else 0.5 in
+  let route_flap = topology = Lattice && Sim.Rng.bool rng ~p:0.4 in
+  let delayed_ack = Sim.Rng.bool rng ~p:0.3 in
+  let total_segments = 30 + Sim.Rng.int rng 50 in
+  let bandwidth_scale =
+    match topology with
+    | Dumbbell -> Sim.Rng.float_range rng ~lo:0.3 ~hi:1.
+    | Parking_lot -> Sim.Rng.float_range rng ~lo:0.02 ~hi:0.08
+    | Lattice -> 1.
+  in
+  { seed;
+    topology;
+    loss;
+    jitter;
+    epsilon;
+    route_flap;
+    delayed_ack;
+    total_segments;
+    bandwidth_scale;
+    time_limit = 600. }
+
+let describe s =
+  let topology =
+    match s.topology with
+    | Dumbbell -> "dumbbell"
+    | Parking_lot -> "parking-lot"
+    | Lattice -> "lattice"
+  in
+  Printf.sprintf
+    "seed=%d %s loss=%.3f jitter=%.3fs eps=%.1f flap=%b delack=%b segs=%d \
+     bw-scale=%.3f"
+    s.seed topology s.loss s.jitter s.epsilon s.route_flap s.delayed_ack
+    s.total_segments s.bandwidth_scale
+
+let config s =
+  { Tcp.Config.default with
+    Tcp.Config.total_segments = Some s.total_segments;
+    delayed_ack = s.delayed_ack;
+    min_rto = 0.2;
+    initial_rto = 1.;
+    max_rto = 16. }
+
+type report = {
+  scenario : scenario;
+  variant : string;
+  finished : bool;
+  delivered : int;
+  events : int;
+  violations : Monitor.violation list;
+  violation_total : int;
+  trace_tail : string list;
+}
+
+let tail_length = 40
+
+(* Build the scenario's network and return the connection endpoints and
+   per-packet route samplers. All randomness (loss, jitter, routing)
+   derives from the scenario seed, never from the variant, so every
+   variant faces the same environment. *)
+let build s engine rng =
+  let loss_model stream =
+    if s.loss > 0. then Some (Net.Loss_model.bernoulli stream ~p:s.loss)
+    else None
+  in
+  let jitter_pair stream = if s.jitter > 0. then Some (stream, s.jitter) else None in
+  match s.topology with
+  | Dumbbell ->
+    let topo =
+      Topo.Dumbbell.create engine
+        ~bottleneck_bandwidth_bps:(1.5e6 *. s.bandwidth_scale)
+        ~queue_capacity:12
+        ?bottleneck_loss:(loss_model (Sim.Rng.split rng "loss"))
+        ?bottleneck_jitter:(jitter_pair (Sim.Rng.split rng "jitter"))
+        ()
+    in
+    ( topo.Topo.Dumbbell.network,
+      topo.Topo.Dumbbell.sources.(0),
+      topo.Topo.Dumbbell.sinks.(0),
+      (fun () -> Topo.Dumbbell.route_forward topo ~pair:0),
+      fun () -> Topo.Dumbbell.route_reverse topo ~pair:0 )
+  | Parking_lot ->
+    let topo =
+      Topo.Parking_lot.create engine ~bandwidth_scale:s.bandwidth_scale ()
+    in
+    ( topo.Topo.Parking_lot.network,
+      topo.Topo.Parking_lot.source,
+      topo.Topo.Parking_lot.destination,
+      (fun () -> Topo.Parking_lot.route_forward topo),
+      fun () -> Topo.Parking_lot.route_reverse topo )
+  | Lattice ->
+    let topo =
+      Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ]
+        ?loss:(loss_model (Sim.Rng.split rng "loss"))
+        ?jitter:(jitter_pair (Sim.Rng.split rng "jitter"))
+        ()
+    in
+    let forward = topo.Topo.Multipath_lattice.forward_routes in
+    let reverse = topo.Topo.Multipath_lattice.reverse_routes in
+    let route_data, route_ack =
+      if s.route_flap then begin
+        (* A mobile-network route change: all traffic hops to the next
+           path at a fixed cadence (cf. the paper's Section 5 route
+           fluctuation argument). *)
+        let current = ref 0 in
+        let paths = Array.length forward in
+        let period = 0.75 in
+        let flips = int_of_float (s.time_limit /. period) in
+        for k = 1 to flips do
+          ignore
+            (Sim.Engine.schedule_at engine
+               ~time:(float_of_int k *. period)
+               (fun () -> current := (!current + 1) mod paths))
+        done;
+        ((fun () -> forward.(!current)), fun () -> reverse.(!current))
+      end
+      else begin
+        let sampler stream =
+          Multipath.Epsilon_routing.for_lattice stream ~epsilon:s.epsilon topo
+        in
+        let fwd = sampler (Sim.Rng.split rng "fwd") in
+        let rev = sampler (Sim.Rng.split rng "rev") in
+        ( (fun () -> Multipath.Epsilon_routing.route fwd forward),
+          fun () -> Multipath.Epsilon_routing.route rev reverse )
+      end
+    in
+    ( topo.Topo.Multipath_lattice.network,
+      topo.Topo.Multipath_lattice.source,
+      topo.Topo.Multipath_lattice.destination,
+      route_data,
+      route_ack )
+
+let run s ~variant:(variant_name, sender) =
+  let config = config s in
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.split (Sim.Rng.create s.seed) "oracle-network" in
+  let network, src, dst, route_data, route_ack = build s engine rng in
+  let probe = Tcp.Probe.create () in
+  let monitors = Monitor.for_variant ~variant:variant_name ~config in
+  Monitor.arm probe monitors;
+  let tail = Array.make tail_length "" in
+  let events = ref 0 in
+  Sim.Trace.on probe (fun event ->
+      tail.(!events mod tail_length) <- Tcp.Probe.to_line event;
+      incr events);
+  let connection =
+    Tcp.Connection.create ~probe network ~flow:0 ~src ~dst ~sender ~config
+      ~route_data ~route_ack ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:s.time_limit;
+  let trace_tail =
+    let n = min !events tail_length in
+    List.init n (fun i -> tail.((!events - n + i) mod tail_length))
+  in
+  { scenario = s;
+    variant = variant_name;
+    finished = Tcp.Connection.finished connection;
+    delivered = Tcp.Connection.received_segments connection;
+    events = !events;
+    violations = Monitor.all_violations monitors;
+    violation_total =
+      List.fold_left (fun acc m -> acc + Monitor.violation_count m) 0 monitors;
+    trace_tail }
+
+let passed r =
+  r.finished
+  && r.delivered >= r.scenario.total_segments
+  && r.violation_total = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s variant=%s: %s (delivered %d/%d, %d events)@,"
+    (describe r.scenario) r.variant
+    (if passed r then "PASS" else "FAIL")
+    r.delivered r.scenario.total_segments r.events;
+  if not r.finished then Format.fprintf ppf "transfer did not finish@,";
+  if r.violation_total > 0 then begin
+    Format.fprintf ppf "%d violation(s):@," r.violation_total;
+    List.iter
+      (fun v -> Format.fprintf ppf "  %a@," Monitor.pp_violation v)
+      r.violations
+  end;
+  if (not (passed r)) && r.trace_tail <> [] then begin
+    Format.fprintf ppf "last %d probe events:@," (List.length r.trace_tail);
+    List.iter (fun line -> Format.fprintf ppf "  %s@," line) r.trace_tail
+  end;
+  Format.fprintf ppf "@]"

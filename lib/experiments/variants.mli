@@ -16,6 +16,11 @@ val extensions : t list
 (** Historical baselines: Tahoe, Reno, NewReno. *)
 val classics : t list
 
+(** [canonical name] is the label normalised for lookups and file
+    names: lower-case, with spaces and underscores mapped to dashes
+    (e.g. ["Inc by 1"] -> ["inc-by-1"]). *)
+val canonical : string -> string
+
 (** [find name] looks a variant up by its label (case-insensitive;
     spaces and dashes interchangeable). *)
 val find : string -> t option

@@ -83,9 +83,14 @@ let add_link t ~src ~dst ~bandwidth_bps ~delay_s ~capacity ?loss ?qdisc ?jitter 
   cell := Node.id dst :: !cell;
   link
 
-let add_duplex t ~src ~dst ~bandwidth_bps ~delay_s ~capacity ?loss () =
-  let fwd = add_link t ~src ~dst ~bandwidth_bps ~delay_s ~capacity ?loss () in
-  let rev = add_link t ~src:dst ~dst:src ~bandwidth_bps ~delay_s ~capacity ?loss () in
+let add_duplex t ~src ~dst ~bandwidth_bps ~delay_s ~capacity ?loss ?jitter () =
+  let fwd =
+    add_link t ~src ~dst ~bandwidth_bps ~delay_s ~capacity ?loss ?jitter ()
+  in
+  let rev =
+    add_link t ~src:dst ~dst:src ~bandwidth_bps ~delay_s ~capacity ?loss
+      ?jitter ()
+  in
   (fwd, rev)
 
 let link_between t ~src ~dst = Hashtbl.find_opt t.adjacency (src, dst)

@@ -52,6 +52,7 @@ val add_duplex :
   delay_s:float ->
   capacity:int ->
   ?loss:Loss_model.t ->
+  ?jitter:Sim.Rng.t * float ->
   unit ->
   Link.t * Link.t
 

@@ -1,3 +1,13 @@
+type 'a tap = { mutable handlers : ('a -> unit) list }
+
+let tap () = { handlers = [] }
+
+let on t handler = t.handlers <- t.handlers @ [ handler ]
+
+let armed t = t.handlers <> []
+
+let emit t event = List.iter (fun handler -> handler event) t.handlers
+
 type t = (string, float ref) Hashtbl.t
 
 let create () : t = Hashtbl.create 32

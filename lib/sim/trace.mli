@@ -1,8 +1,31 @@
-(** Named numeric counters for instrumentation.
+(** Named numeric counters and typed event taps for instrumentation.
 
     Components record occurrences ([incr]) or magnitudes ([add]) under a
     string key; tests and harnesses read them back with [get] /
-    [to_list]. Missing keys read as zero. *)
+    [to_list]. Missing keys read as zero.
+
+    A {!tap} is the event-valued counterpart: a component owns an
+    ['a tap], listeners subscribe with [on], and the component publishes
+    with [emit]. An unarmed tap (no listeners) makes [emit] a no-op, so
+    instrumented code can guard any event-construction cost behind
+    [armed] and stay free when nobody is watching. *)
+
+(** A typed event tap: a broadcast point for ['a]-valued events. *)
+type 'a tap
+
+(** [tap ()] is a fresh tap with no listeners. *)
+val tap : unit -> 'a tap
+
+(** [on t handler] subscribes [handler] to every subsequent [emit].
+    Handlers run in subscription order. *)
+val on : 'a tap -> ('a -> unit) -> unit
+
+(** [armed t] is true when at least one handler is subscribed. Emitters
+    should skip building expensive events when unarmed. *)
+val armed : 'a tap -> bool
+
+(** [emit t event] delivers [event] to every subscribed handler. *)
+val emit : 'a tap -> 'a -> unit
 
 type t
 

@@ -24,10 +24,26 @@ type t = {
      each arrival) and its flush deadline. *)
   mutable pending_ack : Types.ack option;
   mutable delack_timer : Sim.Engine.event_id option;
+  probe : Probe.t option;
 }
+
+(* Instrumentation is pay-for-use: [probing t] is false unless a probe
+   with at least one listener was supplied, and every snapshot or event
+   construction hides behind it. *)
+let probing t =
+  match t.probe with Some probe -> Sim.Trace.armed probe | None -> false
+
+let emit_event t event =
+  match t.probe with Some probe -> Sim.Trace.emit probe event | None -> ()
+
+let sender_view t =
+  { Probe.cwnd = Sender.cwnd t.sender; metrics = Sender.metrics t.sender }
 
 let send_data t ~seq ~retx =
   t.data_packets_sent <- t.data_packets_sent + 1;
+  if probing t then
+    emit_event t
+      (Probe.Sent { time = Sim.Engine.now t.engine; flow = t.flow; seq; retx });
   Log.debug (fun m ->
       m "t=%.4f flow=%d send seq=%d%s"
         (Sim.Engine.now t.engine)
@@ -44,6 +60,10 @@ let send_data t ~seq ~retx =
   Net.Network.originate t.network ~from:t.src packet
 
 let send_ack t ack =
+  if probing t then
+    emit_event t
+      (Probe.Ack_at_sink
+         { time = Sim.Engine.now t.engine; flow = t.flow; ack });
   let packet =
     Net.Packet.create
       ~uid:(Net.Network.fresh_uid t.network)
@@ -61,6 +81,12 @@ let note_finished t =
     Hashtbl.reset t.timers
   end
 
+(* [instrumented t make run] runs a sender handler and, when probing,
+   publishes its envelope event — snapshots from either side of the
+   handler plus the actions it returned — BEFORE executing the actions,
+   so that [Sent] events land after the envelope that authorised them
+   (see {!Probe}). Sender state does not change during action execution,
+   so the post-handler snapshot is already final. *)
 let rec apply t actions =
   let execute = function
     | Action.Send { seq; retx } -> send_data t ~seq ~retx
@@ -72,7 +98,11 @@ let rec apply t actions =
         Sim.Engine.schedule_after t.engine ~delay (fun () ->
             Hashtbl.remove t.timers key;
             let now = Sim.Engine.now t.engine in
-            apply t (Sender.on_timer t.sender ~now ~key))
+            instrumented t
+              (fun ~before ~after ~actions ->
+                Probe.Timer_fired
+                  { time = now; flow = t.flow; key; before; after; actions })
+              (fun () -> Sender.on_timer t.sender ~now ~key))
       in
       Hashtbl.replace t.timers key id
     | Action.Cancel_timer { key } -> (
@@ -84,6 +114,16 @@ let rec apply t actions =
   in
   List.iter execute actions;
   note_finished t
+
+and instrumented t make run =
+  if probing t then begin
+    let before = sender_view t in
+    let actions = run () in
+    let after = sender_view t in
+    emit_event t (make ~before ~after ~actions);
+    apply t actions
+  end
+  else apply t (run ())
 
 let cancel_delack t =
   match t.delack_timer with
@@ -103,7 +143,23 @@ let flush_pending_ack t =
 let on_data_arrival t packet =
   match packet.Net.Packet.payload with
   | Types.Data { seq; retx } -> (
-    match Receiver.receive t.receiver ~retx ~seq () with
+    let rcv_next_before = Receiver.rcv_next t.receiver in
+    let disposition = Receiver.receive t.receiver ~retx ~seq () in
+    if probing t then begin
+      let ack =
+        match disposition with Receiver.Ack_now a | Receiver.Defer a -> a
+      in
+      emit_event t
+        (Probe.Data_at_sink
+           { time = Sim.Engine.now t.engine;
+             flow = t.flow;
+             seq;
+             retx;
+             dup = ack.Types.dsack <> None;
+             rcv_next_before;
+             rcv_next_after = Receiver.rcv_next t.receiver })
+    end;
+    match disposition with
     | Receiver.Ack_now ack ->
       (* Supersedes any deferred acknowledgement (the new one is
          cumulative). *)
@@ -129,10 +185,15 @@ let on_ack_arrival t packet =
     let now = Sim.Engine.now t.engine in
     Log.debug (fun m ->
         m "t=%.4f flow=%d ack %a" now t.flow Types.pp_ack ack);
-    apply t (Sender.on_ack t.sender ~now ack)
+    instrumented t
+      (fun ~before ~after ~actions ->
+        Probe.Ack_at_source
+          { time = now; flow = t.flow; ack; before; after; actions })
+      (fun () -> Sender.on_ack t.sender ~now ack)
   | _ -> ()
 
-let create network ~flow ~src ~dst ~sender ~config ~route_data ~route_ack () =
+let create ?probe network ~flow ~src ~dst ~sender ~config ~route_data
+    ~route_ack () =
   Config.validate config;
   let t =
     { network;
@@ -150,7 +211,8 @@ let create network ~flow ~src ~dst ~sender ~config ~route_data ~route_ack () =
       data_packets_sent = 0;
       finished_at = None;
       pending_ack = None;
-      delack_timer = None }
+      delack_timer = None;
+      probe }
   in
   Net.Node.attach dst ~flow (on_data_arrival t);
   Net.Node.attach src ~flow (on_ack_arrival t);

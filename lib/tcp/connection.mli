@@ -12,12 +12,15 @@ type t
 (** [create network ~flow ~src ~dst ~sender ~config ~route_data
     ~route_ack ()] wires a connection but does not start it.
 
+    @param probe optional instrumentation tap (see {!Probe}); when
+    omitted or unarmed the connection pays no instrumentation cost.
     @param sender the variant, e.g. [(module Tcp.Sack : Tcp.Sender.S)].
     @param route_data returns the forward route: node ids after [src],
     ending with [dst].
     @param route_ack returns the reverse route: node ids after [dst],
     ending with [src]. *)
 val create :
+  ?probe:Probe.t ->
   Net.Network.t ->
   flow:int ->
   src:Net.Node.t ->

@@ -107,7 +107,10 @@ let metrics t =
     ("fast_retransmits", float_of_int t.n_fast_retx);
     ("timeouts", float_of_int t.n_timeouts);
     ("cwnd", t.cwnd);
-    ("ssthresh", t.ssthresh) ]
+    ("ssthresh", t.ssthresh);
+    (* -1 before the first valid sample, mirroring [Rto.srtt]'s None;
+       the check monitors watch this for Karn-rule violations. *)
+    ("srtt", Option.value (Rto.srtt t.rto) ~default:(-1.)) ]
 
 let arm_rto t = Action.Set_timer { key = rto_key; delay = Rto.current t.rto }
 

@@ -1,0 +1,93 @@
+type sender_view = {
+  cwnd : float;
+  metrics : (string * float) list;
+}
+
+type event =
+  | Sent of { time : float; flow : int; seq : int; retx : bool }
+  | Data_at_sink of {
+      time : float;
+      flow : int;
+      seq : int;
+      retx : bool;
+      dup : bool;
+      rcv_next_before : int;
+      rcv_next_after : int;
+    }
+  | Ack_at_sink of { time : float; flow : int; ack : Types.ack }
+  | Ack_at_source of {
+      time : float;
+      flow : int;
+      ack : Types.ack;
+      before : sender_view;
+      after : sender_view;
+      actions : Action.t list;
+    }
+  | Timer_fired of {
+      time : float;
+      flow : int;
+      key : int;
+      before : sender_view;
+      after : sender_view;
+      actions : Action.t list;
+    }
+
+type t = event Sim.Trace.tap
+
+let create () : t = Sim.Trace.tap ()
+
+let metric view key =
+  match List.assoc_opt key view.metrics with Some v -> v | None -> 0.
+
+let time = function
+  | Sent { time; _ }
+  | Data_at_sink { time; _ }
+  | Ack_at_sink { time; _ }
+  | Ack_at_source { time; _ }
+  | Timer_fired { time; _ } -> time
+
+let flow = function
+  | Sent { flow; _ }
+  | Data_at_sink { flow; _ }
+  | Ack_at_sink { flow; _ }
+  | Ack_at_source { flow; _ }
+  | Timer_fired { flow; _ } -> flow
+
+(* Canonical one-line rendering, used both for failure reports and for
+   the golden-trace files: every behavioural difference between two runs
+   must show up as a textual difference here. Floats use %.6f (times)
+   and %.6g (windows) so the format is stable and diffs stay readable;
+   the simulation itself is bit-deterministic, so equal runs render to
+   byte-identical lines. *)
+let sack_blocks_to_string blocks =
+  String.concat ","
+    (List.map
+       (fun { Types.first; last } -> Printf.sprintf "%d-%d" first last)
+       blocks)
+
+let ack_to_string (ack : Types.ack) =
+  Printf.sprintf "next=%d for=%d%s sacks=[%s] dsack=%s" ack.Types.next
+    ack.Types.for_seq
+    (if ack.Types.for_retx then "R" else "")
+    (sack_blocks_to_string ack.Types.sacks)
+    (match ack.Types.dsack with
+    | Some { Types.first; last } -> Printf.sprintf "%d-%d" first last
+    | None -> "-")
+
+let to_line = function
+  | Sent { time; flow; seq; retx } ->
+    Printf.sprintf "snd t=%.6f f=%d seq=%d%s" time flow seq
+      (if retx then " retx" else "")
+  | Data_at_sink { time; flow; seq; retx; dup; rcv_next_before; rcv_next_after }
+    ->
+    Printf.sprintf "rcv t=%.6f f=%d seq=%d%s%s next=%d->%d" time flow seq
+      (if retx then " retx" else "")
+      (if dup then " dup" else "")
+      rcv_next_before rcv_next_after
+  | Ack_at_sink { time; flow; ack } ->
+    Printf.sprintf "ack- t=%.6f f=%d %s" time flow (ack_to_string ack)
+  | Ack_at_source { time; flow; ack; after; _ } ->
+    Printf.sprintf "ack+ t=%.6f f=%d %s cwnd=%.6g" time flow
+      (ack_to_string ack) after.cwnd
+  | Timer_fired { time; flow; key; after; _ } ->
+    Printf.sprintf "tmr t=%.6f f=%d key=%d cwnd=%.6g" time flow key after.cwnd

@@ -1,0 +1,79 @@
+(** Connection instrumentation: the event tap consumed by the
+    [lib/check] invariant monitors and the golden-trace regression.
+
+    {!Connection} accepts an optional probe and publishes one event per
+    protocol-visible step: a segment handed to the network, a data
+    arrival at the sink (with the receiver-state transition), an
+    acknowledgement emitted by the sink, and the processing of an
+    acknowledgement or timer at the sender. Sender-processing events
+    carry a {!sender_view} snapshot from immediately before and
+    immediately after the handler ran, plus the action list it
+    returned.
+
+    Ordering contract: the [Ack_at_source] / [Timer_fired] envelope is
+    emitted {e before} the actions execute, so any [Sent] events caused
+    by those actions follow their envelope. Monitors rely on this to
+    attribute retransmissions to the event that authorised them.
+
+    When the tap is unarmed (no listeners), instrumentation costs
+    nothing: {!Connection} skips snapshots and event construction
+    entirely. *)
+
+(** Sender state snapshot: the congestion window plus the variant's
+    diagnostic counters (see {!Sender.S.metrics}). *)
+type sender_view = {
+  cwnd : float;
+  metrics : (string * float) list;
+}
+
+type event =
+  | Sent of { time : float; flow : int; seq : int; retx : bool }
+      (** A data segment handed to the network by the sender. *)
+  | Data_at_sink of {
+      time : float;
+      flow : int;
+      seq : int;
+      retx : bool;
+      dup : bool;
+      rcv_next_before : int;
+      rcv_next_after : int;
+    }
+      (** A data segment arrived at the receiver. [dup] marks a
+          duplicate arrival (already delivered or already buffered). *)
+  | Ack_at_sink of { time : float; flow : int; ack : Types.ack }
+      (** An acknowledgement handed to the network by the receiver
+          (after any delayed-ACK deferral). *)
+  | Ack_at_source of {
+      time : float;
+      flow : int;
+      ack : Types.ack;
+      before : sender_view;
+      after : sender_view;
+      actions : Action.t list;
+    }
+      (** The sender processed an arriving acknowledgement. *)
+  | Timer_fired of {
+      time : float;
+      flow : int;
+      key : int;
+      before : sender_view;
+      after : sender_view;
+      actions : Action.t list;
+    }
+      (** The sender processed a timer expiry. *)
+
+type t = event Sim.Trace.tap
+
+val create : unit -> t
+
+(** [metric view key] reads a named counter from a snapshot, 0 when the
+    variant does not expose it. *)
+val metric : sender_view -> string -> float
+
+val time : event -> float
+
+val flow : event -> int
+
+(** Canonical single-line rendering; the unit of golden-trace
+    comparison and of violation context reports. *)
+val to_line : event -> string

@@ -11,7 +11,7 @@ type t = {
 let create engine ?(pairs = 1) ?(bottleneck_bandwidth_bps = 15e6)
     ?(bottleneck_delay_s = 0.020) ?(access_bandwidth_bps = 100e6)
     ?(access_delay_s = 0.001) ?(queue_capacity = 50)
-    ?(access_queue_capacity = 1000) () =
+    ?(access_queue_capacity = 1000) ?bottleneck_loss ?bottleneck_jitter () =
   if pairs < 1 then invalid_arg "Dumbbell.create: pairs must be >= 1";
   let network = Net.Network.create engine in
   let left_router = Net.Network.add_node network in
@@ -19,7 +19,8 @@ let create engine ?(pairs = 1) ?(bottleneck_bandwidth_bps = 15e6)
   let bottleneck_forward, bottleneck_reverse =
     Net.Network.add_duplex network ~src:left_router ~dst:right_router
       ~bandwidth_bps:bottleneck_bandwidth_bps ~delay_s:bottleneck_delay_s
-      ~capacity:queue_capacity ()
+      ~capacity:queue_capacity ?loss:bottleneck_loss ?jitter:bottleneck_jitter
+      ()
   in
   let attach router =
     let host = Net.Network.add_node network in

@@ -26,7 +26,13 @@ type t = {
     the ns-2 default).
     @param access_queue_capacity packets in the access-link queues
     (default 1000): deep enough that hosts never drop their own send
-    bursts, so all congestion loss happens at the bottleneck. *)
+    bursts, so all congestion loss happens at the bottleneck.
+    @param bottleneck_loss optional loss injector applied to both
+    directions of the bottleneck (shared state; e.g.
+    {!Net.Loss_model.bernoulli} for non-congestion losses).
+    @param bottleneck_jitter optional per-packet extra delay on the
+    bottleneck, uniform in [\[0, j)]; breaks per-link FIFO ordering
+    (used by the check harness to model intra-path reordering). *)
 val create :
   Sim.Engine.t ->
   ?pairs:int ->
@@ -36,6 +42,8 @@ val create :
   ?access_delay_s:float ->
   ?queue_capacity:int ->
   ?access_queue_capacity:int ->
+  ?bottleneck_loss:Net.Loss_model.t ->
+  ?bottleneck_jitter:Sim.Rng.t * float ->
   unit ->
   t
 

@@ -8,7 +8,7 @@ type t = {
 }
 
 let create engine ?(path_hops = [ 3; 4; 5 ]) ?(bandwidth_bps = 10e6)
-    ?(delay_s = 0.010) ?(queue_capacity = 100) () =
+    ?(delay_s = 0.010) ?(queue_capacity = 100) ?loss ?jitter () =
   if path_hops = [] then invalid_arg "Multipath_lattice.create: no paths";
   List.iter
     (fun h ->
@@ -21,7 +21,7 @@ let create engine ?(path_hops = [ 3; 4; 5 ]) ?(bandwidth_bps = 10e6)
   let duplex ~src ~dst =
     ignore
       (Net.Network.add_duplex network ~src ~dst ~bandwidth_bps ~delay_s
-         ~capacity:queue_capacity ())
+         ~capacity:queue_capacity ?loss ?jitter ())
   in
   let build_path hops =
     (* [hops] links need [hops - 1] intermediate nodes. *)

@@ -23,13 +23,19 @@ type t = {
     @param bandwidth_bps per link (default 10 Mb/s).
     @param delay_s per link (default 10 ms).
     @param queue_capacity per link (default 100 packets, as in
-    Fig. 5). *)
+    Fig. 5).
+    @param loss optional loss injector shared by every link (e.g.
+    {!Net.Loss_model.bernoulli} for lossy-environment scenarios).
+    @param jitter optional per-packet extra delay on every link, uniform
+    in [\[0, j)] with a shared generator. *)
 val create :
   Sim.Engine.t ->
   ?path_hops:int list ->
   ?bandwidth_bps:float ->
   ?delay_s:float ->
   ?queue_capacity:int ->
+  ?loss:Net.Loss_model.t ->
+  ?jitter:Sim.Rng.t * float ->
   unit ->
   t
 

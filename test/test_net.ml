@@ -328,6 +328,79 @@ let per_path_fifo_prop =
 
 
 (* ------------------------------------------------------------------ *)
+(* Red                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let red_packet i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ()
+
+let test_red_no_marking_below_min () =
+  (* Average below min_threshold: marking probability is zero. *)
+  let red =
+    Net.Red.create (Sim.Rng.create 7) ~weight:1. ~min_threshold:5
+      ~max_threshold:10 ~capacity:20 ()
+  in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "accepted" true (Net.Red.offer red (red_packet i))
+  done;
+  Alcotest.(check int) "no drops" 0 (Net.Red.drops red)
+
+let test_red_forced_marking_above_max () =
+  (* Average at or above max_threshold: marking probability is one,
+     every arrival is dropped early. With weight 1 the average tracks
+     the instantaneous queue, and a tiny max_p keeps the probabilistic
+     band from interfering with the fill. *)
+  let red =
+    Net.Red.create (Sim.Rng.create 7) ~weight:1. ~max_p:0.001
+      ~min_threshold:2 ~max_threshold:5 ~capacity:20 ()
+  in
+  for i = 1 to 8 do
+    ignore (Net.Red.offer red (red_packet i))
+  done;
+  Alcotest.(check int) "queue capped at max_threshold" 5 (Net.Red.length red);
+  Alcotest.(check int) "early drops" 3 (Net.Red.early_drops red);
+  Alcotest.(check int) "all drops early" (Net.Red.drops red)
+    (Net.Red.early_drops red)
+
+let test_red_capacity_drops_not_early () =
+  (* With a sluggish average the queue can physically fill: those are
+     tail drops, not early marks. *)
+  let red =
+    Net.Red.create (Sim.Rng.create 7) ~weight:0.002 ~min_threshold:4
+      ~max_threshold:5 ~capacity:5 ()
+  in
+  for i = 1 to 10 do
+    ignore (Net.Red.offer red (red_packet i))
+  done;
+  Alcotest.(check int) "enqueued" 5 (Net.Red.enqueued red);
+  Alcotest.(check int) "tail drops" 5 (Net.Red.drops red);
+  Alcotest.(check int) "none early" 0 (Net.Red.early_drops red)
+
+let test_red_marking_rate_tracks_average () =
+  (* Hold the queue at a fixed level between the thresholds and measure
+     the empirical early-mark rate: strictly positive, monotone in the
+     average, and bounded well below the forced-drop regime. *)
+  let rate ~level =
+    let red =
+      Net.Red.create (Sim.Rng.create 11) ~weight:1. ~max_p:0.1
+        ~min_threshold:10 ~max_threshold:20 ~capacity:50 ()
+    in
+    while Net.Red.length red < level do
+      ignore (Net.Red.offer red (red_packet 0))
+    done;
+    let trials = 5000 in
+    let before = Net.Red.early_drops red in
+    for i = 1 to trials do
+      if Net.Red.offer red (red_packet i) then ignore (Net.Red.poll red)
+    done;
+    float_of_int (Net.Red.early_drops red - before) /. float_of_int trials
+  in
+  let r12 = rate ~level:12 and r18 = rate ~level:18 in
+  Alcotest.(check bool) "positive between thresholds" true (r12 > 0.);
+  Alcotest.(check bool) "monotone in average" true (r18 > r12);
+  (* p_b at level 18 is 0.08; the geometric spacing roughly doubles it. *)
+  Alcotest.(check bool) "bounded" true (r18 < 0.3)
+
+(* ------------------------------------------------------------------ *)
 (* Tracer                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -445,6 +518,15 @@ let () =
             test_network_duplicate_link_rejected;
           Alcotest.test_case "unique uids" `Quick test_network_uids_unique;
           QCheck_alcotest.to_alcotest ~long:false per_path_fifo_prop ] );
+      ( "red",
+        [ Alcotest.test_case "no marking below min" `Quick
+            test_red_no_marking_below_min;
+          Alcotest.test_case "forced marking above max" `Quick
+            test_red_forced_marking_above_max;
+          Alcotest.test_case "capacity drops not early" `Quick
+            test_red_capacity_drops_not_early;
+          Alcotest.test_case "marking rate tracks average" `Quick
+            test_red_marking_rate_tracks_average ] );
       ( "tracer",
         [ Alcotest.test_case "records lifecycle" `Quick
             test_tracer_records_lifecycle;

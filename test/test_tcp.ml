@@ -119,6 +119,50 @@ let intervals_remove_prop =
            (fun x -> Tcp.Intervals.mem t x = Int_set.mem x model)
            (List.init 42 Fun.id))
 
+let intervals_add_remove_roundtrip_prop =
+  (* Subtracting a range just added restores the set outside the range
+     exactly. *)
+  QCheck.Test.make ~name:"add_range/remove_range round-trips" ~count:500
+    QCheck.(triple (list (int_range 0 40)) (int_range 0 40) (int_range 0 40))
+    (fun (points, a, b) ->
+      let first = min a b and last = max a b in
+      let t = intervals_of points in
+      let u =
+        Tcp.Intervals.remove_range
+          (Tcp.Intervals.add_range t ~first ~last)
+          ~first ~last
+      in
+      Tcp.Intervals.invariant u
+      && List.for_all
+           (fun x ->
+             Tcp.Intervals.mem u x
+             = (Tcp.Intervals.mem t x && (x < first || x > last)))
+           (List.init 42 Fun.id))
+
+let intervals_merge_adjacent_prop =
+  (* Two abutting ranges coalesce into the single canonical interval. *)
+  QCheck.Test.make ~name:"adjacent ranges coalesce" ~count:500
+    QCheck.(triple (int_range 0 30) (int_range 0 10) (int_range 0 10))
+    (fun (a, d1, d2) ->
+      let b = a + d1 in
+      let c = b + 1 + d2 in
+      let split =
+        Tcp.Intervals.add_range
+          (Tcp.Intervals.add_range Tcp.Intervals.empty ~first:a ~last:b)
+          ~first:(b + 1) ~last:c
+      in
+      Tcp.Intervals.invariant split
+      && Tcp.Intervals.to_list split = [ (a, c) ])
+
+let intervals_count_above_prop =
+  QCheck.Test.make ~name:"count_above agrees with set model" ~count:500
+    QCheck.(pair (list (int_range 0 60)) (int_range 0 60))
+    (fun (points, x) ->
+      let t = intervals_of points in
+      let model = Int_set.of_list points in
+      Tcp.Intervals.count_above t x
+      = Int_set.cardinal (Int_set.filter (fun y -> y > x) model))
+
 (* ------------------------------------------------------------------ *)
 (* Rto                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -169,6 +213,62 @@ let test_rto_max_clamp () =
     Tcp.Rto.backoff rto
   done;
   check_float "clamped" 10. (Tcp.Rto.current rto)
+
+let test_rto_min_clamp () =
+  let rto = Tcp.Rto.create rto_config in
+  Tcp.Rto.sample rto 0.001;
+  check_float "floored at min_rto" 0.2 (Tcp.Rto.current rto)
+
+let test_rto_backoff_without_sample () =
+  (* Back-off applies to the initial RTO too, clamped at max_rto, and
+     reset restores the un-backed-off value. *)
+  let rto = Tcp.Rto.create { rto_config with Tcp.Config.max_rto = 10. } in
+  check_float "initial" 3. (Tcp.Rto.current rto);
+  for _ = 1 to 10 do
+    Tcp.Rto.backoff rto
+  done;
+  check_float "clamped at max" 10. (Tcp.Rto.current rto);
+  Tcp.Rto.reset_backoff rto;
+  check_float "back to initial" 3. (Tcp.Rto.current rto)
+
+let test_rto_backoff_survives_sample () =
+  (* A new sample refreshes the base estimate but must not clear the
+     back-off multiplier: only reset_backoff (new data acked) does. *)
+  let rto = Tcp.Rto.create rto_config in
+  Tcp.Rto.sample rto 0.1;
+  Tcp.Rto.backoff rto;
+  check_float "doubled" 0.6 (Tcp.Rto.current rto);
+  Tcp.Rto.sample rto 0.1;
+  (* srtt = 0.1, rttvar decays to 0.0375: base 0.25, still doubled. *)
+  check_float "sample keeps multiplier" 0.5 (Tcp.Rto.current rto);
+  Tcp.Rto.reset_backoff rto;
+  check_float "reset restores base" 0.25 (Tcp.Rto.current rto)
+
+let test_rto_sample_on_fresh_ack () =
+  (* Sender-level: a clean first ACK yields an RTT sample. *)
+  let config =
+    { Tcp.Config.default with Tcp.Config.total_segments = Some 8 }
+  in
+  let t = Tcp.Sack.create config in
+  ignore (Tcp.Sack.start t ~now:0.);
+  ignore (Tcp.Sack.on_ack t ~now:0.37 (ack ~next:1 ~for_seq:0 ()));
+  check_float "sampled" 0.37 (List.assoc "srtt" (Tcp.Sack.metrics t))
+
+let test_rto_karn_invalidation () =
+  (* Sender-level Karn: once a segment has been retransmitted, the ACK
+     covering it must not produce an RTT sample. *)
+  let config =
+    { Tcp.Config.default with
+      Tcp.Config.total_segments = Some 8;
+      initial_rto = 1. }
+  in
+  let t = Tcp.Sack.create config in
+  ignore (Tcp.Sack.start t ~now:0.);
+  (* RTO fires: seq 0 is retransmitted. *)
+  ignore (Tcp.Sack.on_timer t ~now:1. ~key:0);
+  ignore (Tcp.Sack.on_ack t ~now:1.4 (ack ~next:1 ~for_seq:0 ()));
+  check_float "no sample from retransmitted segment" (-1.)
+    (List.assoc "srtt" (Tcp.Sack.metrics t))
 
 (* ------------------------------------------------------------------ *)
 (* Receiver                                                            *)
@@ -382,13 +482,27 @@ let () =
           Alcotest.test_case "counts" `Quick test_intervals_counts;
           Alcotest.test_case "containing" `Quick test_intervals_containing;
           QCheck_alcotest.to_alcotest ~long:false intervals_model_prop;
-          QCheck_alcotest.to_alcotest ~long:false intervals_remove_prop ] );
+          QCheck_alcotest.to_alcotest ~long:false intervals_remove_prop;
+          QCheck_alcotest.to_alcotest ~long:false
+            intervals_add_remove_roundtrip_prop;
+          QCheck_alcotest.to_alcotest ~long:false intervals_merge_adjacent_prop;
+          QCheck_alcotest.to_alcotest ~long:false intervals_count_above_prop ]
+      );
       ( "rto",
         [ Alcotest.test_case "initial" `Quick test_rto_initial;
           Alcotest.test_case "first sample" `Quick test_rto_first_sample;
           Alcotest.test_case "converges" `Quick test_rto_converges;
           Alcotest.test_case "backoff" `Quick test_rto_backoff;
-          Alcotest.test_case "max clamp" `Quick test_rto_max_clamp ] );
+          Alcotest.test_case "max clamp" `Quick test_rto_max_clamp;
+          Alcotest.test_case "min clamp" `Quick test_rto_min_clamp;
+          Alcotest.test_case "backoff without sample" `Quick
+            test_rto_backoff_without_sample;
+          Alcotest.test_case "backoff survives sample" `Quick
+            test_rto_backoff_survives_sample;
+          Alcotest.test_case "fresh ack sampled" `Quick
+            test_rto_sample_on_fresh_ack;
+          Alcotest.test_case "Karn invalidation" `Quick
+            test_rto_karn_invalidation ] );
       ( "receiver",
         [ Alcotest.test_case "in order" `Quick test_receiver_in_order;
           Alcotest.test_case "gap produces sack" `Quick test_receiver_gap_sack;
