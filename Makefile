@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick figures golden ci doc clean
+.PHONY: all build test bench bench-quick bench-gate figures golden ci doc clean
 
 all: build
 
@@ -18,11 +18,18 @@ bench:
 bench-record:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-# Quick perf snapshot: bench-scale Figs. 2/3/6 plus the bechamel
-# micro-benchmarks; records wall-clock and ns/run numbers in
-# results/BENCH_PR1.json. BENCH_JOBS=N parallelises the figure grids.
+# Quick perf snapshot: bench-scale Figs. 2/3/6, the bechamel
+# micro-benchmarks and the allocation suite; records wall-clock,
+# ns/run and bytes/simulated-packet numbers in BENCH_PR3.json (repo
+# root and results/). BENCH_JOBS=N parallelises the figure grids.
 bench-quick:
 	dune exec bench/main.exe -- quick
+
+# Allocation gate only: re-measure bytes/simulated-packet and fail if
+# any scenario regresses >20% over the recorded BENCH_PR3.json
+# baseline. Does not rewrite the record.
+bench-gate:
+	dune exec bench/main.exe -- gate
 
 # FIGURE_JOBS=N sets the domain count for the experiment grids
 # (default: the machine's cores; output is identical at any N).
@@ -49,13 +56,15 @@ figures:
 golden:
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 0 --write-golden test/golden
 
-# Full gate: build everything, run the test suite, then a conformance
+# Full gate: build everything, run the test suite, a conformance
 # smoke run — fixed random scenarios over every sender variant with the
-# invariant monitors armed, plus the golden-trace digests.
+# invariant monitors armed, plus the golden-trace digests — and the
+# allocation regression gate against the recorded BENCH_PR3.json.
 ci:
 	dune build @all
 	dune runtest
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 30 --golden test/golden
+	dune exec bench/main.exe -- gate
 
 doc:
 	dune build @doc

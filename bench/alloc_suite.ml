@@ -1,0 +1,162 @@
+(* Allocation-per-packet measurement scenarios.
+
+   Each scenario builds its own network so it can count simulated
+   packets directly off the links: a "simulated packet" here is one
+   link-level transmission or drop (a packet-hop), the unit the hot
+   path pays for. The suite reports wall-clock, GC-allocated bytes,
+   minor collections, and bytes per simulated packet — the number the
+   bench gate tracks across PRs.
+
+   Scenarios are deterministic (fixed seeds, no domains), so packet
+   counts are exact and allocation counts are reproducible for a given
+   compiler version. *)
+
+type measurement = {
+  scenario : string;
+  wall_s : float;
+  allocated_bytes : float;
+  minor_collections : int;
+  packets : int;
+  bytes_per_packet : float;
+}
+
+let count_packets network =
+  List.fold_left
+    (fun acc link ->
+      acc + Net.Link.transmitted_packets link + Net.Link.queue_drops link)
+    (Net.Network.total_injected_losses network)
+    (Net.Network.links network)
+
+(* [measure name f] runs [f ()], which returns the network to count
+   packets on, and captures GC and wall-clock deltas around it. *)
+let measure scenario f =
+  Gc.full_major ();
+  let minor0 = (Gc.quick_stat ()).Gc.minor_collections in
+  let bytes0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let network = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let allocated_bytes = Gc.allocated_bytes () -. bytes0 in
+  let minor_collections =
+    (Gc.quick_stat ()).Gc.minor_collections - minor0
+  in
+  let packets = count_packets network in
+  { scenario;
+    wall_s;
+    allocated_bytes;
+    minor_collections;
+    packets;
+    bytes_per_packet =
+      (if packets = 0 then 0. else allocated_bytes /. float_of_int packets) }
+
+let bounded_config segments =
+  { Tcp.Config.default with
+    Tcp.Config.total_segments = Some segments;
+    min_rto = 0.2;
+    initial_rto = 1.;
+    max_rto = 16. }
+
+(* Two competing flows (TCP-PR vs TCP-SACK) through a 1.5 Mb/s
+   dumbbell bottleneck: the fig. 2/3 regime, fixed single-path routes. *)
+let dumbbell_scenario () =
+  let engine = Sim.Engine.create () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  let config = bounded_config 600 in
+  let connect flow sender =
+    Tcp.Connection.create network ~flow ~src:topo.Topo.Dumbbell.sources.(0)
+      ~dst:topo.Topo.Dumbbell.sinks.(0) ~sender ~config
+      ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+      ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+      ()
+  in
+  let pr = connect 0 (snd Experiments.Variants.tcp_pr) in
+  let sack = connect 1 (snd Experiments.Variants.tcp_sack) in
+  Tcp.Connection.start pr ~at:0.;
+  Tcp.Connection.start sack ~at:0.05;
+  Sim.Engine.run engine ~until:120.;
+  network
+
+(* Epsilon-routed multipath lattice at eps = 0 (uniform path choice,
+   maximal persistent reordering): the fig. 6 regime. *)
+let lattice_scenario () =
+  let engine = Sim.Engine.create () in
+  let topo = Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ] () in
+  let network = topo.Topo.Multipath_lattice.network in
+  let rng = Sim.Rng.create 42 in
+  let sampler label =
+    Multipath.Epsilon_routing.for_lattice (Sim.Rng.split rng label)
+      ~epsilon:0. topo
+  in
+  let fwd = sampler "fwd" and rev = sampler "rev" in
+  let connection =
+    Tcp.Connection.create network ~flow:0
+      ~src:topo.Topo.Multipath_lattice.source
+      ~dst:topo.Topo.Multipath_lattice.destination
+      ~sender:(snd Experiments.Variants.tcp_pr)
+      ~config:(bounded_config 600)
+      ~route_data:(fun () ->
+        Multipath.Epsilon_routing.route fwd
+          topo.Topo.Multipath_lattice.forward_routes)
+      ~route_ack:(fun () ->
+        Multipath.Epsilon_routing.route rev
+          topo.Topo.Multipath_lattice.reverse_routes)
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:120.;
+  network
+
+(* Unbounded transfer over a jittered two-hop chain: sustained traffic
+   with per-packet extra delay, exercising the timer machinery. *)
+let jitter_scenario () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let rng = Sim.Rng.create 7 in
+  let source = Net.Network.add_node network in
+  let mid = Net.Network.add_node network in
+  let sink = Net.Network.add_node network in
+  let duplex ~src ~dst label =
+    ignore
+      (Net.Network.add_link network ~src ~dst ~bandwidth_bps:10e6
+         ~delay_s:0.020 ~capacity:100
+         ~jitter:(Sim.Rng.split rng label, 0.005)
+         ());
+    ignore
+      (Net.Network.add_link network ~src:dst ~dst:src ~bandwidth_bps:10e6
+         ~delay_s:0.020 ~capacity:100
+         ~jitter:(Sim.Rng.split rng (label ^ "-rev"), 0.005)
+         ())
+  in
+  duplex ~src:source ~dst:mid "hop1";
+  duplex ~src:mid ~dst:sink "hop2";
+  let data_route = [| Net.Node.id mid; Net.Node.id sink |] in
+  let ack_route = [| Net.Node.id mid; Net.Node.id source |] in
+  let connection =
+    Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink
+      ~sender:(snd Experiments.Variants.tcp_pr)
+      ~config:Tcp.Config.default
+      ~route_data:(fun () -> data_route)
+      ~route_ack:(fun () -> ack_route)
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:15.;
+  network
+
+let scenarios =
+  [ ("dumbbell", dumbbell_scenario);
+    ("lattice", lattice_scenario);
+    ("jitter-chain", jitter_scenario) ]
+
+let run_all () = List.map (fun (name, f) -> measure name f) scenarios
+
+let pp_measurement m =
+  Printf.printf
+    "  %-14s %7.3f s  %10.1f KB allocated  %5d minor GCs  %8d packets  %7.1f B/packet\n%!"
+    m.scenario m.wall_s
+    (m.allocated_bytes /. 1024.)
+    m.minor_collections m.packets m.bytes_per_packet

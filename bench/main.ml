@@ -11,17 +11,26 @@
    Seed_event_queue), the Newton ewrtt update, sender ACK processing,
    the receiver, and epsilon-routing sampling.
 
-   Usage: main.exe [all|figures|micro|quick] [--jobs N]
-     all      figures + extensions + ablations + micro-benchmarks (default)
+   Part 3 measures allocation per simulated packet (Alloc_suite) —
+   the number the zero-allocation packet path is judged on.
+
+   Usage: main.exe [all|figures|micro|quick|alloc|gate] [--jobs N]
+     all      figures + extensions + ablations + micro + alloc (default)
      figures  Figs. 2/3/4/6 only
      micro    micro-benchmarks only
-     quick    Figs. 2/3/6 + micro-benchmarks (the `make bench-quick` target)
+     alloc    allocation-per-packet scenarios only
+     quick    Figs. 2/3/6 + micro + alloc (the `make bench-quick` target)
+     gate     re-run the alloc scenarios and FAIL (exit 1) if bytes per
+              simulated packet regressed more than 20% against the
+              baseline recorded in the checked-in BENCH_PR3.json;
+              reads the record, never writes it (used by `make ci`)
    --jobs N (or BENCH_JOBS=N) runs figure grid points on N domains;
    the tables are identical to a sequential run.
 
-   Every run appends wall-clock seconds per figure and ns/run per
-   micro-benchmark to results/BENCH_PR1.json so later PRs can track
-   the perf trajectory. *)
+   Every run (except gate) records wall-clock seconds per figure,
+   ns/run per micro-benchmark, and bytes/packet per alloc scenario to
+   results/BENCH_PR3.json and the repo-root BENCH_PR3.json so later
+   PRs can track the perf trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -54,7 +63,7 @@ let jobs =
   max 1 requested
 
 let mode =
-  let known = [ "all"; "figures"; "micro"; "quick" ] in
+  let known = [ "all"; "figures"; "micro"; "quick"; "alloc"; "gate" ] in
   let picked = ref "all" in
   Array.iteri
     (fun i arg -> if i > 0 && List.mem arg known then picked := arg)
@@ -64,6 +73,8 @@ let mode =
 let figure_seconds : (string * float) list ref = ref []
 
 let micro_ns : (string * float) list ref = ref []
+
+let alloc_measurements : Alloc_suite.measurement list ref = ref []
 
 let heading title = Printf.printf "\n===== %s =====\n%!" title
 
@@ -265,15 +276,48 @@ let bench_end_to_end =
          let config =
            { Tcp.Config.default with Tcp.Config.total_segments = Some 200 }
          in
+         let data_route = [| Net.Node.id b |] in
+         let ack_route = [| Net.Node.id a |] in
          let c =
            Tcp.Connection.create network ~flow:0 ~src:a ~dst:b
              ~sender:(module Core.Tcp_pr) ~config
-             ~route_data:(fun () -> [ Net.Node.id b ])
-             ~route_ack:(fun () -> [ Net.Node.id a ])
+             ~route_data:(fun () -> data_route)
+             ~route_ack:(fun () -> ack_route)
              ()
          in
          Tcp.Connection.start c ~at:0.;
          Sim.Engine.run engine ~until:10.))
+
+(* The pooled packet path in isolation: acquire from the pool, forward
+   through a two-link chain, recycle at the sink. Steady state should
+   run entirely off the free list. *)
+let bench_link_pipeline =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let a = Net.Network.add_node network in
+  let b = Net.Network.add_node network in
+  let c = Net.Network.add_node network in
+  ignore
+    (Net.Network.add_link network ~src:a ~dst:b ~bandwidth_bps:100e6
+       ~delay_s:0.001 ~capacity:512 ());
+  ignore
+    (Net.Network.add_link network ~src:b ~dst:c ~bandwidth_bps:100e6
+       ~delay_s:0.001 ~capacity:512 ());
+  Net.Node.attach c ~flow:0 (fun packet ->
+      Net.Network.release_packet network packet);
+  let route = [| Net.Node.id b; Net.Node.id c |] in
+  Test.make ~name:"link pipeline: 256 pooled packets, 2 hops"
+    (Staged.stage (fun () ->
+         for _ = 1 to 256 do
+           let packet =
+             Net.Network.make_packet network ~flow:0 ~src:(Net.Node.id a)
+               ~dst:(Net.Node.id c) ~size:1500 ~route
+               ~born:(Sim.Engine.now engine)
+               (Net.Packet.Raw 0)
+           in
+           Net.Network.originate network ~from:a packet
+         done;
+         Sim.Engine.run_to_completion engine))
 
 let microbenchmarks () =
   heading "Micro-benchmarks (bechamel, monotonic clock)";
@@ -285,6 +329,7 @@ let microbenchmarks () =
       bench_pr_ack_processing;
       bench_sack_ack_processing;
       bench_epsilon_sampling;
+      bench_link_pipeline;
       bench_end_to_end ]
   in
   let ols =
@@ -315,6 +360,16 @@ let microbenchmarks () =
   List.iter print_result tests
 
 (* ------------------------------------------------------------------ *)
+(* Part 3: allocation per simulated packet                             *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_suite () =
+  heading "Allocation per simulated packet";
+  let measurements = Alloc_suite.run_all () in
+  List.iter Alloc_suite.pp_measurement measurements;
+  alloc_measurements := measurements
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable record                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -342,13 +397,24 @@ let json_object_of buffer ~indent pairs format_value =
   Buffer.add_string buffer ("\n" ^ String.sub indent 0 (String.length indent - 2));
   Buffer.add_string buffer "}"
 
+(* Pre-PR (closure-scheduler, list-route, unpooled) reference numbers,
+   measured on this machine at jobs=1 before the zero-allocation packet
+   path landed. Kept in the record so the improvement is auditable. *)
+let baseline_pre_pr =
+  [ ("total_wall_clock_s", 31.814);
+    ("fig2_s", 4.314);
+    ("fig3_s", 2.849);
+    ("fig6_s", 20.617);
+    ("dumbbell_bytes_per_packet", 867.1);
+    ("lattice_bytes_per_packet", 1041.3);
+    ("jitter-chain_bytes_per_packet", 1395.7) ]
+
 let write_record ~total_s =
   (try if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
    with Unix.Unix_error _ -> ());
-  let path = "results/BENCH_PR1.json" in
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer "{\n";
-  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 1,\n");
+  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 3,\n");
   Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buffer (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buffer
@@ -361,27 +427,144 @@ let write_record ~total_s =
   Buffer.add_string buffer ",\n  \"microbenchmarks_ns_per_run\": ";
   json_object_of buffer ~indent:"    " (List.rev !micro_ns)
     (Printf.sprintf "%.1f");
+  Buffer.add_string buffer ",\n  \"alloc_bytes_per_packet\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map
+       (fun m -> (m.Alloc_suite.scenario, m.Alloc_suite.bytes_per_packet))
+       !alloc_measurements)
+    (Printf.sprintf "%.1f");
+  Buffer.add_string buffer ",\n  \"alloc_scenarios\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map (fun m -> (m.Alloc_suite.scenario, m)) !alloc_measurements)
+    (fun m ->
+      Printf.sprintf
+        "{ \"wall_s\": %.3f, \"allocated_bytes\": %.0f, \
+         \"minor_collections\": %d, \"packets\": %d }"
+        m.Alloc_suite.wall_s m.Alloc_suite.allocated_bytes
+        m.Alloc_suite.minor_collections m.Alloc_suite.packets);
+  Buffer.add_string buffer ",\n  \"baseline_pre_pr\": ";
+  json_object_of buffer ~indent:"    " baseline_pre_pr (Printf.sprintf "%.3f");
   Buffer.add_string buffer "\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents buffer);
-  close_out oc;
-  Printf.printf "\nPerf record written to %s\n" path
+  let contents = Buffer.contents buffer in
+  List.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "Perf record written to %s\n" path)
+    [ "results/BENCH_PR3.json"; "BENCH_PR3.json" ]
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal extraction of "alloc_bytes_per_packet": { "name": nnn, ... }
+   from the checked-in record — no JSON library in the tree, and the
+   file is machine-written by [write_record] above, so a string scan is
+   enough. *)
+let baseline_bytes_per_packet path =
+  let contents =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic; s
+  in
+  let find_sub haystack needle from =
+    let n = String.length haystack and m = String.length needle in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub haystack i m = needle then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  match find_sub contents "\"alloc_bytes_per_packet\"" 0 with
+  | None -> []
+  | Some at -> (
+    match (String.index_from_opt contents at '{',
+           String.index_from_opt contents at '}') with
+    | Some open_brace, Some close_brace when open_brace < close_brace ->
+      let block =
+        String.sub contents (open_brace + 1) (close_brace - open_brace - 1)
+      in
+      String.split_on_char ',' block
+      |> List.filter_map (fun entry ->
+             match String.split_on_char ':' entry with
+             | [ name; value ] -> (
+               let name = String.trim name and value = String.trim value in
+               let name =
+                 if String.length name >= 2 && name.[0] = '"' then
+                   String.sub name 1 (String.length name - 2)
+                 else name
+               in
+               match float_of_string_opt value with
+               | Some v -> Some (name, v)
+               | None -> None)
+             | _ -> None)
+    | _ -> [])
+
+let gate_tolerance = 0.20
+
+let gate () =
+  heading "Bench gate: bytes per simulated packet vs recorded baseline";
+  let path = "BENCH_PR3.json" in
+  if not (Sys.file_exists path) then begin
+    Printf.printf
+      "  no %s found; record one with `dune exec bench/main.exe -- alloc`\n"
+      path;
+    exit 1
+  end;
+  let baseline = baseline_bytes_per_packet path in
+  if baseline = [] then begin
+    Printf.printf "  %s has no alloc_bytes_per_packet block\n" path;
+    exit 1
+  end;
+  let measurements = Alloc_suite.run_all () in
+  List.iter Alloc_suite.pp_measurement measurements;
+  let failed = ref false in
+  List.iter
+    (fun m ->
+      let name = m.Alloc_suite.scenario in
+      match List.assoc_opt name baseline with
+      | None ->
+        Printf.printf "  %-14s no recorded baseline -> FAIL\n" name;
+        failed := true
+      | Some base ->
+        let current = m.Alloc_suite.bytes_per_packet in
+        let limit = base *. (1. +. gate_tolerance) in
+        let ok = current <= limit in
+        Printf.printf "  %-14s %7.1f B/packet vs baseline %7.1f (limit %7.1f)  %s\n"
+          name current base limit
+          (if ok then "ok" else "REGRESSION");
+        if not ok then failed := true)
+    measurements;
+  if !failed then begin
+    Printf.printf
+      "\nGate FAILED: bytes/packet regressed more than %.0f%%. If the\n\
+       regression is intended, re-record with `dune exec bench/main.exe -- alloc`.\n"
+      (100. *. gate_tolerance);
+    exit 1
+  end
+  else Printf.printf "\nGate passed (tolerance %.0f%%).\n" (100. *. gate_tolerance)
 
 let () =
   let t0 = Unix.gettimeofday () in
   Printf.printf "mode=%s jobs=%d\n%!" mode jobs;
   (match mode with
+  | "gate" -> gate ()
   | "figures" ->
     timed "fig2" fig2;
     timed "fig3" fig3;
     timed "fig4" fig4;
     timed "fig6" fig6
   | "micro" -> microbenchmarks ()
+  | "alloc" -> alloc_suite ()
   | "quick" ->
     timed "fig2" fig2;
     timed "fig3" fig3;
     timed "fig6" fig6;
-    microbenchmarks ()
+    microbenchmarks ();
+    alloc_suite ()
   | _ ->
     timed "fig2" fig2;
     timed "fig3" fig3;
@@ -389,7 +572,10 @@ let () =
     timed "fig6" fig6;
     timed "extensions" extensions;
     timed "ablations" ablations;
-    microbenchmarks ());
-  let total_s = Unix.gettimeofday () -. t0 in
-  write_record ~total_s;
-  Printf.printf "Total bench time: %.1f s\n" total_s
+    microbenchmarks ();
+    alloc_suite ());
+  if mode <> "gate" then begin
+    let total_s = Unix.gettimeofday () -. t0 in
+    write_record ~total_s;
+    Printf.printf "Total bench time: %.1f s\n" total_s
+  end

@@ -25,12 +25,14 @@ let () =
   ignore
     (Net.Network.add_link network ~src:sink ~dst:source ~bandwidth_bps:8e6
        ~delay_s:0.02 ~capacity:50 ());
+  let data_route = [| Net.Node.id sink |] in
+  let ack_route = [| Net.Node.id source |] in
   let connection =
     Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink
       ~sender:(module Core.Tcp_pr)
       ~config:Tcp.Config.default
-      ~route_data:(fun () -> [ Net.Node.id sink ])
-      ~route_ack:(fun () -> [ Net.Node.id source ])
+      ~route_data:(fun () -> data_route)
+      ~route_ack:(fun () -> ack_route)
       ()
   in
   Tcp.Connection.start connection ~at:0.;

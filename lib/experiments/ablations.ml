@@ -42,11 +42,13 @@ let memorize_run ?(seed = 1) ?(duration = 60.) ~memorize () =
       ~delay_s:0.030 ~capacity:50 ()
   in
   let config = { Tcp.Config.default with Tcp.Config.pr_memorize = memorize } in
+  let data_route = [| Net.Node.id sink |] in
+  let ack_route = [| Net.Node.id source |] in
   let connection =
     Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink
       ~sender:(snd Variants.tcp_pr) ~config
-      ~route_data:(fun () -> [ Net.Node.id sink ])
-      ~route_ack:(fun () -> [ Net.Node.id source ])
+      ~route_data:(fun () -> data_route)
+      ~route_ack:(fun () -> ack_route)
       ()
   in
   Tcp.Connection.start connection ~at:0.;

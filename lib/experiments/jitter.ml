@@ -29,11 +29,13 @@ let run ~seed ~duration ~jitter_s ~sender =
   in
   duplex ~src:source ~dst:mid "hop1";
   duplex ~src:mid ~dst:sink "hop2";
+  let data_route = [| Net.Node.id mid; Net.Node.id sink |] in
+  let ack_route = [| Net.Node.id mid; Net.Node.id source |] in
   let connection =
     Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink ~sender
       ~config:Tcp.Config.default
-      ~route_data:(fun () -> [ Net.Node.id mid; Net.Node.id sink ])
-      ~route_ack:(fun () -> [ Net.Node.id mid; Net.Node.id source ])
+      ~route_data:(fun () -> data_route)
+      ~route_ack:(fun () -> ack_route)
       ()
   in
   Tcp.Connection.start connection ~at:0.;

@@ -28,12 +28,16 @@ let run ?(seed = 1) ?(fast_delay = 0.005) ?(slow_delay = 0.040)
   (* The active route is a function of simulated time alone: everything
      in one residence period follows the same path, and each flap
      reorders whatever is still in flight on the other path. *)
-  let current_mid () =
+  let fast_active () =
     let period = int_of_float (Sim.Engine.now engine /. flap_interval) in
-    if period mod 2 = 0 then fast else slow
+    period mod 2 = 0
   in
-  let route_data () = [ Net.Node.id (current_mid ()); Net.Node.id sink ] in
-  let route_ack () = [ Net.Node.id (current_mid ()); Net.Node.id source ] in
+  let data_fast = [| Net.Node.id fast; Net.Node.id sink |] in
+  let data_slow = [| Net.Node.id slow; Net.Node.id sink |] in
+  let ack_fast = [| Net.Node.id fast; Net.Node.id source |] in
+  let ack_slow = [| Net.Node.id slow; Net.Node.id source |] in
+  let route_data () = if fast_active () then data_fast else data_slow in
+  let route_ack () = if fast_active () then ack_fast else ack_slow in
   let connection =
     Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink ~sender ~config
       ~route_data ~route_ack ()

@@ -45,7 +45,7 @@ let node t i = t.radios.(i)
    routes appear only through the partitioned fallback below. *)
 let current_route t ~src ~dst =
   let n = Mobility.node_count t.mobility in
-  if src = dst then Some []
+  if src = dst then Some [||]
   else begin
     let parent = Array.make n (-1) in
     parent.(src) <- src;
@@ -71,12 +71,14 @@ let current_route t ~src ~dst =
         if node = src then acc else build parent.(node) (node :: acc)
       in
       (* Mobility indices equal network node ids by construction. *)
-      Some (List.map (fun i -> Net.Node.id t.radios.(i)) (build dst []))
+      Some
+        (Array.of_list
+           (List.map (fun i -> Net.Node.id t.radios.(i)) (build dst [])))
     end
   end
 
 let route_fn t ~src ~dst =
-  let fallback = ref [ Net.Node.id t.radios.(dst) ] in
+  let fallback = ref [| Net.Node.id t.radios.(dst) |] in
   fun () ->
     match current_route t ~src ~dst with
     | Some route ->

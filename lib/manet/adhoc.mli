@@ -40,12 +40,14 @@ val mobility : t -> Mobility.t
 val node : t -> int -> Net.Node.t
 
 (** [current_route t ~src ~dst] is a minimum-hop route over the current
-    connectivity, or [None] while partitioned. *)
-val current_route : t -> src:int -> dst:int -> int list option
+    connectivity, or [None] while partitioned. Each call builds a fresh
+    array — MANET routes genuinely change per packet, so they are the
+    one place routes are not shared. *)
+val current_route : t -> src:int -> dst:int -> int array option
 
 (** [route_fn t ~src ~dst] returns a per-packet route chooser for
     {!Tcp.Connection}: it recomputes the route on every call and falls
     back to the last known route while the network is partitioned (those
     packets are lost at the broken hop, as in a real MANET with stale
     routing state). *)
-val route_fn : t -> src:int -> dst:int -> unit -> int list
+val route_fn : t -> src:int -> dst:int -> unit -> int array

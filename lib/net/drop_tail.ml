@@ -1,32 +1,49 @@
+(* Bounded FIFO as a ring buffer. Capacity is fixed at creation, so the
+   backing array is allocated once (lazily, on the first offer, because
+   [Packet.t] has no cheap dummy value) and enqueue/dequeue never
+   allocate — unlike [Queue.t], which conses a cell per element. *)
 type t = {
   capacity : int;
-  q : Packet.t Queue.t;
+  mutable items : Packet.t array;  (* [||] until the first offer *)
+  mutable head : int;
+  mutable len : int;
   mutable drops : int;
   mutable enqueued : int;
 }
 
 let create ~capacity =
   assert (capacity >= 1);
-  { capacity; q = Queue.create (); drops = 0; enqueued = 0 }
+  { capacity; items = [||]; head = 0; len = 0; drops = 0; enqueued = 0 }
 
 let offer t p =
-  if Queue.length t.q >= t.capacity then begin
+  if t.len >= t.capacity then begin
     t.drops <- t.drops + 1;
     false
   end
   else begin
-    Queue.push p t.q;
+    (* Fill slots with the first packet; every cell is overwritten
+       before it is ever read. *)
+    if Array.length t.items = 0 then t.items <- Array.make t.capacity p
+    else t.items.((t.head + t.len) mod t.capacity) <- p;
+    t.len <- t.len + 1;
     t.enqueued <- t.enqueued + 1;
     true
   end
 
-let poll t = Queue.take_opt t.q
+let pop_exn t =
+  if t.len = 0 then invalid_arg "Drop_tail.pop_exn: empty";
+  let p = t.items.(t.head) in
+  t.head <- (t.head + 1) mod t.capacity;
+  t.len <- t.len - 1;
+  p
 
-let length t = Queue.length t.q
+let poll t = if t.len = 0 then None else Some (pop_exn t)
+
+let length t = t.len
 
 let capacity t = t.capacity
 
-let is_empty t = Queue.is_empty t.q
+let is_empty t = t.len = 0
 
 let drops t = t.drops
 

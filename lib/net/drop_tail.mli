@@ -16,6 +16,10 @@ val offer : t -> Packet.t -> bool
 (** [poll t] dequeues the oldest packet, if any. *)
 val poll : t -> Packet.t option
 
+(** [pop_exn t] dequeues the oldest packet without allocating.
+    Raises [Invalid_argument] if the queue is empty. *)
+val pop_exn : t -> Packet.t
+
 val length : t -> int
 
 val capacity : t -> int

@@ -20,42 +20,31 @@ type t = {
      Breaks per-link FIFO by design. *)
   jitter : (Sim.Rng.t * float) option;
   mutable busy : bool;
+  (* Size of the packet currently on the wire. A link serialises
+     transmissions, so one slot suffices; it lets [Tx_done] carry only
+     the link instead of capturing the packet. *)
+  mutable tx_size : int;
   mutable deliver : Packet.t -> unit;
+  mutable recycle : Packet.t -> unit;
   mutable observer : (event -> Packet.t -> unit) option;
   mutable transmitted_packets : int;
   mutable transmitted_bytes : int;
   mutable injected_losses : int;
-  mutable busy_time : float;
+  (* One-slot floatarray: a mutable float field of a mixed record would
+     box on every write, and this is written once per transmission. *)
+  busy_time : floatarray;
+  (* The [Tx_done] completion event for this link, allocated once: the
+     link serialises transmissions, so the same block can sit in the
+     event queue for every one of them. *)
+  mutable tx_done_event : Sim.Engine.event;
 }
 
-let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
-    ?(loss = Loss_model.perfect) ?qdisc ?jitter () =
-  assert (bandwidth_bps > 0.);
-  assert (delay_s >= 0.);
-  let queue =
-    match qdisc with
-    | Some qdisc -> qdisc
-    | None -> Qdisc.drop_tail ~capacity
-  in
-  (match jitter with
-  | Some (_, j) when j < 0. -> invalid_arg "Link.create: negative jitter"
-  | Some _ | None -> ());
-  { id;
-    src;
-    dst;
-    bandwidth_bps;
-    delay_s;
-    queue;
-    loss;
-    engine;
-    jitter;
-    busy = false;
-    deliver = (fun _ -> ());
-    observer = None;
-    transmitted_packets = 0;
-    transmitted_bytes = 0;
-    injected_losses = 0;
-    busy_time = 0. }
+(* Typed scheduler events: transmitting a packet costs one small variant
+   block (the arrival — its completion event is reused, see
+   [tx_done_event]) instead of two heap closures (see DESIGN.md §10). *)
+type Sim.Engine.event +=
+  | Tx_done of t
+  | Arrive of t * Packet.t
 
 let id t = t.id
 
@@ -68,6 +57,8 @@ let bandwidth_bps t = t.bandwidth_bps
 let delay_s t = t.delay_s
 
 let set_deliver t f = t.deliver <- f
+
+let set_recycle t f = t.recycle <- f
 
 let set_observer t f = t.observer <- Some f
 
@@ -82,38 +73,92 @@ let rec transmit t packet =
   observe t Transmit_start packet;
   let tx_time = float_of_int packet.Packet.size *. 8. /. t.bandwidth_bps in
   t.busy <- true;
-  t.busy_time <- t.busy_time +. tx_time;
-  let finish_transmission () =
-    t.transmitted_packets <- t.transmitted_packets + 1;
-    t.transmitted_bytes <- t.transmitted_bytes + packet.Packet.size;
-    match Qdisc.poll t.queue with
-    | Some next -> transmit t next
-    | None -> t.busy <- false
-  in
-  let arrive () =
-    packet.Packet.hops <- packet.Packet.hops + 1;
-    observe t Delivered packet;
-    t.deliver packet
-  in
+  Float.Array.unsafe_set t.busy_time 0
+    (Float.Array.unsafe_get t.busy_time 0 +. tx_time);
+  t.tx_size <- packet.Packet.size;
   let extra =
     match t.jitter with
     | Some (rng, j) when j > 0. -> Sim.Rng.float_range rng ~lo:0. ~hi:j
     | Some _ | None -> 0.
   in
-  ignore (Sim.Engine.schedule_after t.engine ~delay:tx_time finish_transmission);
+  (* Tx_done is pushed first so that when [delay_s] and [extra] are both
+     zero it still runs before the arrival, as the seed's closures did. *)
   ignore
-    (Sim.Engine.schedule_after t.engine
+    (Sim.Engine.schedule_event_after t.engine ~delay:tx_time t.tx_done_event);
+  ignore
+    (Sim.Engine.schedule_event_after t.engine
        ~delay:(tx_time +. t.delay_s +. extra)
-       arrive)
+       (Arrive (t, packet)))
+
+and finish_transmission t =
+  t.transmitted_packets <- t.transmitted_packets + 1;
+  t.transmitted_bytes <- t.transmitted_bytes + t.tx_size;
+  if Qdisc.is_empty t.queue then t.busy <- false
+  else transmit t (Qdisc.pop_exn t.queue)
+
+let arrive t packet =
+  packet.Packet.hops <- packet.Packet.hops + 1;
+  observe t Delivered packet;
+  t.deliver packet
+
+let dispatch = function
+  | Tx_done link ->
+    finish_transmission link;
+    true
+  | Arrive (link, packet) ->
+    arrive link packet;
+    true
+  | _ -> false
+
+let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
+    ?(loss = Loss_model.perfect) ?qdisc ?jitter () =
+  assert (bandwidth_bps > 0.);
+  assert (delay_s >= 0.);
+  let queue =
+    match qdisc with
+    | Some qdisc -> qdisc
+    | None -> Qdisc.drop_tail ~capacity
+  in
+  (match jitter with
+  | Some (_, j) when j < 0. -> invalid_arg "Link.create: negative jitter"
+  | Some _ | None -> ());
+  Sim.Engine.add_dispatcher engine ~key:"net.link" dispatch;
+  let t =
+    { id;
+      src;
+      dst;
+      bandwidth_bps;
+      delay_s;
+      queue;
+      loss;
+      engine;
+      jitter;
+      busy = false;
+      tx_size = 0;
+      deliver = (fun _ -> ());
+      recycle = ignore;
+      observer = None;
+      transmitted_packets = 0;
+      transmitted_bytes = 0;
+      injected_losses = 0;
+      busy_time = Float.Array.make 1 0.;
+      tx_done_event = Sim.Engine.Closure ignore }
+  in
+  t.tx_done_event <- Tx_done t;
+  t
 
 let send t packet =
   if Loss_model.drops t.loss packet then begin
     t.injected_losses <- t.injected_losses + 1;
-    observe t Loss_dropped packet
+    observe t Loss_dropped packet;
+    t.recycle packet
   end
   else if t.busy then begin
     if Qdisc.offer t.queue packet then observe t Queued packet
-    else observe t Queue_dropped packet
+    else begin
+      observe t Queue_dropped packet;
+      t.recycle packet
+    end
   end
   else transmit t packet
 
@@ -127,4 +172,4 @@ let transmitted_packets t = t.transmitted_packets
 
 let transmitted_bytes t = t.transmitted_bytes
 
-let busy_time t = t.busy_time
+let busy_time t = Float.Array.get t.busy_time 0

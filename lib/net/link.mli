@@ -57,6 +57,12 @@ val delay_s : t -> float
     by {!Network} when wiring the topology. *)
 val set_deliver : t -> (Packet.t -> unit) -> unit
 
+(** [set_recycle t f] installs the hook invoked on packets the link
+    consumes without delivering — loss-injected and queue-overflow drops
+    — after the observer has seen them (wired by {!Network} to its
+    pool). *)
+val set_recycle : t -> (Packet.t -> unit) -> unit
+
 (** [set_observer t f] installs a per-packet event hook (at most one;
     used by {!Tracer}). *)
 val set_observer : t -> (event -> Packet.t -> unit) -> unit

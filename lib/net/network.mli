@@ -1,10 +1,17 @@
 (** Topology container: nodes, links, source-routed forwarding, and
     path utilities.
 
-    Nodes are identified by dense integer ids assigned by [add_node].
-    Links are directed; [add_duplex] creates a symmetric pair. Packets
-    carry their remaining route (see {!Packet}); each node pops its
-    successor and hands the packet to the connecting link. *)
+    Nodes are identified by dense integer ids assigned by [add_node]
+    (at most [2^20] nodes, so an ordered node pair packs into one int
+    for adjacency lookups). Links are directed; [add_duplex] creates a
+    symmetric pair. Packets carry an immutable route array and a cursor
+    (see {!Packet}); each node reads its successor, advances the
+    cursor, and hands the packet to the connecting link.
+
+    The network owns a {!Packet_pool}; packets obtained from
+    [make_packet] are recycled automatically when a link drops them or
+    they strand at a node, and should be handed back with
+    [release_packet] by the endpoint that consumes them. *)
 
 type t
 
@@ -12,6 +19,9 @@ type t
 val create : Sim.Engine.t -> t
 
 val engine : t -> Sim.Engine.t
+
+(** The network's packet pool (exposed for statistics and tests). *)
+val pool : t -> Packet_pool.t
 
 (** [add_node t] allocates a fresh node. *)
 val add_node : t -> Node.t
@@ -63,6 +73,24 @@ val links : t -> Link.t list
 
 (** [fresh_uid t] returns a network-unique packet id. *)
 val fresh_uid : t -> int
+
+(** [make_packet t ~flow ... payload] builds a packet with a fresh uid,
+    reusing a pooled record when one is available. The caller (or the
+    network, on drop/strand) must eventually [release_packet] it. *)
+val make_packet :
+  t ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  route:int array ->
+  born:float ->
+  Packet.payload ->
+  Packet.t
+
+(** [release_packet t p] recycles a consumed packet into the pool.
+    Raises [Invalid_argument] on a double release. *)
+val release_packet : t -> Packet.t -> unit
 
 (** [originate t ~from p] starts forwarding packet [p] from node [from]:
     the first hop of [p.route] is consumed immediately. *)

@@ -2,13 +2,15 @@ type t = {
   id : int;
   handlers : (int, Packet.t -> unit) Hashtbl.t;
   mutable forward : t -> Packet.t -> unit;
+  mutable recycle : Packet.t -> unit;
   mutable stranded : int;
 }
 
 let create ~id =
   { id;
     handlers = Hashtbl.create 8;
-    forward = (fun t _ -> t.stranded <- t.stranded + 1);
+    forward = (fun t packet -> t.stranded <- t.stranded + 1; t.recycle packet);
+    recycle = ignore;
     stranded = 0 }
 
 let id t = t.id
@@ -19,11 +21,19 @@ let detach t ~flow = Hashtbl.remove t.handlers flow
 
 let set_forward t f = t.forward <- f
 
+let set_recycle t f = t.recycle <- f
+
+let strand t packet =
+  t.stranded <- t.stranded + 1;
+  t.recycle packet
+
 let receive t packet =
   if packet.Packet.dst = t.id then
-    match Hashtbl.find_opt t.handlers packet.Packet.flow with
-    | Some handler -> handler packet
-    | None -> t.stranded <- t.stranded + 1
+    (* Exception-form lookup: [find_opt] would allocate a [Some] per
+       delivered packet. *)
+    match Hashtbl.find t.handlers packet.Packet.flow with
+    | handler -> handler packet
+    | exception Not_found -> strand t packet
   else t.forward t packet
 
 let stranded t = t.stranded

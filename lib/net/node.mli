@@ -11,7 +11,9 @@ val create : id:int -> t
 val id : t -> int
 
 (** [attach t ~flow handler] registers the endpoint callback for packets
-    of [flow] addressed to this node. Replaces any previous handler. *)
+    of [flow] addressed to this node. Replaces any previous handler.
+    The handler owns the packet: when it returns, the packet may be
+    recycled by the caller, so handlers must copy any fields they keep. *)
 val attach : t -> flow:int -> (Packet.t -> unit) -> unit
 
 (** [detach t ~flow] removes the handler for [flow]. *)
@@ -20,6 +22,13 @@ val detach : t -> flow:int -> unit
 (** [set_forward t f] installs the transit-forwarding function (wired by
     {!Network}). *)
 val set_forward : t -> (t -> Packet.t -> unit) -> unit
+
+(** [set_recycle t f] installs the packet-recycling hook used when a
+    packet dead-ends here (wired by {!Network} to its pool). *)
+val set_recycle : t -> (Packet.t -> unit) -> unit
+
+(** [strand t p] counts [p] as stranded and recycles it. *)
+val strand : t -> Packet.t -> unit
 
 (** [receive t p] is invoked by the upstream link on delivery: local
     packets go to their flow handler, others are forwarded. Packets with

@@ -1,0 +1,67 @@
+(* Free list of packet records, stored as an array stack so that
+   acquire/release allocate nothing themselves. All fields are
+   overwritten by [Packet.reinit] at acquire; [release] installs the
+   [Recycled] payload sentinel so double releases and use-after-release
+   are detectable. *)
+
+type t = {
+  mutable items : Packet.t array;
+  mutable size : int;  (* packets currently on the free list *)
+  mutable created : int;  (* fresh records ever allocated *)
+  mutable outstanding : int;  (* acquired and not yet released *)
+  mutable peak_outstanding : int;
+}
+
+let empty_route = [||]
+
+(* Placeholder filling unused array slots; never handed out. *)
+let dummy () =
+  Packet.create ~uid:(-1) ~flow:(-1) ~src:0 ~dst:0 ~size:1 ~route:[| 0 |]
+    ~born:0. Packet.Recycled
+
+let create () =
+  { items = Array.make 64 (dummy ());
+    size = 0;
+    created = 0;
+    outstanding = 0;
+    peak_outstanding = 0 }
+
+let acquire t ~uid ~flow ~src ~dst ~size ~route ~born payload =
+  t.outstanding <- t.outstanding + 1;
+  if t.outstanding > t.peak_outstanding then
+    t.peak_outstanding <- t.outstanding;
+  if t.size > 0 then begin
+    t.size <- t.size - 1;
+    let packet = t.items.(t.size) in
+    Packet.reinit packet ~uid ~flow ~src ~dst ~size ~route ~born payload;
+    packet
+  end
+  else begin
+    t.created <- t.created + 1;
+    Packet.create ~uid ~flow ~src ~dst ~size ~route ~born payload
+  end
+
+let release t packet =
+  (match packet.Packet.payload with
+  | Packet.Recycled ->
+    invalid_arg "Packet_pool.release: packet already recycled"
+  | _ -> ());
+  packet.Packet.payload <- Packet.Recycled;
+  packet.Packet.route <- empty_route;
+  packet.Packet.next_hop <- 0;
+  t.outstanding <- t.outstanding - 1;
+  if t.size = Array.length t.items then begin
+    let bigger = Array.make (2 * t.size) packet in
+    Array.blit t.items 0 bigger 0 t.size;
+    t.items <- bigger
+  end;
+  t.items.(t.size) <- packet;
+  t.size <- t.size + 1
+
+let in_pool t = t.size
+
+let created t = t.created
+
+let outstanding t = t.outstanding
+
+let peak_outstanding t = t.peak_outstanding

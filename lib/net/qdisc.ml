@@ -15,6 +15,14 @@ let poll = function
   | Tail q -> Drop_tail.poll q
   | Red_queue q -> Red.poll q
 
+let is_empty = function
+  | Tail q -> Drop_tail.is_empty q
+  | Red_queue q -> Red.is_empty q
+
+let pop_exn = function
+  | Tail q -> Drop_tail.pop_exn q
+  | Red_queue q -> Red.pop_exn q
+
 let length = function
   | Tail q -> Drop_tail.length q
   | Red_queue q -> Red.length q

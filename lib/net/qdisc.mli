@@ -12,6 +12,12 @@ val offer : t -> Packet.t -> bool
 
 val poll : t -> Packet.t option
 
+val is_empty : t -> bool
+
+(** [pop_exn t] dequeues without allocating an option; raises if the
+    queue is empty (callers check {!is_empty} first). *)
+val pop_exn : t -> Packet.t
+
 val length : t -> int
 
 (** Packets rejected since creation. *)

@@ -66,6 +66,10 @@ let offer t packet =
 
 let poll t = Queue.take_opt t.q
 
+let pop_exn t = Queue.pop t.q
+
+let is_empty t = Queue.is_empty t.q
+
 let length t = Queue.length t.q
 
 let average t = t.average

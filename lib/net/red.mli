@@ -32,6 +32,12 @@ val offer : t -> Packet.t -> bool
 
 val poll : t -> Packet.t option
 
+(** [pop_exn t] dequeues without allocating; raises [Queue.Empty] if
+    the queue is empty. *)
+val pop_exn : t -> Packet.t
+
+val is_empty : t -> bool
+
 val length : t -> int
 
 (** Current EWMA of the queue length. *)

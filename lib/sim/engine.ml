@@ -1,43 +1,76 @@
 type event_id = Event_queue.id
 
-type t = { mutable clock : float; queue : (unit -> unit) Event_queue.t }
+(* The payload of a scheduled event. [Closure] is the general form;
+   higher layers extend [event] with unboxed constructors for their hot
+   paths (link transmissions, connection timers) so that scheduling a
+   packet costs one small variant block instead of one or two heap
+   closures. *)
+type event = ..
 
-let create () = { clock = 0.; queue = Event_queue.create () }
+type event += Closure of (unit -> unit)
 
-let now t = t.clock
+type t = {
+  (* One-slot [floatarray] rather than a [mutable float] field: writing
+     a float into a mixed record boxes it, and the clock is written
+     once per executed event. *)
+  clock : floatarray;
+  queue : event Event_queue.t;
+  (* Chain of typed-event dispatchers, installed once per (engine,
+     layer) by [add_dispatcher]. [Closure] never reaches it. *)
+  mutable dispatch : event -> unit;
+  dispatcher_keys : (string, unit) Hashtbl.t;
+}
 
-let schedule_at t ~time f =
-  if time < t.clock then
+let unhandled _ =
+  invalid_arg "Engine: typed event has no registered dispatcher"
+
+let create () =
+  { clock = Float.Array.make 1 0.;
+    queue = Event_queue.create ();
+    dispatch = unhandled;
+    dispatcher_keys = Hashtbl.create 4 }
+
+let now t = Float.Array.unsafe_get t.clock 0
+
+let set_clock t time = Float.Array.unsafe_set t.clock 0 time
+
+let add_dispatcher t ~key f =
+  if not (Hashtbl.mem t.dispatcher_keys key) then begin
+    Hashtbl.add t.dispatcher_keys key ();
+    let next = t.dispatch in
+    t.dispatch <- (fun ev -> if not (f ev) then next ev)
+  end
+
+let execute t = function Closure f -> f () | ev -> t.dispatch ev
+
+let schedule_event_at t ~time ev =
+  if time < now t then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
-         t.clock);
-  Event_queue.push t.queue ~time f
+         (now t));
+  Event_queue.push t.queue ~time ev
 
-let schedule_after t ~delay f =
+let schedule_event_after t ~delay ev =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  Event_queue.push t.queue ~time:(t.clock +. delay) f
+  Event_queue.push t.queue ~time:(now t +. delay) ev
+
+let schedule_at t ~time f = schedule_event_at t ~time (Closure f)
+
+let schedule_after t ~delay f = schedule_event_after t ~delay (Closure f)
 
 let cancel t id = Event_queue.cancel t.queue id
 
-let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    f ();
-    true
-
+(* [drain] pops without boxing a result per event; the callback is the
+   only allocation, once per [run] call. *)
 let run t ~until =
-  let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= until ->
-      ignore (step t);
-      loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
-  if until > t.clock then t.clock <- until
+  Event_queue.drain t.queue ~until (fun time ev ->
+      set_clock t time;
+      execute t ev);
+  if until > now t then set_clock t until
 
-let run_to_completion t = while step t do () done
+let run_to_completion t =
+  Event_queue.drain t.queue ~until:infinity (fun time ev ->
+      set_clock t time;
+      execute t ev)
 
 let pending t = Event_queue.length t.queue

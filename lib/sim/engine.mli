@@ -1,19 +1,53 @@
 (** Discrete-event simulation engine.
 
     The engine owns the simulated clock and the event queue. Components
-    schedule closures at absolute or relative times; [run] executes them
+    schedule events at absolute or relative times; [run] executes them
     in timestamp order (insertion order within a timestamp) while
-    advancing the clock. The clock never moves backwards. *)
+    advancing the clock. The clock never moves backwards.
+
+    Events come in two forms. The general form is a closure
+    ([schedule_at] / [schedule_after]). Hot paths instead extend the
+    {!event} variant with their own constructors and schedule those
+    directly ([schedule_event_at] / [schedule_event_after]), paying one
+    small variant block per event instead of heap closures; each layer
+    installs a dispatcher for its constructors once per engine with
+    [add_dispatcher]. Both forms share one queue, so the deterministic
+    (time, insertion) order is unaffected by which form a component
+    uses. *)
 
 type t
 
 type event_id
+
+(** Extensible event payload. Layers add constructors, e.g.
+    [type Sim.Engine.event += Tx_done of link]. *)
+type event = ..
+
+(** The general fallback: run a closure. Dispatched internally, never
+    passed to registered dispatchers. *)
+type event += Closure of (unit -> unit)
 
 (** [create ()] returns an engine with the clock at time 0. *)
 val create : unit -> t
 
 (** [now t] is the current simulated time, in seconds. *)
 val now : t -> float
+
+(** [add_dispatcher t ~key f] installs [f] to execute typed events.
+    [f ev] must return [true] if it handled [ev], [false] to pass it to
+    the next dispatcher. Registering the same [key] twice is a no-op,
+    so components may call this idempotently (e.g. once per link or
+    connection). Executing a typed event no dispatcher claims raises
+    [Invalid_argument]. *)
+val add_dispatcher : t -> key:string -> (event -> bool) -> unit
+
+(** [schedule_event_at t ~time ev] executes [ev] when the clock reaches
+    [time]. Scheduling in the past raises [Invalid_argument]. *)
+val schedule_event_at : t -> time:float -> event -> event_id
+
+(** [schedule_event_after t ~delay ev] executes [ev] after [delay]
+    seconds. Requires [delay >= 0.]. *)
+val schedule_event_after : t -> delay:float -> event -> event_id
 
 (** [schedule_at t ~time f] runs [f ()] when the clock reaches [time].
     Scheduling in the past raises [Invalid_argument]. *)

@@ -187,6 +187,53 @@ let rec pop t =
     else pop t
   end
 
+(* Single-pass variant of peek-then-pop: skim cancelled entries off the
+   top, then either pop the live minimum (if due by [until]) or leave it
+   in place. [Engine.run] calls this once per event instead of
+   inspecting the heap twice. *)
+let rec pop_until t ~until =
+  if t.size = 0 then None
+  else begin
+    let seq = t.seqs.(0) in
+    if not (bit_is_set t seq) then begin
+      remove_top t;
+      pop_until t ~until
+    end
+    else if t.times.(0) > until then None
+    else begin
+      let time = t.times.(0) in
+      let payload = t.payloads.(0) in
+      remove_top t;
+      clear_bit t seq;
+      t.live <- t.live - 1;
+      Some (time, payload)
+    end
+  end
+
+(* Callback variant of repeated [pop_until]: pops every event due by
+   [until] and hands it to [f] without materialising a [Some (time,
+   payload)] tuple per event. [f] may push new events; the heap top is
+   re-examined on every iteration, so events scheduled for a due time
+   are drained in the same call. *)
+let drain t ~until f =
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 then continue := false
+    else begin
+      let seq = t.seqs.(0) in
+      if not (bit_is_set t seq) then remove_top t
+      else if t.times.(0) > until then continue := false
+      else begin
+        let time = t.times.(0) in
+        let payload = t.payloads.(0) in
+        remove_top t;
+        clear_bit t seq;
+        t.live <- t.live - 1;
+        f time payload
+      end
+    end
+  done
+
 let rec peek_time t =
   if t.size = 0 then None
   else if bit_is_set t t.seqs.(0) then Some t.times.(0)

@@ -31,6 +31,19 @@ val pop : 'a t -> (float * 'a) option
     removing it. *)
 val peek_time : 'a t -> float option
 
+(** [pop_until t ~until] pops the earliest live event if its time is
+    [<= until]; otherwise returns [None] and leaves the queue intact.
+    Equivalent to [peek_time] followed by [pop] when the peeked time is
+    due, but inspects the heap only once. *)
+val pop_until : 'a t -> until:float -> (float * 'a) option
+
+(** [drain t ~until f] pops every live event with time [<= until], in
+    order, calling [f time payload] on each — equivalent to looping on
+    {!pop_until} but without allocating a result per event. [f] may
+    push further events; ones due by [until] are drained in the same
+    call. *)
+val drain : 'a t -> until:float -> (float -> 'a -> unit) -> unit
+
 (** [length t] counts live (non-cancelled) events. *)
 val length : 'a t -> int
 

@@ -1,4 +1,8 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* The four xoshiro256** lanes live in an int64 Bigarray rather than
+   mutable record fields: int64 record fields are boxed, so updating
+   them would allocate four boxes per draw, while Bigarray loads and
+   stores move raw 64-bit words. The bit sequence is unchanged. *)
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (* SplitMix64 is used only to expand seeds into full xoshiro256** state,
    as recommended by the xoshiro authors. *)
@@ -10,6 +14,14 @@ let splitmix_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let of_lanes s0 s1 s2 s3 =
+  let t = Bigarray.(Array1.create int64 c_layout 4) in
+  Bigarray.Array1.set t 0 s0;
+  Bigarray.Array1.set t 1 s1;
+  Bigarray.Array1.set t 2 s2;
+  Bigarray.Array1.set t 3 s3;
+  t
+
 let of_seed64 seed =
   let state = ref seed in
   let s0 = splitmix_next state in
@@ -18,24 +30,34 @@ let of_seed64 seed =
   let s3 = splitmix_next state in
   (* xoshiro must not be seeded with the all-zero state. *)
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+    of_lanes 1L 2L 3L 4L
+  else of_lanes s0 s1 s2 s3
 
 let create seed = of_seed64 (Int64.of_int seed)
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
-let bits64 t =
+let bits64 (t : t) =
   let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = Bigarray.Array1.unsafe_get t 0 in
+  let s1 = Bigarray.Array1.unsafe_get t 1 in
+  let s2 = Bigarray.Array1.unsafe_get t 2 in
+  let s3 = Bigarray.Array1.unsafe_get t 3 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  (* Same update order as the reference implementation: s1 and s0 mix
+     in the already-updated s2 and s3. *)
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  Bigarray.Array1.unsafe_set t 0 s0;
+  Bigarray.Array1.unsafe_set t 1 s1;
+  Bigarray.Array1.unsafe_set t 2 s2;
+  Bigarray.Array1.unsafe_set t 3 s3;
   result
 
 let split t label =
@@ -45,7 +67,9 @@ let split t label =
   let seed = Int64.logxor (bits64 t) (Int64.of_int h) in
   of_seed64 seed
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t =
+  of_lanes (Bigarray.Array1.get t 0) (Bigarray.Array1.get t 1)
+    (Bigarray.Array1.get t 2) (Bigarray.Array1.get t 3)
 
 let float t =
   (* Take the top 53 bits for a uniform double in [0, 1). *)

@@ -5,6 +5,11 @@ let log_src = Logs.Src.create "tcp_pr.connection" ~doc:"TCP connection events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* [Log.debug] allocates its message closure even when the level is
+   disabled; the hot path guards each call on this check instead. *)
+let debug_on () =
+  match Logs.Src.level log_src with Some Logs.Debug -> true | _ -> false
+
 type t = {
   network : Net.Network.t;
   engine : Sim.Engine.t;
@@ -14,8 +19,8 @@ type t = {
   dst : Net.Node.t;
   sender : Sender.packed;
   receiver : Receiver.t;
-  route_data : unit -> int list;
-  route_ack : unit -> int list;
+  route_data : unit -> int array;
+  route_ack : unit -> int array;
   timers : (int, Sim.Engine.event_id) Hashtbl.t;
   mutable started : bool;
   mutable data_packets_sent : int;
@@ -25,7 +30,33 @@ type t = {
   mutable pending_ack : Types.ack option;
   mutable delack_timer : Sim.Engine.event_id option;
   probe : Probe.t option;
+  (* Cached scheduler events, allocated once per connection: the same
+     [Delack]/[Timer] block is re-pushed every time the corresponding
+     timer is armed, so steady-state (re)arming allocates nothing.
+     [timer_events] is indexed by timer key (senders use 0..2). *)
+  mutable delack_event : Sim.Engine.event;
+  mutable timer_events : Sim.Engine.event array;
 }
+
+(* Typed scheduler events: a retransmission timer or delayed-ACK flush
+   costs one small variant block instead of a closure capturing the
+   connection (see DESIGN.md §10). *)
+type Sim.Engine.event +=
+  | Timer of t * int
+  | Delack of t
+
+let timer_event t key =
+  if key >= Array.length t.timer_events then begin
+    let bigger = Array.make (key + 1) (Sim.Engine.Closure ignore) in
+    Array.blit t.timer_events 0 bigger 0 (Array.length t.timer_events);
+    t.timer_events <- bigger
+  end;
+  match t.timer_events.(key) with
+  | Timer _ as ev -> ev
+  | _ ->
+    let ev = Timer (t, key) in
+    t.timer_events.(key) <- ev;
+    ev
 
 (* Instrumentation is pay-for-use: [probing t] is false unless a probe
    with at least one listener was supplied, and every snapshot or event
@@ -44,16 +75,16 @@ let send_data t ~seq ~retx =
   if probing t then
     emit_event t
       (Probe.Sent { time = Sim.Engine.now t.engine; flow = t.flow; seq; retx });
-  Log.debug (fun m ->
-      m "t=%.4f flow=%d send seq=%d%s"
-        (Sim.Engine.now t.engine)
-        t.flow seq
-        (if retx then " (retx)" else ""));
+  if debug_on () then
+    Log.debug (fun m ->
+        m "t=%.4f flow=%d send seq=%d%s"
+          (Sim.Engine.now t.engine)
+          t.flow seq
+          (if retx then " (retx)" else ""));
   let packet =
-    Net.Packet.create
-      ~uid:(Net.Network.fresh_uid t.network)
-      ~flow:t.flow ~src:(Net.Node.id t.src) ~dst:(Net.Node.id t.dst)
-      ~size:t.config.Config.mss ~route:(t.route_data ())
+    Net.Network.make_packet t.network ~flow:t.flow ~src:(Net.Node.id t.src)
+      ~dst:(Net.Node.id t.dst) ~size:t.config.Config.mss
+      ~route:(t.route_data ())
       ~born:(Sim.Engine.now t.engine)
       (Types.Data { seq; retx })
   in
@@ -65,10 +96,9 @@ let send_ack t ack =
       (Probe.Ack_at_sink
          { time = Sim.Engine.now t.engine; flow = t.flow; ack });
   let packet =
-    Net.Packet.create
-      ~uid:(Net.Network.fresh_uid t.network)
-      ~flow:t.flow ~src:(Net.Node.id t.dst) ~dst:(Net.Node.id t.src)
-      ~size:t.config.Config.ack_size ~route:(t.route_ack ())
+    Net.Network.make_packet t.network ~flow:t.flow ~src:(Net.Node.id t.dst)
+      ~dst:(Net.Node.id t.src) ~size:t.config.Config.ack_size
+      ~route:(t.route_ack ())
       ~born:(Sim.Engine.now t.engine)
       (Types.Ack ack)
   in
@@ -95,14 +125,7 @@ let rec apply t actions =
       | Some id -> Sim.Engine.cancel t.engine id
       | None -> ());
       let id =
-        Sim.Engine.schedule_after t.engine ~delay (fun () ->
-            Hashtbl.remove t.timers key;
-            let now = Sim.Engine.now t.engine in
-            instrumented t
-              (fun ~before ~after ~actions ->
-                Probe.Timer_fired
-                  { time = now; flow = t.flow; key; before; after; actions })
-              (fun () -> Sender.on_timer t.sender ~now ~key))
+        Sim.Engine.schedule_event_after t.engine ~delay (timer_event t key)
       in
       Hashtbl.replace t.timers key id
     | Action.Cancel_timer { key } -> (
@@ -125,6 +148,17 @@ and instrumented t make run =
   end
   else apply t (run ())
 
+let fire_timer t key =
+  Hashtbl.remove t.timers key;
+  let now = Sim.Engine.now t.engine in
+  if probing t then
+    instrumented t
+      (fun ~before ~after ~actions ->
+        Probe.Timer_fired
+          { time = now; flow = t.flow; key; before; after; actions })
+      (fun () -> Sender.on_timer t.sender ~now ~key)
+  else apply t (Sender.on_timer t.sender ~now ~key)
+
 let cancel_delack t =
   match t.delack_timer with
   | Some id ->
@@ -141,7 +175,7 @@ let flush_pending_ack t =
   | None -> ()
 
 let on_data_arrival t packet =
-  match packet.Net.Packet.payload with
+  (match packet.Net.Packet.payload with
   | Types.Data { seq; retx } -> (
     let rcv_next_before = Receiver.rcv_next t.receiver in
     let disposition = Receiver.receive t.receiver ~retx ~seq () in
@@ -170,34 +204,51 @@ let on_data_arrival t packet =
       t.pending_ack <- Some ack;
       if t.delack_timer = None then begin
         let id =
-          Sim.Engine.schedule_after t.engine
-            ~delay:t.config.Config.delack_timeout (fun () ->
-              t.delack_timer <- None;
-              flush_pending_ack t)
+          Sim.Engine.schedule_event_after t.engine
+            ~delay:t.config.Config.delack_timeout t.delack_event
         in
         t.delack_timer <- Some id
       end)
-  | _ -> ()
+  | _ -> ());
+  (* The payload has been fully consumed (the ack record, if any, is a
+     separate heap block), so the record can go back to the pool. *)
+  Net.Network.release_packet t.network packet
 
 let on_ack_arrival t packet =
-  match packet.Net.Packet.payload with
+  (match packet.Net.Packet.payload with
   | Types.Ack ack ->
     let now = Sim.Engine.now t.engine in
-    Log.debug (fun m ->
-        m "t=%.4f flow=%d ack %a" now t.flow Types.pp_ack ack);
-    instrumented t
-      (fun ~before ~after ~actions ->
-        Probe.Ack_at_source
-          { time = now; flow = t.flow; ack; before; after; actions })
-      (fun () -> Sender.on_ack t.sender ~now ack)
-  | _ -> ()
+    if debug_on () then
+      Log.debug (fun m ->
+          m "t=%.4f flow=%d ack %a" now t.flow Types.pp_ack ack);
+    if probing t then
+      instrumented t
+        (fun ~before ~after ~actions ->
+          Probe.Ack_at_source
+            { time = now; flow = t.flow; ack; before; after; actions })
+        (fun () -> Sender.on_ack t.sender ~now ack)
+    else apply t (Sender.on_ack t.sender ~now ack)
+  | _ -> ());
+  Net.Network.release_packet t.network packet
+
+let dispatch = function
+  | Timer (t, key) ->
+    fire_timer t key;
+    true
+  | Delack t ->
+    t.delack_timer <- None;
+    flush_pending_ack t;
+    true
+  | _ -> false
 
 let create ?probe network ~flow ~src ~dst ~sender ~config ~route_data
     ~route_ack () =
   Config.validate config;
+  let engine = Net.Network.engine network in
+  Sim.Engine.add_dispatcher engine ~key:"tcp.connection" dispatch;
   let t =
     { network;
-      engine = Net.Network.engine network;
+      engine;
       config;
       flow;
       src;
@@ -212,8 +263,11 @@ let create ?probe network ~flow ~src ~dst ~sender ~config ~route_data
       finished_at = None;
       pending_ack = None;
       delack_timer = None;
-      probe }
+      probe;
+      delack_event = Sim.Engine.Closure ignore;
+      timer_events = Array.make 4 (Sim.Engine.Closure ignore) }
   in
+  t.delack_event <- Delack t;
   Net.Node.attach dst ~flow (on_data_arrival t);
   Net.Node.attach src ~flow (on_ack_arrival t);
   t

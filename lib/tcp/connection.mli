@@ -4,8 +4,10 @@
     Routing is per-packet: [route_data] (forward path) and [route_ack]
     (reverse path) are sampled on every transmission, which is how
     multi-path routing — and hence persistent reordering of both data
-    and acknowledgements — enters the system. For single-path scenarios
-    pass constant functions. *)
+    and acknowledgements — enters the system. The returned arrays are
+    shared, never consumed: for single-path scenarios pass constant
+    functions returning one preallocated array, so the send path
+    allocates nothing. *)
 
 type t
 
@@ -27,8 +29,8 @@ val create :
   dst:Net.Node.t ->
   sender:(module Sender.S) ->
   config:Config.t ->
-  route_data:(unit -> int list) ->
-  route_ack:(unit -> int list) ->
+  route_data:(unit -> int array) ->
+  route_ack:(unit -> int array) ->
   unit ->
   t
 

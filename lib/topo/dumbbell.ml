@@ -6,6 +6,10 @@ type t = {
   sinks : Net.Node.t array;
   bottleneck_forward : Net.Link.t;
   bottleneck_reverse : Net.Link.t;
+  (* Per-pair route arrays, built once and shared by every packet of
+     the pair's flows (routes are never consumed — see {!Net.Packet}). *)
+  routes_forward : int array array;
+  routes_reverse : int array array;
 }
 
 let create engine ?(pairs = 1) ?(bottleneck_bandwidth_bps = 15e6)
@@ -32,20 +36,28 @@ let create engine ?(pairs = 1) ?(bottleneck_bandwidth_bps = 15e6)
   in
   let sources = Array.init pairs (fun _ -> attach left_router) in
   let sinks = Array.init pairs (fun _ -> attach right_router) in
+  let routes_forward =
+    Array.init pairs (fun pair ->
+        [| Net.Node.id left_router;
+           Net.Node.id right_router;
+           Net.Node.id sinks.(pair) |])
+  in
+  let routes_reverse =
+    Array.init pairs (fun pair ->
+        [| Net.Node.id right_router;
+           Net.Node.id left_router;
+           Net.Node.id sources.(pair) |])
+  in
   { network;
     left_router;
     right_router;
     sources;
     sinks;
     bottleneck_forward;
-    bottleneck_reverse }
+    bottleneck_reverse;
+    routes_forward;
+    routes_reverse }
 
-let route_forward t ~pair =
-  [ Net.Node.id t.left_router;
-    Net.Node.id t.right_router;
-    Net.Node.id t.sinks.(pair) ]
+let route_forward t ~pair = t.routes_forward.(pair)
 
-let route_reverse t ~pair =
-  [ Net.Node.id t.right_router;
-    Net.Node.id t.left_router;
-    Net.Node.id t.sources.(pair) ]
+let route_reverse t ~pair = t.routes_reverse.(pair)

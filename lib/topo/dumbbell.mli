@@ -14,6 +14,8 @@ type t = {
   sinks : Net.Node.t array;
   bottleneck_forward : Net.Link.t;
   bottleneck_reverse : Net.Link.t;
+  routes_forward : int array array;  (** per pair, source -> sink *)
+  routes_reverse : int array array;  (** per pair, sink -> source *)
 }
 
 (** [create engine ()] builds the topology.
@@ -47,8 +49,11 @@ val create :
   unit ->
   t
 
-(** [route_forward t ~pair] is the data route source->sink for [pair]. *)
-val route_forward : t -> pair:int -> int list
+(** [route_forward t ~pair] is the data route source->sink for [pair].
+    The array is shared — one allocation per topology, not per packet —
+    and must not be mutated. *)
+val route_forward : t -> pair:int -> int array
 
-(** [route_reverse t ~pair] is the ACK route sink->source for [pair]. *)
-val route_reverse : t -> pair:int -> int list
+(** [route_reverse t ~pair] is the ACK route sink->source for [pair].
+    Shared like {!route_forward}. *)
+val route_reverse : t -> pair:int -> int array

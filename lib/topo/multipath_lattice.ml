@@ -3,8 +3,8 @@ type t = {
   source : Net.Node.t;
   destination : Net.Node.t;
   hop_counts : int array;
-  forward_routes : int list array;
-  reverse_routes : int list array;
+  forward_routes : int array array;
+  reverse_routes : int array array;
 }
 
 let create engine ?(path_hops = [ 3; 4; 5 ]) ?(bandwidth_bps = 10e6)
@@ -33,9 +33,14 @@ let create engine ?(path_hops = [ 3; 4; 5 ]) ?(bandwidth_bps = 10e6)
       duplex ~src:intermediates.(i) ~dst:intermediates.(i + 1)
     done;
     duplex ~src:intermediates.(hops - 2) ~dst:destination;
-    let ids = Array.to_list (Array.map Net.Node.id intermediates) in
-    let forward = ids @ [ Net.Node.id destination ] in
-    let reverse = List.rev ids @ [ Net.Node.id source ] in
+    let ids = Array.map Net.Node.id intermediates in
+    let forward = Array.append ids [| Net.Node.id destination |] in
+    let reverse =
+      let n = Array.length ids in
+      Array.append
+        (Array.init n (fun i -> ids.(n - 1 - i)))
+        [| Net.Node.id source |]
+    in
     (forward, reverse)
   in
   let routes = List.map build_path path_hops in
@@ -53,7 +58,7 @@ let path_delays t =
      the first link of each forward route. *)
   Array.mapi
     (fun index hops ->
-      let first_hop = List.hd t.forward_routes.(index) in
+      let first_hop = t.forward_routes.(index).(0) in
       match
         Net.Network.link_between t.network ~src:(Net.Node.id t.source)
           ~dst:first_hop

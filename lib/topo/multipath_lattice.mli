@@ -14,8 +14,10 @@ type t = {
   source : Net.Node.t;
   destination : Net.Node.t;
   hop_counts : int array;  (** links per path *)
-  forward_routes : int list array;  (** per path, source -> destination *)
-  reverse_routes : int list array;  (** per path, destination -> source *)
+  forward_routes : int array array;
+      (** per path, source -> destination; shared route arrays, one
+          allocation per topology — do not mutate *)
+  reverse_routes : int array array;  (** per path, destination -> source *)
 }
 
 (** [create engine ()] builds the lattice.

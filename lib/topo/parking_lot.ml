@@ -2,8 +2,8 @@ type cross_pair = {
   index : int;
   cross_source : Net.Node.t;
   cross_sink : Net.Node.t;
-  forward_route : int list;
-  reverse_route : int list;
+  forward_route : int array;
+  reverse_route : int array;
 }
 
 type t = {
@@ -12,6 +12,8 @@ type t = {
   destination : Net.Node.t;
   core : Net.Node.t array;
   cross_pairs : cross_pair list;
+  main_forward : int array;
+  main_reverse : int array;
 }
 
 let mbps x = x *. 1e6
@@ -67,18 +69,27 @@ let create engine ?(core_delay_s = 0.010) ?(access_delay_s = 0.005)
         let cross_sink = cross_sinks.(di) in
         (* Data enter the core at node si+1, leave at node di+2 (paper
            numbering), i.e. array indices si .. di+1. *)
-        let forward_route = core_ids si (di + 1) @ [ Net.Node.id cross_sink ] in
+        let forward_route =
+          Array.of_list (core_ids si (di + 1) @ [ Net.Node.id cross_sink ])
+        in
         let reverse_route =
-          List.rev (core_ids si (di + 1)) @ [ Net.Node.id cross_source ]
+          Array.of_list
+            (List.rev (core_ids si (di + 1)) @ [ Net.Node.id cross_source ])
         in
         { index; cross_source; cross_sink; forward_route; reverse_route })
       matrix
   in
-  { network; source; destination; core; cross_pairs }
+  let main_forward =
+    Array.of_list
+      (List.init 4 (fun i -> Net.Node.id core.(i)) @ [ Net.Node.id destination ])
+  in
+  let main_reverse =
+    Array.of_list
+      (List.rev (List.init 4 (fun i -> Net.Node.id core.(i)))
+      @ [ Net.Node.id source ])
+  in
+  { network; source; destination; core; cross_pairs; main_forward; main_reverse }
 
-let route_forward t =
-  List.init 4 (fun i -> Net.Node.id t.core.(i)) @ [ Net.Node.id t.destination ]
+let route_forward t = t.main_forward
 
-let route_reverse t =
-  List.rev (List.init 4 (fun i -> Net.Node.id t.core.(i)))
-  @ [ Net.Node.id t.source ]
+let route_reverse t = t.main_reverse

@@ -17,8 +17,8 @@ type cross_pair = {
   index : int;
   cross_source : Net.Node.t;
   cross_sink : Net.Node.t;
-  forward_route : int list;
-  reverse_route : int list;
+  forward_route : int array;  (** shared route array — do not mutate *)
+  reverse_route : int array;
 }
 
 type t = {
@@ -27,6 +27,8 @@ type t = {
   destination : Net.Node.t;  (** D *)
   core : Net.Node.t array;  (** nodes 1..4 at indices 0..3 *)
   cross_pairs : cross_pair list;
+  main_forward : int array;  (** shared main-flow data route *)
+  main_reverse : int array;  (** shared main-flow ACK route *)
 }
 
 (** [create engine ()] builds the topology.
@@ -43,8 +45,8 @@ val create :
   unit ->
   t
 
-(** Main-flow data route S -> 1 -> 2 -> 3 -> 4 -> D. *)
-val route_forward : t -> int list
+(** Main-flow data route S -> 1 -> 2 -> 3 -> 4 -> D (shared array). *)
+val route_forward : t -> int array
 
-(** Main-flow ACK route D -> 4 -> 3 -> 2 -> 1 -> S. *)
-val route_reverse : t -> int list
+(** Main-flow ACK route D -> 4 -> 3 -> 2 -> 1 -> S (shared array). *)
+val route_reverse : t -> int array

@@ -19,8 +19,8 @@ val spawn :
   first_flow:int ->
   src:Net.Node.t ->
   dst:Net.Node.t ->
-  route_data:(unit -> int list) ->
-  route_ack:(unit -> int list) ->
+  route_data:(unit -> int array) ->
+  route_ack:(unit -> int array) ->
   config:Tcp.Config.t ->
   start_rng:Sim.Rng.t ->
   start_window:float ->

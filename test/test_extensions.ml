@@ -81,8 +81,8 @@ let test_delack_end_to_end () =
   let c =
     Tcp.Connection.create network ~flow:0 ~src:a ~dst:b
       ~sender:(module Tcp.Sack) ~config
-      ~route_data:(fun () -> [ Net.Node.id b ])
-      ~route_ack:(fun () -> [ Net.Node.id a ])
+      ~route_data:(fun () -> [| Net.Node.id b |])
+      ~route_ack:(fun () -> [| Net.Node.id a |])
       ()
   in
   Tcp.Connection.start c ~at:0.;
@@ -113,8 +113,8 @@ let test_delack_timer_flushes () =
   let c =
     Tcp.Connection.create network ~flow:0 ~src:a ~dst:b
       ~sender:(module Tcp.Sack) ~config
-      ~route_data:(fun () -> [ Net.Node.id b ])
-      ~route_ack:(fun () -> [ Net.Node.id a ])
+      ~route_data:(fun () -> [| Net.Node.id b |])
+      ~route_ack:(fun () -> [| Net.Node.id a |])
       ()
   in
   Tcp.Connection.start c ~at:0.;
@@ -132,7 +132,7 @@ let test_delack_timer_flushes () =
 (* ------------------------------------------------------------------ *)
 
 let mk_packet uid =
-  Net.Packet.create ~uid ~flow:0 ~src:0 ~dst:1 ~size:1000 ~route:[ 1 ] ~born:0.
+  Net.Packet.create ~uid ~flow:0 ~src:0 ~dst:1 ~size:1000 ~route:[| 1 |] ~born:0.
     (Net.Packet.Raw 0)
 
 let test_red_accepts_below_min_threshold () =
@@ -210,8 +210,8 @@ let test_red_with_tcp () =
   let c =
     Tcp.Connection.create network ~flow:0 ~src:a ~dst:b
       ~sender:(module Tcp.Sack) ~config
-      ~route_data:(fun () -> [ Net.Node.id b ])
-      ~route_ack:(fun () -> [ Net.Node.id a ])
+      ~route_data:(fun () -> [| Net.Node.id b |])
+      ~route_ack:(fun () -> [| Net.Node.id a |])
       ()
   in
   Tcp.Connection.start c ~at:0.;
@@ -462,8 +462,8 @@ let test_probe_samples_cwnd () =
   let c =
     Tcp.Connection.create network ~flow:0 ~src:a ~dst:b
       ~sender:(module Tcp.Sack) ~config:Tcp.Config.default
-      ~route_data:(fun () -> [ Net.Node.id b ])
-      ~route_ack:(fun () -> [ Net.Node.id a ])
+      ~route_data:(fun () -> [| Net.Node.id b |])
+      ~route_ack:(fun () -> [| Net.Node.id a |])
       ()
   in
   Tcp.Connection.start c ~at:0.;
@@ -548,8 +548,8 @@ let test_tahoe_reno_complete_end_to_end () =
     let c =
       Tcp.Connection.create network ~flow:0 ~src:a ~dst:b ~sender:(module M)
         ~config
-        ~route_data:(fun () -> [ Net.Node.id b ])
-        ~route_ack:(fun () -> [ Net.Node.id a ])
+        ~route_data:(fun () -> [| Net.Node.id b |])
+        ~route_ack:(fun () -> [| Net.Node.id a |])
         ()
     in
     Tcp.Connection.start c ~at:0.;
@@ -574,7 +574,7 @@ let test_jitter_reorders_within_link () =
   Net.Link.set_deliver link (fun p -> order := p.Net.Packet.uid :: !order);
   for i = 1 to 50 do
     Net.Link.send link
-      (Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:100 ~route:[ 1 ]
+      (Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:100 ~route:[| 1 |]
          ~born:0. (Net.Packet.Raw 0))
   done;
   Sim.Engine.run_to_completion engine;
@@ -594,7 +594,7 @@ let test_jitter_zero_keeps_fifo () =
   Net.Link.set_deliver link (fun p -> order := p.Net.Packet.uid :: !order);
   for i = 1 to 20 do
     Net.Link.send link
-      (Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:100 ~route:[ 1 ]
+      (Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:100 ~route:[| 1 |]
          ~born:0. (Net.Packet.Raw 0))
   done;
   Sim.Engine.run_to_completion engine;

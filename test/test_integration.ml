@@ -35,8 +35,8 @@ let run_transfer ?loss ~total ~horizon (sender : (module Tcp.Sender.S)) =
   in
   let connection =
     Tcp.Connection.create network ~flow:0 ~src:source ~dst:sink ~sender ~config
-      ~route_data:(fun () -> [ Net.Node.id sink ])
-      ~route_ack:(fun () -> [ Net.Node.id source ])
+      ~route_data:(fun () -> [| Net.Node.id sink |])
+      ~route_ack:(fun () -> [| Net.Node.id source |])
       ()
   in
   Tcp.Connection.start connection ~at:0.;
@@ -88,10 +88,10 @@ let reordering_network () =
   duplex mid_fast sink 0.005;
   duplex source mid_slow 0.040;
   duplex mid_slow sink 0.040;
-  let fast = [ Net.Node.id mid_fast; Net.Node.id sink ] in
-  let slow = [ Net.Node.id mid_slow; Net.Node.id sink ] in
-  let rev_fast = [ Net.Node.id mid_fast; Net.Node.id source ] in
-  let rev_slow = [ Net.Node.id mid_slow; Net.Node.id source ] in
+  let fast = [| Net.Node.id mid_fast; Net.Node.id sink |] in
+  let slow = [| Net.Node.id mid_slow; Net.Node.id sink |] in
+  let rev_fast = [| Net.Node.id mid_fast; Net.Node.id source |] in
+  let rev_slow = [| Net.Node.id mid_slow; Net.Node.id source |] in
   (engine, network, source, sink, (fast, slow), (rev_fast, rev_slow))
 
 let run_reordering ~total (sender : (module Tcp.Sender.S)) =

@@ -74,11 +74,11 @@ let test_adhoc_route_respects_range () =
   Manet.Mobility.pin mobility 3 (0., 1000.);
   Manet.Mobility.pin mobility 4 (300., 1000.);
   Manet.Mobility.pin mobility 5 (600., 1000.);
-  Alcotest.(check (option (list int)))
+  Alcotest.(check (option (array int)))
     "two-hop relay"
-    (Some [ 1; 2 ])
+    (Some [| 1; 2 |])
     (Manet.Adhoc.current_route adhoc ~src:0 ~dst:2);
-  Alcotest.(check (option (list int)))
+  Alcotest.(check (option (array int)))
     "partitioned" None
     (Manet.Adhoc.current_route adhoc ~src:0 ~dst:5)
 
@@ -92,10 +92,10 @@ let test_adhoc_route_fn_falls_back () =
   Manet.Mobility.pin mobility 4 (300., 1000.);
   Manet.Mobility.pin mobility 5 (600., 1000.);
   let route = Manet.Adhoc.route_fn adhoc ~src:0 ~dst:2 in
-  Alcotest.(check (list int)) "live route" [ 1; 2 ] (route ());
+  Alcotest.(check (array int)) "live route" [| 1; 2 |] (route ());
   (* Break the chain: the last known route is reused. *)
   Manet.Mobility.pin mobility 1 (35., 1000.);
-  Alcotest.(check (list int)) "stale route reused" [ 1; 2 ] (route ())
+  Alcotest.(check (array int)) "stale route reused" [| 1; 2 |] (route ())
 
 let test_adhoc_out_of_range_links_drop () =
   let engine, adhoc = adhoc_fixture () in
@@ -110,7 +110,7 @@ let test_adhoc_out_of_range_links_drop () =
       ~src:(Net.Node.id (Manet.Adhoc.node adhoc 0))
       ~dst:(Net.Node.id (Manet.Adhoc.node adhoc 1))
       ~size:500
-      ~route:[ Net.Node.id (Manet.Adhoc.node adhoc 1) ]
+      ~route:[| Net.Node.id (Manet.Adhoc.node adhoc 1) |]
       ~born:0. (Net.Packet.Raw 0)
   in
   Net.Network.originate network ~from:(Manet.Adhoc.node adhoc 0) packet;
@@ -123,7 +123,7 @@ let test_adhoc_out_of_range_links_drop () =
       ~src:(Net.Node.id (Manet.Adhoc.node adhoc 0))
       ~dst:(Net.Node.id (Manet.Adhoc.node adhoc 1))
       ~size:500
-      ~route:[ Net.Node.id (Manet.Adhoc.node adhoc 1) ]
+      ~route:[| Net.Node.id (Manet.Adhoc.node adhoc 1) |]
       ~born:0. (Net.Packet.Raw 0)
   in
   Net.Network.originate network ~from:(Manet.Adhoc.node adhoc 0) packet2;

@@ -13,7 +13,7 @@ let mk_packet ?(uid = 0) ?(flow = 0) ?(size = 1000) ~src ~dst ~route () =
 
 let test_drop_tail_fifo () =
   let q = Net.Drop_tail.create ~capacity:3 in
-  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] () in
   Alcotest.(check bool) "accepts" true (Net.Drop_tail.offer q (p 1));
   Alcotest.(check bool) "accepts" true (Net.Drop_tail.offer q (p 2));
   let first = Option.get (Net.Drop_tail.poll q) in
@@ -21,7 +21,7 @@ let test_drop_tail_fifo () =
 
 let test_drop_tail_overflow () =
   let q = Net.Drop_tail.create ~capacity:2 in
-  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] () in
   ignore (Net.Drop_tail.offer q (p 1));
   ignore (Net.Drop_tail.offer q (p 2));
   Alcotest.(check bool) "rejects when full" false (Net.Drop_tail.offer q (p 3));
@@ -38,7 +38,7 @@ let drop_tail_prop =
         (fun i offer ->
           if offer then
             ignore
-              (Net.Drop_tail.offer q (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ()))
+              (Net.Drop_tail.offer q (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ()))
           else ignore (Net.Drop_tail.poll q))
         ops;
       Net.Drop_tail.length q <= capacity)
@@ -48,7 +48,7 @@ let drop_tail_prop =
 (* ------------------------------------------------------------------ *)
 
 let test_loss_perfect () =
-  let p = mk_packet ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let p = mk_packet ~src:0 ~dst:1 ~route:[| 1 |] () in
   for _ = 1 to 100 do
     Alcotest.(check bool) "never drops" false
       (Net.Loss_model.drops Net.Loss_model.perfect p)
@@ -56,7 +56,7 @@ let test_loss_perfect () =
 
 let test_loss_periodic () =
   let model = Net.Loss_model.periodic ~period:3 in
-  let p = mk_packet ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let p = mk_packet ~src:0 ~dst:1 ~route:[| 1 |] () in
   let outcomes = List.init 9 (fun _ -> Net.Loss_model.drops model p) in
   Alcotest.(check (list bool))
     "every third drops"
@@ -66,7 +66,7 @@ let test_loss_periodic () =
 let test_loss_bernoulli_rate () =
   let rng = Sim.Rng.create 5 in
   let model = Net.Loss_model.bernoulli rng ~p:0.3 in
-  let p = mk_packet ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let p = mk_packet ~src:0 ~dst:1 ~route:[| 1 |] () in
   let n = 20_000 in
   let drops = ref 0 in
   for _ = 1 to n do
@@ -77,8 +77,8 @@ let test_loss_bernoulli_rate () =
 
 let test_loss_custom () =
   let model = Net.Loss_model.custom (fun p -> p.Net.Packet.uid mod 2 = 0) in
-  let even = mk_packet ~uid:4 ~src:0 ~dst:1 ~route:[ 1 ] () in
-  let odd = mk_packet ~uid:5 ~src:0 ~dst:1 ~route:[ 1 ] () in
+  let even = mk_packet ~uid:4 ~src:0 ~dst:1 ~route:[| 1 |] () in
+  let odd = mk_packet ~uid:5 ~src:0 ~dst:1 ~route:[| 1 |] () in
   Alcotest.(check bool) "even dropped" true (Net.Loss_model.drops model even);
   Alcotest.(check bool) "odd passes" false (Net.Loss_model.drops model odd)
 
@@ -97,7 +97,7 @@ let test_link_timing () =
   let delivered = ref [] in
   Net.Link.set_deliver link (fun p ->
       delivered := (Sim.Engine.now engine, p.Net.Packet.uid) :: !delivered);
-  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[| 1 |] ());
   Sim.Engine.run_to_completion engine;
   match !delivered with
   | [ (time, 1) ] -> check_float "tx + prop" 0.018 time
@@ -112,8 +112,8 @@ let test_link_serialises () =
   let delivered = ref [] in
   Net.Link.set_deliver link (fun p ->
       delivered := (Sim.Engine.now engine, p.Net.Packet.uid) :: !delivered);
-  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[ 1 ] ());
-  Net.Link.send link (mk_packet ~uid:2 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[| 1 |] ());
+  Net.Link.send link (mk_packet ~uid:2 ~src:0 ~dst:1 ~route:[| 1 |] ());
   Sim.Engine.run_to_completion engine;
   match List.rev !delivered with
   | [ (t1, 1); (t2, 2) ] ->
@@ -132,7 +132,7 @@ let test_link_queue_overflow_drops () =
   Net.Link.set_deliver link (fun _ -> incr count);
   (* One on the wire + two queued fit; the other two drop. *)
   for i = 1 to 5 do
-    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ())
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ())
   done;
   Sim.Engine.run_to_completion engine;
   Alcotest.(check int) "delivered" 3 !count;
@@ -149,7 +149,7 @@ let test_link_fifo_order () =
   let order = ref [] in
   Net.Link.set_deliver link (fun p -> order := p.Net.Packet.uid :: !order);
   for i = 1 to 20 do
-    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ())
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ())
   done;
   Sim.Engine.run_to_completion engine;
   Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i + 1))
@@ -165,7 +165,7 @@ let test_link_loss_injection () =
   let count = ref 0 in
   Net.Link.set_deliver link (fun _ -> incr count);
   for i = 1 to 10 do
-    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ())
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ())
   done;
   Sim.Engine.run_to_completion engine;
   Alcotest.(check int) "half delivered" 5 !count;
@@ -179,10 +179,10 @@ let test_link_set_bandwidth () =
   in
   let times = ref [] in
   Net.Link.set_deliver link (fun _ -> times := Sim.Engine.now engine :: !times);
-  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[| 1 |] ());
   Sim.Engine.run_to_completion engine;
   Net.Link.set_bandwidth link 2e6;
-  Net.Link.send link (mk_packet ~uid:2 ~src:0 ~dst:1 ~route:[ 1 ] ());
+  Net.Link.send link (mk_packet ~uid:2 ~src:0 ~dst:1 ~route:[| 1 |] ());
   Sim.Engine.run_to_completion engine;
   match List.rev !times with
   | [ t1; t2 ] ->
@@ -216,7 +216,7 @@ let test_network_forwards_route () =
   Net.Node.attach nodes.(2) ~flow:7 (fun p ->
       received := Some (p.Net.Packet.uid, p.Net.Packet.hops));
   let packet =
-    Net.Packet.create ~uid:42 ~flow:7 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+    Net.Packet.create ~uid:42 ~flow:7 ~src:0 ~dst:2 ~size:500 ~route:[| 1; 2 |]
       ~born:0. (Net.Packet.Raw 9)
   in
   Net.Network.originate network ~from:nodes.(0) packet;
@@ -228,7 +228,7 @@ let test_network_forwards_route () =
 let test_network_stranded_without_handler () =
   let engine, network, nodes = line_network () in
   let packet =
-    Net.Packet.create ~uid:1 ~flow:9 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+    Net.Packet.create ~uid:1 ~flow:9 ~src:0 ~dst:2 ~size:500 ~route:[| 1; 2 |]
       ~born:0. (Net.Packet.Raw 0)
   in
   Net.Network.originate network ~from:nodes.(0) packet;
@@ -241,7 +241,7 @@ let test_network_detach () =
   Net.Node.attach nodes.(2) ~flow:1 (fun _ -> incr hits);
   Net.Node.detach nodes.(2) ~flow:1;
   let packet =
-    Net.Packet.create ~uid:1 ~flow:1 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+    Net.Packet.create ~uid:1 ~flow:1 ~src:0 ~dst:2 ~size:500 ~route:[| 1; 2 |]
       ~born:0. (Net.Packet.Raw 0)
   in
   Net.Network.originate network ~from:nodes.(0) packet;
@@ -318,7 +318,7 @@ let per_path_fifo_prop =
       for i = 1 to count do
         let packet =
           Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:2 ~size:200
-            ~route:[ 1; 2 ] ~born:0. (Net.Packet.Raw 0)
+            ~route:[| 1; 2 |] ~born:0. (Net.Packet.Raw 0)
         in
         Net.Network.originate network ~from:nodes.(0) packet
       done;
@@ -331,7 +331,7 @@ let per_path_fifo_prop =
 (* Red                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let red_packet i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[ 1 ] ()
+let red_packet i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ()
 
 let test_red_no_marking_below_min () =
   (* Average below min_threshold: marking probability is zero. *)
@@ -401,6 +401,94 @@ let test_red_marking_rate_tracks_average () =
   Alcotest.(check bool) "bounded" true (r18 < 0.3)
 
 (* ------------------------------------------------------------------ *)
+(* Packet_pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_reuses_record () =
+  let pool = Net.Packet_pool.create () in
+  let p =
+    Net.Packet_pool.acquire pool ~uid:1 ~flow:0 ~src:0 ~dst:2 ~size:100
+      ~route:[| 1; 2 |] ~born:0. (Net.Packet.Raw 7)
+  in
+  (* Dirty the packet as forwarding would. *)
+  p.Net.Packet.next_hop <- 2;
+  p.Net.Packet.hops <- 2;
+  Net.Packet_pool.release pool p;
+  let q =
+    Net.Packet_pool.acquire pool ~uid:2 ~flow:1 ~src:3 ~dst:4 ~size:40
+      ~route:[| 4 |] ~born:1. (Net.Packet.Raw 8)
+  in
+  Alcotest.(check bool) "same physical record" true (p == q);
+  Alcotest.(check int) "uid reset" 2 q.Net.Packet.uid;
+  Alcotest.(check int) "flow reset" 1 q.Net.Packet.flow;
+  Alcotest.(check int) "cursor reset" 0 q.Net.Packet.next_hop;
+  Alcotest.(check int) "hops reset" 0 q.Net.Packet.hops;
+  Alcotest.(check (array int)) "route replaced" [| 4 |] q.Net.Packet.route;
+  (match q.Net.Packet.payload with
+  | Net.Packet.Raw 8 -> ()
+  | _ -> Alcotest.fail "stale payload survived recycling");
+  Alcotest.(check int) "one record ever created" 1
+    (Net.Packet_pool.created pool)
+
+let test_pool_double_release_raises () =
+  let pool = Net.Packet_pool.create () in
+  let p =
+    Net.Packet_pool.acquire pool ~uid:1 ~flow:0 ~src:0 ~dst:1 ~size:100
+      ~route:[| 1 |] ~born:0. (Net.Packet.Raw 0)
+  in
+  Net.Packet_pool.release pool p;
+  Alcotest.check_raises "second release rejected"
+    (Invalid_argument "Packet_pool.release: packet already recycled")
+    (fun () -> Net.Packet_pool.release pool p)
+
+let test_pool_growth_bounded_by_peak () =
+  let pool = Net.Packet_pool.create () in
+  let acquire uid =
+    Net.Packet_pool.acquire pool ~uid ~flow:0 ~src:0 ~dst:1 ~size:100
+      ~route:[| 1 |] ~born:0. (Net.Packet.Raw uid)
+  in
+  (* 5 in flight at peak, then 100 sequential acquire/release cycles:
+     records created must track the peak, not the packet count. *)
+  let batch = List.init 5 acquire in
+  List.iter (Net.Packet_pool.release pool) batch;
+  for uid = 10 to 109 do
+    Net.Packet_pool.release pool (acquire uid)
+  done;
+  Alcotest.(check int) "peak in flight" 5
+    (Net.Packet_pool.peak_outstanding pool);
+  Alcotest.(check int) "created = peak in flight" 5
+    (Net.Packet_pool.created pool);
+  Alcotest.(check int) "all back in pool" 5 (Net.Packet_pool.in_pool pool);
+  Alcotest.(check int) "none outstanding" 0 (Net.Packet_pool.outstanding pool)
+
+(* End-to-end: a network recycles delivered and dropped packets back
+   into its pool, so a steady stream allocates no new records after the
+   first. *)
+let test_pool_network_steady_state () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let a = Net.Network.add_node network in
+  let b = Net.Network.add_node network in
+  ignore
+    (Net.Network.add_link network ~src:a ~dst:b ~bandwidth_bps:1e6
+       ~delay_s:0.001 ~capacity:4 ());
+  Net.Node.attach b ~flow:0 (fun p -> Net.Network.release_packet network p);
+  let route = [| Net.Node.id b |] in
+  for _ = 1 to 50 do
+    let p =
+      Net.Network.make_packet network ~flow:0 ~src:(Net.Node.id a)
+        ~dst:(Net.Node.id b) ~size:500 ~route
+        ~born:(Sim.Engine.now engine) (Net.Packet.Raw 0)
+    in
+    Net.Network.originate network ~from:a p;
+    Sim.Engine.run_to_completion engine
+  done;
+  let pool = Net.Network.pool network in
+  Alcotest.(check int) "single record serves the whole run" 1
+    (Net.Packet_pool.created pool);
+  Alcotest.(check int) "nothing leaked" 0 (Net.Packet_pool.outstanding pool)
+
+(* ------------------------------------------------------------------ *)
 (* Tracer                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -409,7 +497,7 @@ let test_tracer_records_lifecycle () =
   let tracer = Net.Tracer.attach network in
   Net.Node.attach nodes.(2) ~flow:0 (fun _ -> ());
   let packet =
-    Net.Packet.create ~uid:7 ~flow:0 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+    Net.Packet.create ~uid:7 ~flow:0 ~src:0 ~dst:2 ~size:500 ~route:[| 1; 2 |]
       ~born:0. (Net.Packet.Raw 0)
   in
   Net.Network.originate network ~from:nodes.(0) packet;
@@ -436,7 +524,7 @@ let test_tracer_records_queue_drop () =
   Net.Node.attach b ~flow:0 (fun _ -> ());
   for i = 1 to 5 do
     let packet =
-      Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:500 ~route:[ 1 ]
+      Net.Packet.create ~uid:i ~flow:0 ~src:0 ~dst:1 ~size:500 ~route:[| 1 |]
         ~born:0. (Net.Packet.Raw 0)
     in
     Net.Network.originate network ~from:a packet
@@ -460,7 +548,7 @@ let test_tracer_flow_filter_and_capacity () =
   for i = 1 to 4 do
     let flow = i mod 2 in
     let packet =
-      Net.Packet.create ~uid:i ~flow ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+      Net.Packet.create ~uid:i ~flow ~src:0 ~dst:2 ~size:500 ~route:[| 1; 2 |]
         ~born:0. (Net.Packet.Raw 0)
     in
     Net.Network.originate network ~from:nodes.(0) packet
@@ -478,7 +566,7 @@ let test_tracer_renders () =
   let tracer = Net.Tracer.attach network in
   Net.Node.attach nodes.(2) ~flow:0 (fun _ -> ());
   let packet =
-    Net.Packet.create ~uid:1 ~flow:0 ~src:0 ~dst:2 ~size:500 ~route:[ 1; 2 ]
+    Net.Packet.create ~uid:1 ~flow:0 ~src:0 ~dst:2 ~size:500 ~route:[| 1; 2 |]
       ~born:0. (Net.Packet.Raw 0)
   in
   Net.Network.originate network ~from:nodes.(0) packet;
@@ -518,6 +606,14 @@ let () =
             test_network_duplicate_link_rejected;
           Alcotest.test_case "unique uids" `Quick test_network_uids_unique;
           QCheck_alcotest.to_alcotest ~long:false per_path_fifo_prop ] );
+      ( "packet-pool",
+        [ Alcotest.test_case "reuses record" `Quick test_pool_reuses_record;
+          Alcotest.test_case "double release raises" `Quick
+            test_pool_double_release_raises;
+          Alcotest.test_case "growth bounded by peak" `Quick
+            test_pool_growth_bounded_by_peak;
+          Alcotest.test_case "network steady state" `Quick
+            test_pool_network_steady_state ] );
       ( "red",
         [ Alcotest.test_case "no marking below min" `Quick
             test_red_no_marking_below_min;

@@ -277,6 +277,65 @@ let model_agrees ops =
   drain_both ();
   !ok
 
+(* [pop_until] replaced Engine.run's peek-then-pop loop; it must agree
+   with that loop under arbitrary pushes and a rising [until] horizon.
+   [drain] must in turn agree with a [pop_until] loop. *)
+let old_pop_until q ~until =
+  match Sim.Event_queue.peek_time q with
+  | Some t when t <= until -> Sim.Event_queue.pop q
+  | Some _ | None -> None
+
+let rec collect acc pop =
+  match pop () with
+  | Some (t, p) -> collect ((t, p) :: acc) pop
+  | None -> List.rev acc
+
+let horizon_arbitrary =
+  QCheck.(
+    pair
+      (list (pair (float_bound_exclusive 100.) small_nat))
+      (list (float_bound_exclusive 120.)))
+
+let pop_until_props =
+  [ QCheck.Test.make ~name:"pop_until agrees with peek-then-pop" ~count:300
+      horizon_arbitrary
+      (fun (events, untils) ->
+        let q_new = Sim.Event_queue.create () in
+        let q_old = Sim.Event_queue.create () in
+        List.iter
+          (fun (time, payload) ->
+            ignore (Sim.Event_queue.push q_new ~time payload);
+            ignore (Sim.Event_queue.push q_old ~time payload))
+          events;
+        List.for_all
+          (fun until ->
+            let got =
+              collect [] (fun () -> Sim.Event_queue.pop_until q_new ~until)
+            in
+            let expected = collect [] (fun () -> old_pop_until q_old ~until) in
+            got = expected)
+          (List.sort compare untils));
+    QCheck.Test.make ~name:"drain agrees with a pop_until loop" ~count:300
+      horizon_arbitrary
+      (fun (events, untils) ->
+        let q_drain = Sim.Event_queue.create () in
+        let q_loop = Sim.Event_queue.create () in
+        List.iter
+          (fun (time, payload) ->
+            ignore (Sim.Event_queue.push q_drain ~time payload);
+            ignore (Sim.Event_queue.push q_loop ~time payload))
+          events;
+        List.for_all
+          (fun until ->
+            let got = ref [] in
+            Sim.Event_queue.drain q_drain ~until (fun t p ->
+                got := (t, p) :: !got);
+            let expected =
+              collect [] (fun () -> Sim.Event_queue.pop_until q_loop ~until)
+            in
+            List.rev !got = expected)
+          (List.sort compare untils)) ]
+
 let queue_props =
   [ QCheck.Test.make ~name:"heap agrees with naive sorted-list model"
       ~count:500 ops_arbitrary model_agrees;
@@ -382,6 +441,26 @@ let test_engine_pending () =
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Handlers are stored most-recent-first internally; emit must still
+   run them in registration order. *)
+let test_trace_tap_ordering () =
+  let tap = Sim.Trace.tap () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Trace.on tap (fun v -> log := (i, v) :: !log)
+  done;
+  Sim.Trace.emit tap "x";
+  Alcotest.(check (list (pair int string)))
+    "registration order"
+    [ (1, "x"); (2, "x"); (3, "x"); (4, "x"); (5, "x") ]
+    (List.rev !log)
+
+let test_trace_tap_armed () =
+  let tap = Sim.Trace.tap () in
+  Alcotest.(check bool) "unarmed when empty" false (Sim.Trace.armed tap);
+  Sim.Trace.on tap ignore;
+  Alcotest.(check bool) "armed after subscribe" true (Sim.Trace.armed tap)
+
 let test_trace_counters () =
   let trace = Sim.Trace.create () in
   Sim.Trace.incr trace "drops";
@@ -423,7 +502,8 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "compaction bounds size" `Quick
             test_queue_compaction_bounds_size ]
-        @ List.map (QCheck_alcotest.to_alcotest ~long:false) queue_props );
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) queue_props
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) pop_until_props );
       ( "engine",
         [ Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
           Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
@@ -433,4 +513,8 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick
             test_engine_nested_scheduling;
           Alcotest.test_case "pending" `Quick test_engine_pending ] );
-      ("trace", [ Alcotest.test_case "counters" `Quick test_trace_counters ]) ]
+      ( "trace",
+        [ Alcotest.test_case "counters" `Quick test_trace_counters;
+          Alcotest.test_case "tap runs in registration order" `Quick
+            test_trace_tap_ordering;
+          Alcotest.test_case "tap armed" `Quick test_trace_tap_armed ] ) ]

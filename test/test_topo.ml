@@ -12,7 +12,7 @@ let route_is_connected network ~from route =
       | Some _ -> walk next rest
       | None -> false)
   in
-  walk from route
+  walk from (Array.to_list route)
 
 (* ------------------------------------------------------------------ *)
 (* Dumbbell                                                            *)
@@ -169,7 +169,7 @@ let test_lattice_paths_disjoint () =
   let intermediates route =
     List.filter
       (fun id -> id <> Net.Node.id lattice.Topo.Multipath_lattice.destination)
-      route
+      (Array.to_list route)
   in
   let all = Array.to_list routes |> List.concat_map intermediates in
   let distinct = List.sort_uniq compare all in
