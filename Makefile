@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-quick bench-gate figures golden ci doc clean
+.PHONY: all build test bench bench-quick bench-gate figures golden ci doc \
+	coverage coverage-summary clean
 
 all: build
 
@@ -20,14 +21,15 @@ bench-record:
 
 # Quick perf snapshot: bench-scale Figs. 2/3/6, the bechamel
 # micro-benchmarks and the allocation suite; records wall-clock,
-# ns/run and bytes/simulated-packet numbers in BENCH_PR3.json (repo
-# root and results/). BENCH_JOBS=N parallelises the figure grids.
+# ns/run, bytes/simulated-packet and a metrics snapshot in
+# BENCH_PR4.json (repo root and results/). BENCH_JOBS=N parallelises
+# the figure grids.
 bench-quick:
 	dune exec bench/main.exe -- quick
 
 # Allocation gate only: re-measure bytes/simulated-packet and fail if
-# any scenario regresses >20% over the recorded BENCH_PR3.json
-# baseline. Does not rewrite the record.
+# any scenario exceeds the recorded BENCH_PR3.json baseline by more
+# than the 16 B/packet metrics budget. Does not rewrite the record.
 bench-gate:
 	dune exec bench/main.exe -- gate
 
@@ -50,11 +52,36 @@ figures:
 	dune exec -- bin/tcp_pr_sim.exe manet $(FIGURE_FLAGS) > results/manet.txt
 	dune exec -- bin/tcp_pr_sim.exe ablate all $(FIGURE_FLAGS) > results/ablations.txt
 
-# Regenerate the golden conformance traces under test/golden/ (only
-# after an intended behaviour change; the directory is checked in and
-# verified by `dune runtest` and `make ci`).
+# Regenerate the golden conformance traces and the report snapshot
+# under test/golden/ (only after an intended behaviour change; the
+# directory is checked in and verified by `dune runtest` and `make ci`).
 golden:
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 0 --write-golden test/golden
+	dune exec -- bin/tcp_pr_sim.exe report --jobs 1 --out test/golden/report.txt
+
+# Line-coverage report via bisect_ppx. Every library carries an
+# (instrumentation (backend bisect_ppx)) stanza, which is inert unless
+# the backend is installed and --instrument-with is passed — so this
+# target degrades to a notice on machines without bisect_ppx instead of
+# failing the build.
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  rm -rf _coverage && mkdir -p _coverage; \
+	  BISECT_FILE=$$(pwd)/_coverage/bisect \
+	    dune runtest --force --instrument-with bisect_ppx && \
+	  bisect-ppx-report html --coverage-path _coverage -o _coverage/html && \
+	  bisect-ppx-report summary --coverage-path _coverage; \
+	  echo "coverage report: _coverage/html/index.html"; \
+	else \
+	  echo "bisect_ppx not installed — skipping coverage"; \
+	fi
+
+coverage-summary:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  bisect-ppx-report summary --coverage-path _coverage; \
+	else \
+	  echo "bisect_ppx not installed — no coverage summary"; \
+	fi
 
 # Full gate: build everything, run the test suite, a conformance
 # smoke run — fixed random scenarios over every sender variant with the
@@ -65,6 +92,7 @@ ci:
 	dune runtest
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 30 --golden test/golden
 	dune exec bench/main.exe -- gate
+	-@$(MAKE) --no-print-directory coverage
 
 doc:
 	dune build @doc

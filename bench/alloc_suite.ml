@@ -18,6 +18,9 @@ type measurement = {
   minor_collections : int;
   packets : int;
   bytes_per_packet : float;
+  metrics_json : string;
+      (* network-layer registry snapshot, collected after the GC
+         deltas are read so collection cost never pollutes them *)
 }
 
 let count_packets network =
@@ -41,13 +44,17 @@ let measure scenario f =
     (Gc.quick_stat ()).Gc.minor_collections - minor0
   in
   let packets = count_packets network in
+  let registry = Obs.Registry.create () in
+  Check.Telemetry.network registry network
+    ~now:(Sim.Engine.now (Net.Network.engine network));
   { scenario;
     wall_s;
     allocated_bytes;
     minor_collections;
     packets;
     bytes_per_packet =
-      (if packets = 0 then 0. else allocated_bytes /. float_of_int packets) }
+      (if packets = 0 then 0. else allocated_bytes /. float_of_int packets);
+    metrics_json = Obs.Export.to_json registry }
 
 let bounded_config segments =
   { Tcp.Config.default with

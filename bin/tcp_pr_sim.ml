@@ -319,6 +319,31 @@ let check seed seeds jobs variants golden write_golden =
   end
   else print_endline "all checks passed"
 
+let report seed jobs csv scenario variants tail out =
+  let jobs = max 1 jobs in
+  let variant_list =
+    match variants with
+    | [] -> [ Experiments.Variants.tcp_pr; Experiments.Variants.tcp_sack ]
+    | names ->
+      List.map
+        (fun name ->
+          match Experiments.Variants.find name with
+          | Some variant -> variant
+          | None ->
+            Printf.eprintf "unknown variant %S\n" name;
+            exit 2)
+        names
+  in
+  let text =
+    Check.Report.render ~csv ~tail ~seed ~jobs ~scenario ~variants:variant_list
+      ()
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+    Out_channel.with_open_bin path (fun oc -> output_string oc text);
+    Printf.printf "report written to %s\n" path
+
 let demo seed jobs =
   let jobs = max 1 jobs in
   print_endline "Demo: TCP-PR vs TCP-SACK, single shared 15 Mb/s bottleneck";
@@ -444,6 +469,53 @@ let check_cmd =
       const check $ seed_term $ seeds $ jobs_term $ variants $ golden
       $ write_golden)
 
+let report_cmd =
+  let scenario_conv =
+    let parse s =
+      match Check.Report.scenario_of_string s with
+      | Some scenario -> Ok scenario
+      | None -> Error (`Msg (Printf.sprintf "unknown scenario %S" s))
+    in
+    let print ppf s =
+      Format.pp_print_string ppf (Check.Report.scenario_name s)
+    in
+    Arg.conv (parse, print)
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv Check.Report.Dumbbell
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario: dumbbell, lattice or jitter-chain.")
+  in
+  let variants =
+    Arg.(
+      value & opt_all string []
+      & info [ "variant" ] ~docv:"NAME"
+          ~doc:
+            "Report on this sender variant (repeatable; default TCP-PR and \
+             TCP-SACK).")
+  in
+  let tail =
+    Arg.(
+      value & opt int 0
+      & info [ "tail" ] ~docv:"N"
+          ~doc:"Also render the last $(docv) probe events per variant.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  cmd_of "report"
+    ~doc:
+      "Metrics snapshot: run a fixed-seed scenario per variant and print \
+       every registry metric (byte-identical for any --jobs)."
+    Term.(
+      const report $ seed_term $ jobs_term $ csv_term $ scenario $ variants
+      $ tail $ out)
+
 let demo_cmd =
   cmd_of "demo" ~doc:"Two-minute tour: fairness and reordering robustness."
     Term.(const demo $ seed_term $ jobs_term)
@@ -467,4 +539,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig4_cmd; fig6_cmd; flaps_cmd; jitter_cmd;
-            manet_cmd; ablate_cmd; check_cmd; demo_cmd ]))
+            manet_cmd; ablate_cmd; check_cmd; report_cmd; demo_cmd ]))

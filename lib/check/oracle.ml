@@ -170,11 +170,10 @@ let run s ~variant:(variant_name, sender) =
   let probe = Tcp.Probe.create () in
   let monitors = Monitor.for_variant ~variant:variant_name ~config in
   Monitor.arm probe monitors;
-  let tail = Array.make tail_length "" in
-  let events = ref 0 in
-  Sim.Trace.on probe (fun event ->
-      tail.(!events mod tail_length) <- Tcp.Probe.to_line event;
-      incr events);
+  (* Probe events are immutable per-emission values, so retaining them
+     by reference in the ring is fine; rendering waits until the report
+     actually needs the tail. *)
+  let recorder = Obs.Flight_recorder.attach ~capacity:tail_length probe in
   let connection =
     Tcp.Connection.create ~probe network ~flow:0 ~src ~dst ~sender ~config
       ~route_data ~route_ack ()
@@ -182,14 +181,13 @@ let run s ~variant:(variant_name, sender) =
   Tcp.Connection.start connection ~at:0.;
   Sim.Engine.run engine ~until:s.time_limit;
   let trace_tail =
-    let n = min !events tail_length in
-    List.init n (fun i -> tail.((!events - n + i) mod tail_length))
+    List.map Tcp.Probe.to_line (Obs.Flight_recorder.to_list recorder)
   in
   { scenario = s;
     variant = variant_name;
     finished = Tcp.Connection.finished connection;
     delivered = Tcp.Connection.received_segments connection;
-    events = !events;
+    events = Obs.Flight_recorder.total recorder;
     violations = Monitor.all_violations monitors;
     violation_total =
       List.fold_left (fun acc m -> acc + Monitor.violation_count m) 0 monitors;

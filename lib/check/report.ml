@@ -1,0 +1,187 @@
+(* The `tcp_pr_sim report` backend: run a small fixed-seed scenario per
+   sender variant, collect the full metric registry, and render one
+   readable snapshot.
+
+   Determinism contract: every variant runs on its own engine and its
+   own registry, variants are mapped with [Runner.parallel_map] (which
+   preserves input order), and rendering only touches per-variant
+   results — so the output is byte-identical for any [--jobs], which
+   the golden test enforces. The header deliberately omits anything
+   host- or parallelism-dependent. *)
+
+type scenario =
+  | Dumbbell
+  | Lattice
+  | Jitter_chain
+
+let scenario_name = function
+  | Dumbbell -> "dumbbell"
+  | Lattice -> "lattice"
+  | Jitter_chain -> "jitter-chain"
+
+let scenario_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dumbbell" -> Some Dumbbell
+  | "lattice" -> Some Lattice
+  | "jitter-chain" | "jitter_chain" | "jitter" -> Some Jitter_chain
+  | _ -> None
+
+let scenarios = [ Dumbbell; Lattice; Jitter_chain ]
+
+(* Bounded transfers keep a full report under a second while still
+   covering slow start, recovery, and (on the lattice) persistent
+   reordering. *)
+let report_config =
+  { Tcp.Config.default with
+    Tcp.Config.total_segments = Some 200;
+    min_rto = 0.2;
+    initial_rto = 1.;
+    max_rto = 16. }
+
+let time_limit = 60.
+
+(* Each builder returns the network, connection endpoints and the
+   per-packet route samplers; all randomness derives from [seed]. *)
+let build scenario engine ~seed =
+  match scenario with
+  | Dumbbell ->
+    let topo =
+      Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+        ~queue_capacity:10 ()
+    in
+    ( topo.Topo.Dumbbell.network,
+      topo.Topo.Dumbbell.sources.(0),
+      topo.Topo.Dumbbell.sinks.(0),
+      (fun () -> Topo.Dumbbell.route_forward topo ~pair:0),
+      fun () -> Topo.Dumbbell.route_reverse topo ~pair:0 )
+  | Lattice ->
+    let topo = Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ] () in
+    let rng = Sim.Rng.create seed in
+    (* epsilon = 0: uniform path choice, maximal persistent
+       reordering. *)
+    let sampler label =
+      Multipath.Epsilon_routing.for_lattice (Sim.Rng.split rng label)
+        ~epsilon:0. topo
+    in
+    let fwd = sampler "fwd" and rev = sampler "rev" in
+    ( topo.Topo.Multipath_lattice.network,
+      topo.Topo.Multipath_lattice.source,
+      topo.Topo.Multipath_lattice.destination,
+      (fun () ->
+        Multipath.Epsilon_routing.route fwd
+          topo.Topo.Multipath_lattice.forward_routes),
+      fun () ->
+        Multipath.Epsilon_routing.route rev
+          topo.Topo.Multipath_lattice.reverse_routes )
+  | Jitter_chain ->
+    let network = Net.Network.create engine in
+    let rng = Sim.Rng.create seed in
+    let source = Net.Network.add_node network in
+    let mid = Net.Network.add_node network in
+    let sink = Net.Network.add_node network in
+    let duplex ~src ~dst label =
+      ignore
+        (Net.Network.add_link network ~src ~dst ~bandwidth_bps:10e6
+           ~delay_s:0.020 ~capacity:100
+           ~jitter:(Sim.Rng.split rng label, 0.005)
+           ());
+      ignore
+        (Net.Network.add_link network ~src:dst ~dst:src ~bandwidth_bps:10e6
+           ~delay_s:0.020 ~capacity:100
+           ~jitter:(Sim.Rng.split rng (label ^ "-rev"), 0.005)
+           ())
+    in
+    duplex ~src:source ~dst:mid "hop1";
+    duplex ~src:mid ~dst:sink "hop2";
+    let data_route = [| Net.Node.id mid; Net.Node.id sink |] in
+    let ack_route = [| Net.Node.id mid; Net.Node.id source |] in
+    ( network,
+      source,
+      sink,
+      (fun () -> data_route),
+      fun () -> ack_route )
+
+type variant_result = {
+  variant : string;
+  rows : (string * string) list;
+  tail_lines : string list;
+}
+
+let run_variant ~seed ~scenario ~tail (variant, sender) =
+  let engine = Sim.Engine.create () in
+  let network, src, dst, route_data, route_ack = build scenario engine ~seed in
+  let probe = Tcp.Probe.create () in
+  let recorder =
+    if tail > 0 then Some (Obs.Flight_recorder.attach ~capacity:tail probe)
+    else None
+  in
+  let connection =
+    Tcp.Connection.create ~probe network ~flow:0 ~src ~dst ~sender
+      ~config:report_config ~route_data ~route_ack ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:time_limit;
+  let registry = Obs.Registry.create () in
+  Telemetry.network registry network ~now:(Sim.Engine.now engine);
+  Telemetry.connection registry connection;
+  Obs.Registry.set_value registry "run.duration" (Sim.Engine.now engine);
+  Obs.Registry.set_value registry "run.finished"
+    (if Tcp.Connection.finished connection then 1. else 0.);
+  { variant;
+    rows = Obs.Export.rows registry;
+    tail_lines =
+      (match recorder with
+      | Some r -> List.map Tcp.Probe.to_line (Obs.Flight_recorder.to_list r)
+      | None -> []) }
+
+let compute ?(tail = 0) ~seed ~jobs ~scenario ~variants () =
+  Experiments.Runner.parallel_map ~jobs
+    (fun variant -> run_variant ~seed ~scenario ~tail variant)
+    variants
+
+let render_text ~seed ~scenario results =
+  let buffer = Buffer.create 8192 in
+  Buffer.add_string buffer
+    (Printf.sprintf "tcp_pr_sim report — scenario=%s seed=%d segments=%d\n"
+       (scenario_name scenario) seed
+       (match report_config.Tcp.Config.total_segments with
+       | Some n -> n
+       | None -> 0));
+  List.iter
+    (fun result ->
+      Buffer.add_string buffer
+        (Printf.sprintf "\n== variant: %s ==\n" result.variant);
+      let table = Stats.Table.create ~columns:[ "metric"; "value" ] in
+      List.iter
+        (fun (name, value) -> Stats.Table.add_row table [ name; value ])
+        result.rows;
+      Buffer.add_string buffer (Stats.Table.to_string table);
+      if result.tail_lines <> [] then begin
+        Buffer.add_string buffer
+          (Printf.sprintf "last %d probe events:\n"
+             (List.length result.tail_lines));
+        List.iter
+          (fun line -> Buffer.add_string buffer ("  " ^ line ^ "\n"))
+          result.tail_lines
+      end)
+    results;
+  Buffer.contents buffer
+
+let render_csv ~scenario results =
+  let buffer = Buffer.create 8192 in
+  Buffer.add_string buffer "scenario,variant,metric,value\n";
+  List.iter
+    (fun result ->
+      List.iter
+        (fun (name, value) ->
+          Buffer.add_string buffer
+            (Printf.sprintf "%s,%s,%s,%s\n" (scenario_name scenario)
+               result.variant name value))
+        result.rows)
+    results;
+  Buffer.contents buffer
+
+let render ?(csv = false) ?(tail = 0) ~seed ~jobs ~scenario ~variants () =
+  let results = compute ~tail ~seed ~jobs ~scenario ~variants () in
+  if csv then render_csv ~scenario results
+  else render_text ~seed ~scenario results

@@ -1,0 +1,53 @@
+(** Backend of the [tcp_pr_sim report] subcommand: run a fixed-seed
+    scenario once per sender variant and render the full metric
+    registry as one snapshot.
+
+    Determinism: each variant runs on its own engine and registry and
+    results are assembled in input order, so the rendered report is
+    byte-identical for any [jobs] value — enforced by the golden test
+    in [test/test_obs.ml]. *)
+
+type scenario =
+  | Dumbbell  (** fig. 2 single-path bottleneck *)
+  | Lattice  (** fig. 6 multipath lattice, epsilon = 0 *)
+  | Jitter_chain  (** jittered two-hop chain (timer stress) *)
+
+val scenario_name : scenario -> string
+
+val scenario_of_string : string -> scenario option
+
+(** All scenarios, in rendering order. *)
+val scenarios : scenario list
+
+type variant_result = {
+  variant : string;
+  rows : (string * string) list;  (** [Obs.Export.rows] of the run *)
+  tail_lines : string list;  (** rendered probe tail, oldest first *)
+}
+
+(** [compute ~seed ~jobs ~scenario ~variants ()] runs every variant
+    (in parallel when [jobs > 1]) and returns results in input order.
+    @param tail retain and render the last [tail] probe events
+    (default 0: probing stays unarmed). *)
+val compute :
+  ?tail:int ->
+  seed:int ->
+  jobs:int ->
+  scenario:scenario ->
+  variants:Experiments.Variants.t list ->
+  unit ->
+  variant_result list
+
+(** [render ~seed ~jobs ~scenario ~variants ()] computes and renders
+    the report: a header, then one metric table (and optional probe
+    tail) per variant. With [csv] the same rows render as
+    ["scenario,variant,metric,value"] lines. *)
+val render :
+  ?csv:bool ->
+  ?tail:int ->
+  seed:int ->
+  jobs:int ->
+  scenario:scenario ->
+  variants:Experiments.Variants.t list ->
+  unit ->
+  string

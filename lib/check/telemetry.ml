@@ -1,0 +1,86 @@
+(* Collectors lifting component-owned metrics into a registry snapshot.
+
+   Components own their counters and histograms (a link its occupancy
+   histogram, a receiver its reorder-depth histogram); a collector runs
+   once, after the simulation, and aggregates them under stable names.
+   Keeping collection out of the hot path means the simulation records
+   into bare int-backed metrics and only the snapshot pays for hashing
+   and name construction. *)
+
+let network ?(prefix = "net") registry net ~now =
+  let add_counter name v =
+    Obs.Metrics.Counter.add (Obs.Registry.counter registry (prefix ^ name)) v
+  in
+  let links = Net.Network.links net in
+  add_counter ".links" (List.length links);
+  let tx_packets = ref 0
+  and tx_bytes = ref 0
+  and queue_drops = ref 0
+  and early_drops = ref 0
+  and losses = ref 0
+  and enqueued = ref 0 in
+  let util_max = ref 0.
+  and util_sum = ref 0. in
+  let occupancy = Obs.Registry.histogram registry (prefix ^ ".queue.occupancy") in
+  List.iter
+    (fun link ->
+      tx_packets := !tx_packets + Net.Link.transmitted_packets link;
+      tx_bytes := !tx_bytes + Net.Link.transmitted_bytes link;
+      queue_drops := !queue_drops + Net.Link.queue_drops link;
+      early_drops := !early_drops + Net.Link.queue_early_drops link;
+      losses := !losses + Net.Link.injected_losses link;
+      enqueued := !enqueued + Net.Link.queue_enqueued link;
+      let utilisation =
+        if now > 0. then Net.Link.busy_time link /. now else 0.
+      in
+      if utilisation > !util_max then util_max := utilisation;
+      util_sum := !util_sum +. utilisation;
+      Obs.Metrics.Histogram.merge_into ~into:occupancy
+        (Net.Link.queue_occupancy link))
+    links;
+  add_counter ".tx.packets" !tx_packets;
+  add_counter ".tx.bytes" !tx_bytes;
+  add_counter ".drops.queue" !queue_drops;
+  add_counter ".drops.early" !early_drops;
+  add_counter ".drops.loss" !losses;
+  add_counter ".queue.enqueued" !enqueued;
+  let stranded = ref 0 in
+  for id = 0 to Net.Network.node_count net - 1 do
+    stranded := !stranded + Net.Node.stranded (Net.Network.node net id)
+  done;
+  add_counter ".stranded" !stranded;
+  Obs.Registry.set_value registry (prefix ^ ".util.max") !util_max;
+  Obs.Registry.set_value registry
+    (prefix ^ ".util.mean")
+    (match links with
+    | [] -> 0.
+    | _ -> !util_sum /. float_of_int (List.length links));
+  let pool = Net.Network.pool net in
+  Obs.Metrics.Counter.merge_into
+    ~into:(Obs.Registry.counter registry (prefix ^ ".pool.created"))
+    (Net.Packet_pool.created_counter pool);
+  Obs.Metrics.Gauge.merge_into
+    ~into:(Obs.Registry.gauge registry (prefix ^ ".pool.outstanding"))
+    (Net.Packet_pool.outstanding_gauge pool);
+  Obs.Metrics.Gauge.merge_into
+    ~into:(Obs.Registry.gauge registry (prefix ^ ".pool.in_pool"))
+    (Net.Packet_pool.in_pool_gauge pool)
+
+let connection ?(prefix = "conn") registry c =
+  let set_counter name v =
+    Obs.Metrics.Counter.add (Obs.Registry.counter registry (prefix ^ name)) v
+  in
+  set_counter ".sent" (Tcp.Connection.data_packets_sent c);
+  set_counter ".timer_fires" (Tcp.Connection.timer_fires c);
+  set_counter ".delack_timeouts" (Tcp.Connection.delack_timeouts c);
+  set_counter ".received" (Tcp.Connection.received_segments c);
+  set_counter ".duplicates" (Tcp.Connection.receiver_duplicates c);
+  Obs.Metrics.Histogram.merge_into
+    ~into:(Obs.Registry.histogram registry (prefix ^ ".reorder_depth"))
+    (Tcp.Connection.receiver_reorder_depth c);
+  Obs.Registry.set_value registry (prefix ^ ".sender.cwnd")
+    (Tcp.Connection.cwnd c);
+  List.iter
+    (fun (key, v) ->
+      Obs.Registry.set_value registry (prefix ^ ".sender." ^ key) v)
+    (Tcp.Connection.sender_metrics c)

@@ -1,0 +1,24 @@
+(** Registry collectors for the simulator's instrumented layers.
+
+    Components own their metrics (see {!Obs.Metrics}); these collectors
+    run once after a simulation and lift them into an {!Obs.Registry}
+    under stable dotted names, ready for {!Obs.Export}. Collect each
+    run into its own registry and combine shards with
+    [Obs.Registry.merge_all] to keep parallel sweeps deterministic. *)
+
+(** [network registry net ~now] aggregates link, queue, node and pool
+    metrics of [net] under [prefix] (default ["net"]): transmission and
+    drop counters ([.tx.packets], [.tx.bytes], [.drops.queue],
+    [.drops.early], [.drops.loss], [.queue.enqueued], [.stranded]), the
+    merged queue-occupancy histogram ([.queue.occupancy]), link
+    utilisations against horizon [now] ([.util.max], [.util.mean]) and
+    packet-pool population ([.pool.created], [.pool.outstanding],
+    [.pool.in_pool]). *)
+val network : ?prefix:string -> Obs.Registry.t -> Net.Network.t -> now:float -> unit
+
+(** [connection registry c] lifts one connection's counters under
+    [prefix] (default ["conn"]): [.sent], [.timer_fires],
+    [.delack_timeouts], [.received], [.duplicates], the receiver's
+    [.reorder_depth] histogram, and every sender diagnostic as
+    [.sender.<key>] (including [.sender.cwnd]). *)
+val connection : ?prefix:string -> Obs.Registry.t -> Tcp.Connection.t -> unit

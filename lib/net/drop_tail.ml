@@ -9,11 +9,20 @@ type t = {
   mutable len : int;
   mutable drops : int;
   mutable enqueued : int;
+  (* Queue length after each successful enqueue; int-backed, so always
+     on — recording is a couple of stores (see Obs.Metrics). *)
+  occupancy : Obs.Metrics.Histogram.t;
 }
 
 let create ~capacity =
   assert (capacity >= 1);
-  { capacity; items = [||]; head = 0; len = 0; drops = 0; enqueued = 0 }
+  { capacity;
+    items = [||];
+    head = 0;
+    len = 0;
+    drops = 0;
+    enqueued = 0;
+    occupancy = Obs.Metrics.Histogram.create () }
 
 let offer t p =
   if t.len >= t.capacity then begin
@@ -27,6 +36,7 @@ let offer t p =
     else t.items.((t.head + t.len) mod t.capacity) <- p;
     t.len <- t.len + 1;
     t.enqueued <- t.enqueued + 1;
+    Obs.Metrics.Histogram.record t.occupancy t.len;
     true
   end
 
@@ -48,3 +58,5 @@ let is_empty t = t.len = 0
 let drops t = t.drops
 
 let enqueued t = t.enqueued
+
+let occupancy t = t.occupancy

@@ -31,3 +31,8 @@ val drops : t -> int
 
 (** [enqueued t] counts packets accepted by [offer] since creation. *)
 val enqueued : t -> int
+
+(** Distribution of the queue length observed after each successful
+    enqueue. Always on: recording into the int-backed histogram costs a
+    couple of stores and never allocates. *)
+val occupancy : t -> Obs.Metrics.Histogram.t

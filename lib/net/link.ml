@@ -6,6 +6,18 @@ type event =
   | Loss_dropped
   | Delivered
 
+(* One preallocated note per link is reused for every emission, so an
+   armed tap costs two stores per event and an unarmed one costs a
+   single flag read. The flip side: handlers must read the fields they
+   need during the callback and must not retain the note. *)
+type note = {
+  mutable kind : event;
+  mutable packet : Packet.t;
+  link_id : int;
+  link_src : int;
+  link_dst : int;
+}
+
 type t = {
   id : int;
   src : int;
@@ -26,7 +38,8 @@ type t = {
   mutable tx_size : int;
   mutable deliver : Packet.t -> unit;
   mutable recycle : Packet.t -> unit;
-  mutable observer : (event -> Packet.t -> unit) option;
+  events : note Sim.Trace.tap;
+  note : note;
   mutable transmitted_packets : int;
   mutable transmitted_bytes : int;
   mutable injected_losses : int;
@@ -60,10 +73,14 @@ let set_deliver t f = t.deliver <- f
 
 let set_recycle t f = t.recycle <- f
 
-let set_observer t f = t.observer <- Some f
+let events t = t.events
 
 let observe t event packet =
-  match t.observer with Some f -> f event packet | None -> ()
+  if Sim.Trace.armed t.events then begin
+    t.note.kind <- event;
+    t.note.packet <- packet;
+    Sim.Trace.emit t.events t.note
+  end
 
 let set_bandwidth t bps =
   assert (bps > 0.);
@@ -123,6 +140,12 @@ let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
   | Some (_, j) when j < 0. -> invalid_arg "Link.create: negative jitter"
   | Some _ | None -> ());
   Sim.Engine.add_dispatcher engine ~key:"net.link" dispatch;
+  (* Placeholder packet behind the reused note, replaced on the first
+     emission; the route trivially ends at its destination 0. *)
+  let dummy_packet =
+    Packet.create ~uid:(-1) ~flow:(-1) ~src:0 ~dst:0 ~size:1 ~route:[| 0 |]
+      ~born:0. Packet.Recycled
+  in
   let t =
     { id;
       src;
@@ -137,7 +160,13 @@ let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
       tx_size = 0;
       deliver = (fun _ -> ());
       recycle = ignore;
-      observer = None;
+      events = Sim.Trace.tap ();
+      note =
+        { kind = Transmit_start;
+          packet = dummy_packet;
+          link_id = id;
+          link_src = src;
+          link_dst = dst };
       transmitted_packets = 0;
       transmitted_bytes = 0;
       injected_losses = 0;
@@ -165,6 +194,12 @@ let send t packet =
 let queue_length t = Qdisc.length t.queue
 
 let queue_drops t = Qdisc.drops t.queue
+
+let queue_enqueued t = Qdisc.enqueued t.queue
+
+let queue_early_drops t = Qdisc.early_drops t.queue
+
+let queue_occupancy t = Qdisc.occupancy t.queue
 
 let injected_losses t = t.injected_losses
 

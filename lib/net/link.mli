@@ -8,14 +8,27 @@
     completes, so per-link FIFO ordering is preserved — all reordering in
     the system comes from path diversity, as in the paper. *)
 
-(** Observable per-packet events (see {!set_observer}): transmission
-    start, buffering, the two drop causes, and delivery. *)
+(** Observable per-packet events (see {!events}): transmission start,
+    buffering, the two drop causes, and delivery. *)
 type event =
   | Transmit_start
   | Queued
   | Queue_dropped
   | Loss_dropped
   | Delivered
+
+(** One event occurrence, published on {!events}. The link reuses a
+    single note record for every emission, so handlers must read the
+    fields they need during the callback and must not retain the note
+    (in particular, do not feed this tap to
+    [Obs.Flight_recorder.attach] — record copies instead). *)
+type note = private {
+  mutable kind : event;
+  mutable packet : Packet.t;
+  link_id : int;
+  link_src : int;
+  link_dst : int;
+}
 
 type t
 
@@ -63,9 +76,11 @@ val set_deliver : t -> (Packet.t -> unit) -> unit
     pool). *)
 val set_recycle : t -> (Packet.t -> unit) -> unit
 
-(** [set_observer t f] installs a per-packet event hook (at most one;
-    used by {!Tracer}). *)
-val set_observer : t -> (event -> Packet.t -> unit) -> unit
+(** The link's per-packet event tap. Any number of listeners can
+    subscribe with [Sim.Trace.on]; handlers run in subscription order
+    and must be passive (read, record, return — never mutate the packet
+    or the link). With no listeners an event costs one flag read. *)
+val events : t -> note Sim.Trace.tap
 
 (** [send t p] hands [p] to the link: it is dropped by the loss model,
     dropped by a full queue, or eventually delivered downstream. *)
@@ -80,6 +95,17 @@ val queue_length : t -> int
 
 (** Packets dropped by the full queue. *)
 val queue_drops : t -> int
+
+(** Packets the queue accepted (excluding those transmitted without
+    queueing). *)
+val queue_enqueued : t -> int
+
+(** Probabilistic early drops of a RED queue; 0 for drop-tail. *)
+val queue_early_drops : t -> int
+
+(** Queue-length distribution after each enqueue (see
+    {!Qdisc.occupancy}). *)
+val queue_occupancy : t -> Obs.Metrics.Histogram.t
 
 (** Packets dropped by the loss injector. *)
 val injected_losses : t -> int

@@ -2,14 +2,20 @@
    acquire/release allocate nothing themselves. All fields are
    overwritten by [Packet.reinit] at acquire; [release] installs the
    [Recycled] payload sentinel so double releases and use-after-release
-   are detectable. *)
+   are detectable.
+
+   The population counters live in Obs metrics so a collector can lift
+   them into a registry without translation: [created] is a counter,
+   [outstanding] and [in_pool] are gauges (whose peaks come for free).
+   Both record by mutating int fields — the acquire/release paths stay
+   allocation-free. *)
 
 type t = {
   mutable items : Packet.t array;
   mutable size : int;  (* packets currently on the free list *)
-  mutable created : int;  (* fresh records ever allocated *)
-  mutable outstanding : int;  (* acquired and not yet released *)
-  mutable peak_outstanding : int;
+  created : Obs.Metrics.Counter.t;  (* fresh records ever allocated *)
+  outstanding : Obs.Metrics.Gauge.t;  (* acquired and not yet released *)
+  in_pool : Obs.Metrics.Gauge.t;  (* mirrors [size] *)
 }
 
 let empty_route = [||]
@@ -22,22 +28,21 @@ let dummy () =
 let create () =
   { items = Array.make 64 (dummy ());
     size = 0;
-    created = 0;
-    outstanding = 0;
-    peak_outstanding = 0 }
+    created = Obs.Metrics.Counter.create ();
+    outstanding = Obs.Metrics.Gauge.create ();
+    in_pool = Obs.Metrics.Gauge.create () }
 
 let acquire t ~uid ~flow ~src ~dst ~size ~route ~born payload =
-  t.outstanding <- t.outstanding + 1;
-  if t.outstanding > t.peak_outstanding then
-    t.peak_outstanding <- t.outstanding;
+  Obs.Metrics.Gauge.add t.outstanding 1;
   if t.size > 0 then begin
     t.size <- t.size - 1;
+    Obs.Metrics.Gauge.add t.in_pool (-1);
     let packet = t.items.(t.size) in
     Packet.reinit packet ~uid ~flow ~src ~dst ~size ~route ~born payload;
     packet
   end
   else begin
-    t.created <- t.created + 1;
+    Obs.Metrics.Counter.incr t.created;
     Packet.create ~uid ~flow ~src ~dst ~size ~route ~born payload
   end
 
@@ -49,19 +54,26 @@ let release t packet =
   packet.Packet.payload <- Packet.Recycled;
   packet.Packet.route <- empty_route;
   packet.Packet.next_hop <- 0;
-  t.outstanding <- t.outstanding - 1;
+  Obs.Metrics.Gauge.add t.outstanding (-1);
   if t.size = Array.length t.items then begin
     let bigger = Array.make (2 * t.size) packet in
     Array.blit t.items 0 bigger 0 t.size;
     t.items <- bigger
   end;
   t.items.(t.size) <- packet;
-  t.size <- t.size + 1
+  t.size <- t.size + 1;
+  Obs.Metrics.Gauge.add t.in_pool 1
 
 let in_pool t = t.size
 
-let created t = t.created
+let created t = Obs.Metrics.Counter.get t.created
 
-let outstanding t = t.outstanding
+let outstanding t = Obs.Metrics.Gauge.get t.outstanding
 
-let peak_outstanding t = t.peak_outstanding
+let peak_outstanding t = Obs.Metrics.Gauge.peak t.outstanding
+
+let created_counter t = t.created
+
+let outstanding_gauge t = t.outstanding
+
+let in_pool_gauge t = t.in_pool

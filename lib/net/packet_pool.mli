@@ -45,3 +45,13 @@ val created : t -> int
 val outstanding : t -> int
 
 val peak_outstanding : t -> int
+
+(** The metric handles behind the int accessors above, for lifting into
+    an [Obs.Registry] snapshot. *)
+
+val created_counter : t -> Obs.Metrics.Counter.t
+
+(** Gauge whose peak is {!peak_outstanding}. *)
+val outstanding_gauge : t -> Obs.Metrics.Gauge.t
+
+val in_pool_gauge : t -> Obs.Metrics.Gauge.t

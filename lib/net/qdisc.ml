@@ -34,3 +34,11 @@ let drops = function
 let enqueued = function
   | Tail q -> Drop_tail.enqueued q
   | Red_queue q -> Red.enqueued q
+
+let early_drops = function
+  | Tail _ -> 0
+  | Red_queue q -> Red.early_drops q
+
+let occupancy = function
+  | Tail q -> Drop_tail.occupancy q
+  | Red_queue q -> Red.occupancy q

@@ -25,3 +25,9 @@ val drops : t -> int
 
 (** Packets accepted since creation. *)
 val enqueued : t -> int
+
+(** Early (probabilistic) drops; 0 for drop-tail queues. *)
+val early_drops : t -> int
+
+(** Distribution of the queue length after each successful enqueue. *)
+val occupancy : t -> Obs.Metrics.Histogram.t

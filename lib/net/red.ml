@@ -11,6 +11,7 @@ type t = {
   mutable drops : int;
   mutable early_drops : int;
   mutable enqueued : int;
+  occupancy : Obs.Metrics.Histogram.t;
 }
 
 let create rng ?(weight = 0.002) ?(max_p = 0.1) ~min_threshold ~max_threshold
@@ -32,7 +33,8 @@ let create rng ?(weight = 0.002) ?(max_p = 0.1) ~min_threshold ~max_threshold
     count = 0;
     drops = 0;
     early_drops = 0;
-    enqueued = 0 }
+    enqueued = 0;
+    occupancy = Obs.Metrics.Histogram.create () }
 
 let drop t ~early =
   t.drops <- t.drops + 1;
@@ -43,6 +45,7 @@ let drop t ~early =
 let accept t packet =
   Queue.push packet t.q;
   t.enqueued <- t.enqueued + 1;
+  Obs.Metrics.Histogram.record t.occupancy (Queue.length t.q);
   true
 
 let offer t packet =
@@ -79,3 +82,5 @@ let drops t = t.drops
 let enqueued t = t.enqueued
 
 let early_drops t = t.early_drops
+
+let occupancy t = t.occupancy

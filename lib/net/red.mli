@@ -50,3 +50,7 @@ val enqueued : t -> int
 (** Drops due to the probabilistic early mechanism (as opposed to the
     hard capacity bound). *)
 val early_drops : t -> int
+
+(** Distribution of the queue length observed after each successful
+    enqueue (see {!Drop_tail.occupancy}). *)
+val occupancy : t -> Obs.Metrics.Histogram.t

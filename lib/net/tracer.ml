@@ -26,7 +26,10 @@ let attach ?flow ?(capacity = 100_000) network =
       count = 0;
       dropped = 0 }
   in
-  let observe link kind packet =
+  (* The note is reused by the link per emission, so every field the
+     record needs is copied out here, inside the callback. *)
+  let observe (note : Link.note) =
+    let packet = note.Link.packet in
     let wanted =
       match t.flow_filter with
       | Some f -> packet.Packet.flow = f
@@ -37,9 +40,9 @@ let attach ?flow ?(capacity = 100_000) network =
       else begin
         t.records_rev <-
           { time = Sim.Engine.now t.engine;
-            kind;
-            link_src = Link.src link;
-            link_dst = Link.dst link;
+            kind = note.Link.kind;
+            link_src = note.Link.link_src;
+            link_dst = note.Link.link_dst;
             flow = packet.Packet.flow;
             uid = packet.Packet.uid;
             size = packet.Packet.size }
@@ -49,7 +52,7 @@ let attach ?flow ?(capacity = 100_000) network =
     end
   in
   List.iter
-    (fun link -> Link.set_observer link (observe link))
+    (fun link -> Sim.Trace.on (Link.events link) observe)
     (Network.links network);
   t
 

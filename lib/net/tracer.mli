@@ -20,7 +20,9 @@ type record = {
 type t
 
 (** [attach network] starts recording every subsequent packet event on
-    links that exist at attach time.
+    links that exist at attach time. Built on {!Link.events}, so any
+    number of tracers (and other listeners) can observe the same
+    network.
     @param flow record only this flow's packets.
     @param capacity stop recording beyond this many records
     (default 100_000), so a runaway simulation cannot exhaust memory. *)

@@ -1,0 +1,109 @@
+(* Named metric registry.
+
+   A registry is per-run state: every simulation (or grid point) builds
+   its own, components record into it (or are read into it by a
+   collector at snapshot time), and parallel runners merge the per-run
+   shards in input order after the parallel map returns — which is what
+   keeps `--jobs N` output byte-identical to `--jobs 1`. Lookup
+   allocates on the miss path only; the returned handles are the same
+   mutable records on every call, so hot code resolves its metric once
+   and records through the handle. *)
+
+type metric =
+  | Counter of Metrics.Counter.t
+  | Gauge of Metrics.Gauge.t
+  | Histogram of Metrics.Histogram.t
+  | Value of float ref
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+let create () = { metrics = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Value _ -> "value"
+
+let clash name ~wanted found =
+  invalid_arg
+    (Printf.sprintf "Obs.Registry: %S is a %s, not a %s" name
+       (kind_name found) wanted)
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c
+  | Some other -> clash name ~wanted:"counter" other
+  | None ->
+    let c = Metrics.Counter.create () in
+    Hashtbl.replace t.metrics name (Counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Gauge g) -> g
+  | Some other -> clash name ~wanted:"gauge" other
+  | None ->
+    let g = Metrics.Gauge.create () in
+    Hashtbl.replace t.metrics name (Gauge g);
+    g
+
+let histogram t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) -> h
+  | Some other -> clash name ~wanted:"histogram" other
+  | None ->
+    let h = Metrics.Histogram.create () in
+    Hashtbl.replace t.metrics name (Histogram h);
+    h
+
+let value_ref t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Value v) -> v
+  | Some other -> clash name ~wanted:"value" other
+  | None ->
+    let v = ref 0. in
+    Hashtbl.replace t.metrics name (Value v);
+    v
+
+let set_value t name v = value_ref t name := v
+
+let value t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Value v) -> !v
+  | Some other -> clash name ~wanted:"value" other
+  | None -> 0.
+
+let find t name = Hashtbl.find_opt t.metrics name
+
+let mem t name = Hashtbl.mem t.metrics name
+
+let length t = Hashtbl.length t.metrics
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.metrics []
+  |> List.sort String.compare
+
+(* Same-name metrics must agree in kind; counters add, gauges take the
+   max level, histograms add pointwise, and float values (level
+   signals, e.g. a utilisation) take the max, mirroring gauges. *)
+let merge_into ~into t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.metrics name with
+      | Counter c -> Metrics.Counter.merge_into ~into:(counter into name) c
+      | Gauge g -> Metrics.Gauge.merge_into ~into:(gauge into name) g
+      | Histogram h ->
+        Metrics.Histogram.merge_into ~into:(histogram into name) h
+      | Value v ->
+        let dst = value_ref into name in
+        if !v > !dst then dst := !v)
+    (names t)
+
+let merge_all = function
+  | [] -> create ()
+  | first :: rest ->
+    let into = create () in
+    merge_into ~into first;
+    List.iter (fun shard -> merge_into ~into shard) rest;
+    into

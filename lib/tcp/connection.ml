@@ -24,6 +24,8 @@ type t = {
   timers : (int, Sim.Engine.event_id) Hashtbl.t;
   mutable started : bool;
   mutable data_packets_sent : int;
+  mutable timer_fires : int;
+  mutable delack_timeouts : int;
   mutable finished_at : float option;
   (* Delayed-ACK machinery: the deferred acknowledgement (refreshed on
      each arrival) and its flush deadline. *)
@@ -149,6 +151,7 @@ and instrumented t make run =
   else apply t (run ())
 
 let fire_timer t key =
+  t.timer_fires <- t.timer_fires + 1;
   Hashtbl.remove t.timers key;
   let now = Sim.Engine.now t.engine in
   if probing t then
@@ -237,6 +240,7 @@ let dispatch = function
     true
   | Delack t ->
     t.delack_timer <- None;
+    t.delack_timeouts <- t.delack_timeouts + 1;
     flush_pending_ack t;
     true
   | _ -> false
@@ -260,6 +264,8 @@ let create ?probe network ~flow ~src ~dst ~sender ~config ~route_data
       timers = Hashtbl.create 8;
       started = false;
       data_packets_sent = 0;
+      timer_fires = 0;
+      delack_timeouts = 0;
       finished_at = None;
       pending_ack = None;
       delack_timer = None;
@@ -295,5 +301,13 @@ let finished_at t = t.finished_at
 let data_packets_sent t = t.data_packets_sent
 
 let receiver_duplicates t = Receiver.duplicates t.receiver
+
+let receiver_buffered t = Receiver.buffered t.receiver
+
+let receiver_reorder_depth t = Receiver.reorder_depth t.receiver
+
+let timer_fires t = t.timer_fires
+
+let delack_timeouts t = t.delack_timeouts
 
 let sender_metrics t = Sender.metrics t.sender

@@ -62,5 +62,20 @@ val data_packets_sent : t -> int
 (** Duplicate data arrivals observed by the receiver. *)
 val receiver_duplicates : t -> int
 
+(** Segments currently in the receiver's out-of-order buffer. *)
+val receiver_buffered : t -> int
+
+(** Reordering-depth histogram of the receiver (see
+    {!Receiver.reorder_depth}). *)
+val receiver_reorder_depth : t -> Obs.Metrics.Histogram.t
+
+(** Sender timer firings executed (retransmission and variant
+    timers). *)
+val timer_fires : t -> int
+
+(** Delayed acknowledgements flushed by the delayed-ACK timer rather
+    than by a subsequent arrival. *)
+val delack_timeouts : t -> int
+
 (** Sender diagnostic counters (see {!Sender.S.metrics}). *)
 val sender_metrics : t -> (string * float) list

@@ -16,6 +16,9 @@ type t = {
   (* Generation counter stamped on every acknowledgement (TCP-DOOR's
      ACK duplication sequence number). *)
   mutable serial : int;
+  (* How far ahead of [rcv_next] each out-of-order arrival landed — the
+     reordering depth actually seen by this sink. *)
+  reorder_depth : Obs.Metrics.Histogram.t;
 }
 
 let create config =
@@ -26,7 +29,8 @@ let create config =
     recent = [];
     duplicates = 0;
     ack_deferred = false;
-    serial = 0 }
+    serial = 0;
+    reorder_depth = Obs.Metrics.Histogram.create () }
 
 let rcv_next t = t.rcv_next
 
@@ -35,6 +39,8 @@ let in_order_segments t = t.rcv_next
 let duplicates t = t.duplicates
 
 let buffered t = Intervals.cardinal t.out_of_order
+
+let reorder_depth t = t.reorder_depth
 
 (* Up to [max_sack_blocks] blocks: the block containing the most recent
    arrival first, then blocks containing earlier arrivals, without
@@ -75,6 +81,7 @@ let receive t ?(retx = false) ~seq () =
     t.out_of_order <- Intervals.remove_below t.out_of_order t.rcv_next
   end
   else begin
+    Obs.Metrics.Histogram.record t.reorder_depth (seq - t.rcv_next);
     t.out_of_order <- Intervals.add t.out_of_order seq;
     t.recent <- seq :: List.filter (fun s -> s <> seq) t.recent
   end;

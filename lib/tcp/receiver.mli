@@ -46,3 +46,7 @@ val duplicates : t -> int
 
 (** [buffered t] counts segments held in the out-of-order buffer. *)
 val buffered : t -> int
+
+(** Distribution of [seq - rcv_next] over out-of-order arrivals — the
+    packet reordering depth observed by this sink. *)
+val reorder_depth : t -> Obs.Metrics.Histogram.t

@@ -190,6 +190,101 @@ let test_link_set_bandwidth () =
     check_float "2 Mb/s tx" (0.008 +. 0.004) t2
   | _ -> Alcotest.fail "expected two deliveries"
 
+(* ---- Event tap: multiple subscribers, subscription order, and the
+   chronological event sequence of a clean transmission. *)
+
+let test_link_tap_multiple_subscribers () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6
+      ~delay_s:0.010 ~capacity:10 ()
+  in
+  Net.Link.set_deliver link (fun _ -> ());
+  (* Handlers must copy fields during the callback: the link reuses one
+     note record per emission. *)
+  let seen = ref [] in
+  let subscribe tag =
+    Sim.Trace.on (Net.Link.events link) (fun (note : Net.Link.note) ->
+        seen := (tag, note.Net.Link.kind) :: !seen)
+  in
+  subscribe "first";
+  subscribe "second";
+  Net.Link.send link (mk_packet ~uid:1 ~src:0 ~dst:1 ~route:[| 1 |] ());
+  Sim.Engine.run_to_completion engine;
+  let events = List.rev !seen in
+  (* Each emission reaches both handlers, in subscription order. *)
+  let kinds_for tag =
+    List.filter_map (fun (t, k) -> if t = tag then Some k else None) events
+  in
+  Alcotest.(check bool) "both handlers see the same events" true
+    (kinds_for "first" = kinds_for "second");
+  Alcotest.(check (list string))
+    "handlers run in subscription order per emission"
+    [ "first"; "second"; "first"; "second" ]
+    (List.map fst events);
+  Alcotest.(check bool) "transmission precedes delivery" true
+    (kinds_for "first" = [ Net.Link.Transmit_start; Net.Link.Delivered ])
+
+let test_link_tap_unarmed_is_silent () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6
+      ~delay_s:0.010 ~capacity:10 ()
+  in
+  Alcotest.(check bool) "no subscribers: unarmed" false
+    (Sim.Trace.armed (Net.Link.events link));
+  Sim.Trace.on (Net.Link.events link) ignore;
+  Alcotest.(check bool) "subscriber arms the tap" true
+    (Sim.Trace.armed (Net.Link.events link))
+
+(* ---- Queue instrumentation: occupancy histograms and drop causes. *)
+
+let test_drop_tail_occupancy_histogram () =
+  let q = Net.Drop_tail.create ~capacity:3 in
+  let p i = mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] () in
+  ignore (Net.Drop_tail.offer q (p 1));
+  ignore (Net.Drop_tail.offer q (p 2));
+  ignore (Net.Drop_tail.offer q (p 3));
+  ignore (Net.Drop_tail.offer q (p 4));
+  (* rejected: not recorded *)
+  let h = Net.Drop_tail.occupancy q in
+  Alcotest.(check int) "one sample per accepted packet" 3
+    (Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "deepest occupancy" 3 (Obs.Metrics.Histogram.max_value h);
+  Alcotest.(check int) "shallowest occupancy" 1
+    (Obs.Metrics.Histogram.min_value h)
+
+let test_red_occupancy_histogram () =
+  let red =
+    Net.Red.create (Sim.Rng.create 7) ~weight:1. ~min_threshold:5
+      ~max_threshold:10 ~capacity:20 ()
+  in
+  for i = 1 to 4 do
+    ignore (Net.Red.offer red (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ()))
+  done;
+  let h = Net.Red.occupancy red in
+  Alcotest.(check int) "one sample per accepted packet" 4
+    (Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "deepest occupancy" 4 (Obs.Metrics.Histogram.max_value h)
+
+let test_link_queue_accessors () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Net.Link.create engine ~id:0 ~src:0 ~dst:1 ~bandwidth_bps:1e6
+      ~delay_s:0.001 ~capacity:2 ()
+  in
+  Net.Link.set_deliver link (fun _ -> ());
+  for i = 1 to 5 do
+    Net.Link.send link (mk_packet ~uid:i ~src:0 ~dst:1 ~route:[| 1 |] ())
+  done;
+  Sim.Engine.run_to_completion engine;
+  (* One on the wire, two queued, two dropped. *)
+  Alcotest.(check int) "enqueued" 2 (Net.Link.queue_enqueued link);
+  Alcotest.(check int) "drop-tail has no early drops" 0
+    (Net.Link.queue_early_drops link);
+  Alcotest.(check int) "occupancy samples = enqueued" 2
+    (Obs.Metrics.Histogram.count (Net.Link.queue_occupancy link))
+
 (* ------------------------------------------------------------------ *)
 (* Network                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -461,6 +556,35 @@ let test_pool_growth_bounded_by_peak () =
   Alcotest.(check int) "all back in pool" 5 (Net.Packet_pool.in_pool pool);
   Alcotest.(check int) "none outstanding" 0 (Net.Packet_pool.outstanding pool)
 
+(* The metric handles view the same state as the int accessors. *)
+let test_pool_metric_handles_agree () =
+  let pool = Net.Packet_pool.create () in
+  let acquire uid =
+    Net.Packet_pool.acquire pool ~uid ~flow:0 ~src:0 ~dst:1 ~size:100
+      ~route:[| 1 |] ~born:0. (Net.Packet.Raw uid)
+  in
+  let check_consistent label =
+    Alcotest.(check int) (label ^ ": created") (Net.Packet_pool.created pool)
+      (Obs.Metrics.Counter.get (Net.Packet_pool.created_counter pool));
+    Alcotest.(check int)
+      (label ^ ": outstanding")
+      (Net.Packet_pool.outstanding pool)
+      (Obs.Metrics.Gauge.get (Net.Packet_pool.outstanding_gauge pool));
+    Alcotest.(check int) (label ^ ": in_pool") (Net.Packet_pool.in_pool pool)
+      (Obs.Metrics.Gauge.get (Net.Packet_pool.in_pool_gauge pool));
+    Alcotest.(check int)
+      (label ^ ": peak")
+      (Net.Packet_pool.peak_outstanding pool)
+      (Obs.Metrics.Gauge.peak (Net.Packet_pool.outstanding_gauge pool))
+  in
+  check_consistent "empty";
+  let batch = List.init 3 acquire in
+  check_consistent "in flight";
+  List.iter (Net.Packet_pool.release pool) batch;
+  check_consistent "released";
+  Net.Packet_pool.release pool (acquire 9);
+  check_consistent "after reuse"
+
 (* End-to-end: a network recycles delivered and dropped packets back
    into its pool, so a steady stream allocates no new records after the
    first. *)
@@ -580,6 +704,8 @@ let () =
     [ ( "drop-tail",
         [ Alcotest.test_case "fifo" `Quick test_drop_tail_fifo;
           Alcotest.test_case "overflow" `Quick test_drop_tail_overflow;
+          Alcotest.test_case "occupancy histogram" `Quick
+            test_drop_tail_occupancy_histogram;
           QCheck_alcotest.to_alcotest ~long:false drop_tail_prop ] );
       ( "loss-model",
         [ Alcotest.test_case "perfect" `Quick test_loss_perfect;
@@ -593,7 +719,13 @@ let () =
             test_link_queue_overflow_drops;
           Alcotest.test_case "fifo order" `Quick test_link_fifo_order;
           Alcotest.test_case "loss injection" `Quick test_link_loss_injection;
-          Alcotest.test_case "set bandwidth" `Quick test_link_set_bandwidth ] );
+          Alcotest.test_case "set bandwidth" `Quick test_link_set_bandwidth;
+          Alcotest.test_case "tap multiple subscribers" `Quick
+            test_link_tap_multiple_subscribers;
+          Alcotest.test_case "tap unarmed is silent" `Quick
+            test_link_tap_unarmed_is_silent;
+          Alcotest.test_case "queue accessors" `Quick
+            test_link_queue_accessors ] );
       ( "network",
         [ Alcotest.test_case "forwards route" `Quick test_network_forwards_route;
           Alcotest.test_case "stranded" `Quick
@@ -612,6 +744,8 @@ let () =
             test_pool_double_release_raises;
           Alcotest.test_case "growth bounded by peak" `Quick
             test_pool_growth_bounded_by_peak;
+          Alcotest.test_case "metric handles agree" `Quick
+            test_pool_metric_handles_agree;
           Alcotest.test_case "network steady state" `Quick
             test_pool_network_steady_state ] );
       ( "red",
@@ -621,6 +755,8 @@ let () =
             test_red_forced_marking_above_max;
           Alcotest.test_case "capacity drops not early" `Quick
             test_red_capacity_drops_not_early;
+          Alcotest.test_case "occupancy histogram" `Quick
+            test_red_occupancy_histogram;
           Alcotest.test_case "marking rate tracks average" `Quick
             test_red_marking_rate_tracks_average ] );
       ( "tracer",

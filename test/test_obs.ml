@@ -1,0 +1,404 @@
+(* Tests for the observability layer: metric primitives (with qcheck
+   properties over the log-scale histogram), the registry and its merge
+   semantics, the flight recorder, the export sinks, the allocation-free
+   record path, and the golden `report` snapshot. *)
+
+module Metrics = Obs.Metrics
+module Registry = Obs.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Counter and gauge                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let c = Metrics.Counter.create () in
+  Alcotest.(check int) "zero" 0 (Metrics.Counter.get c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  Alcotest.(check int) "accumulated" 5 (Metrics.Counter.get c);
+  let d = Metrics.Counter.create () in
+  Metrics.Counter.add d 10;
+  Metrics.Counter.merge_into ~into:c d;
+  Alcotest.(check int) "merge adds" 15 (Metrics.Counter.get c);
+  Metrics.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Metrics.Counter.get c)
+
+let test_gauge_peak () =
+  let g = Metrics.Gauge.create () in
+  Metrics.Gauge.set g 5;
+  Metrics.Gauge.set g 2;
+  Alcotest.(check int) "level" 2 (Metrics.Gauge.get g);
+  Alcotest.(check int) "peak survives" 5 (Metrics.Gauge.peak g);
+  Metrics.Gauge.add g 7;
+  Alcotest.(check int) "add" 9 (Metrics.Gauge.get g);
+  Alcotest.(check int) "peak updated" 9 (Metrics.Gauge.peak g);
+  let h = Metrics.Gauge.create () in
+  Metrics.Gauge.set h 3;
+  Metrics.Gauge.merge_into ~into:h g;
+  Alcotest.(check int) "merge takes max level" 9 (Metrics.Gauge.get h);
+  Alcotest.(check int) "merge takes max peak" 9 (Metrics.Gauge.peak h)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let record_all h values = List.iter (Metrics.Histogram.record h) values
+
+let of_values values =
+  let h = Metrics.Histogram.create () in
+  record_all h values;
+  h
+
+(* Observable state of a histogram, for equality checks. *)
+let state h =
+  ( Array.to_list (Metrics.Histogram.buckets h),
+    Metrics.Histogram.count h,
+    Metrics.Histogram.sum h,
+    Metrics.Histogram.min_value h,
+    Metrics.Histogram.max_value h )
+
+let test_histogram_empty () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check int) "count" 0 (Metrics.Histogram.count h);
+  Alcotest.(check int) "min" 0 (Metrics.Histogram.min_value h);
+  Alcotest.(check int) "max" 0 (Metrics.Histogram.max_value h);
+  Alcotest.(check bool) "quantile" true (Metrics.Histogram.quantile h 0.5 = None)
+
+let test_histogram_edges () =
+  Alcotest.(check int) "bucket 0 upper" 0 (Metrics.Histogram.upper_edge 0);
+  Alcotest.(check int) "bucket 1" 1 (Metrics.Histogram.lower_edge 1);
+  Alcotest.(check int) "bucket 1 upper" 1 (Metrics.Histogram.upper_edge 1);
+  Alcotest.(check int) "bucket 4 lower" 8 (Metrics.Histogram.lower_edge 4);
+  Alcotest.(check int) "bucket 4 upper" 15 (Metrics.Histogram.upper_edge 4);
+  Alcotest.(check int) "index 0" 0 (Metrics.Histogram.index 0);
+  Alcotest.(check int) "index -5" 0 (Metrics.Histogram.index (-5));
+  Alcotest.(check int) "index 1" 1 (Metrics.Histogram.index 1);
+  Alcotest.(check int) "index 8" 4 (Metrics.Histogram.index 8);
+  Alcotest.(check int) "last bucket open-ended" max_int
+    (Metrics.Histogram.upper_edge (Metrics.Histogram.bucket_count - 1));
+  (* max_int fits its bit-width bucket even at the top of the range *)
+  let k = Metrics.Histogram.index max_int in
+  Alcotest.(check bool) "max_int in its bucket" true
+    (Metrics.Histogram.lower_edge k <= max_int)
+
+let small_int = QCheck.int_range (-100) 10_000
+
+let values_gen = QCheck.(list_of_size (Gen.int_range 1 200) small_int)
+
+(* Nearest-rank quantile of a raw sample list. *)
+let exact_quantile values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  List.nth sorted (min (rank - 1) (n - 1))
+
+let histogram_props =
+  [ QCheck.Test.make ~name:"value lands in its bucket" ~count:500 small_int
+      (fun v ->
+        let k = Metrics.Histogram.index v in
+        Metrics.Histogram.lower_edge k <= v
+        && v <= Metrics.Histogram.upper_edge k);
+    QCheck.Test.make ~name:"merge commutative" ~count:200
+      QCheck.(pair values_gen values_gen)
+      (fun (a, b) ->
+        state (Metrics.Histogram.merge (of_values a) (of_values b))
+        = state (Metrics.Histogram.merge (of_values b) (of_values a)));
+    QCheck.Test.make ~name:"merge associative" ~count:200
+      QCheck.(triple values_gen values_gen values_gen)
+      (fun (a, b, c) ->
+        let h x = of_values x in
+        let m = Metrics.Histogram.merge in
+        state (m (m (h a) (h b)) (h c)) = state (m (h a) (m (h b) (h c))));
+    QCheck.Test.make ~name:"quantile brackets nearest rank" ~count:300
+      QCheck.(pair values_gen (float_range 0.01 1.))
+      (fun (values, q) ->
+        let h = of_values values in
+        match Metrics.Histogram.quantile h q with
+        | None -> false
+        | Some (lower, upper) ->
+          let exact = exact_quantile values q in
+          lower <= exact && exact <= upper);
+    QCheck.Test.make ~name:"quantile_upper bounded by max" ~count:300
+      QCheck.(pair values_gen (float_range 0.01 1.))
+      (fun (values, q) ->
+        let h = of_values values in
+        match Metrics.Histogram.quantile_upper h q with
+        | None -> false
+        | Some v ->
+          exact_quantile values q <= v
+          && v <= Metrics.Histogram.max_value h);
+    QCheck.Test.make ~name:"sharded then merged = single" ~count:200
+      QCheck.(pair values_gen (int_range 1 8))
+      (fun (values, shards) ->
+        (* Deal values round-robin onto [shards] histograms, as a
+           sharded parallel run would, then merge. *)
+        let parts = Array.init shards (fun _ -> Metrics.Histogram.create ()) in
+        List.iteri
+          (fun i v -> Metrics.Histogram.record parts.(i mod shards) v)
+          values;
+        let merged = Metrics.Histogram.create () in
+        Array.iter (fun h -> Metrics.Histogram.merge_into ~into:merged h) parts;
+        state merged = state (of_values values)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_find_or_create () =
+  let r = Registry.create () in
+  let c = Registry.counter r "a" in
+  Metrics.Counter.incr c;
+  Alcotest.(check bool) "same handle" true (Registry.counter r "a" == c);
+  Alcotest.(check int) "via handle" 1
+    (Metrics.Counter.get (Registry.counter r "a"));
+  Alcotest.(check int) "length" 1 (Registry.length r);
+  Alcotest.(check bool) "mem" true (Registry.mem r "a")
+
+let test_registry_kind_clash () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "a");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Obs.Registry: \"a\" is a counter, not a gauge")
+    (fun () -> ignore (Registry.gauge r "a"))
+
+let test_registry_names_sorted () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "zeta");
+  ignore (Registry.gauge r "alpha");
+  ignore (Registry.histogram r "mid");
+  Alcotest.(check (list string))
+    "sorted" [ "alpha"; "mid"; "zeta" ] (Registry.names r)
+
+let test_registry_merge () =
+  let a = Registry.create () in
+  let b = Registry.create () in
+  Metrics.Counter.add (Registry.counter a "c") 3;
+  Metrics.Counter.add (Registry.counter b "c") 4;
+  Metrics.Gauge.set (Registry.gauge a "g") 10;
+  Metrics.Gauge.set (Registry.gauge b "g") 7;
+  Registry.set_value a "v" 1.5;
+  Registry.set_value b "v" 2.5;
+  Metrics.Histogram.record (Registry.histogram a "h") 1;
+  Metrics.Histogram.record (Registry.histogram b "h") 1;
+  Metrics.Histogram.record (Registry.histogram b "h") 500;
+  let merged = Registry.merge_all [ a; b ] in
+  Alcotest.(check int) "counters add" 7
+    (Metrics.Counter.get (Registry.counter merged "c"));
+  Alcotest.(check int) "gauges max" 10
+    (Metrics.Gauge.get (Registry.gauge merged "g"));
+  Alcotest.(check (float 1e-9)) "values max" 2.5 (Registry.value merged "v");
+  Alcotest.(check int) "histograms add" 3
+    (Metrics.Histogram.count (Registry.histogram merged "h"))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_wraps () =
+  let r = Obs.Flight_recorder.create ~capacity:3 in
+  List.iter (Obs.Flight_recorder.note r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "total" 5 (Obs.Flight_recorder.total r);
+  Alcotest.(check int) "length" 3 (Obs.Flight_recorder.length r);
+  Alcotest.(check int) "overwritten" 2 (Obs.Flight_recorder.overwritten r);
+  Alcotest.(check (list int))
+    "last three, oldest first" [ 3; 4; 5 ]
+    (Obs.Flight_recorder.to_list r)
+
+let test_recorder_partial () =
+  let r = Obs.Flight_recorder.create ~capacity:8 in
+  List.iter (Obs.Flight_recorder.note r) [ 1; 2 ];
+  Alcotest.(check (list int)) "in order" [ 1; 2 ] (Obs.Flight_recorder.to_list r);
+  Alcotest.(check int) "nothing lost" 0 (Obs.Flight_recorder.overwritten r);
+  Obs.Flight_recorder.clear r;
+  Alcotest.(check int) "cleared" 0 (Obs.Flight_recorder.total r)
+
+let test_recorder_attach () =
+  let tap = Sim.Trace.tap () in
+  let r = Obs.Flight_recorder.attach ~capacity:2 tap in
+  Alcotest.(check bool) "arms the tap" true (Sim.Trace.armed tap);
+  List.iter (Sim.Trace.emit tap) [ "a"; "b"; "c" ];
+  Alcotest.(check (list string))
+    "retains tail" [ "b"; "c" ] (Obs.Flight_recorder.to_list r)
+
+let test_recorder_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Flight_recorder.create: capacity < 1") (fun () ->
+      ignore (Obs.Flight_recorder.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_registry () =
+  let r = Registry.create () in
+  Metrics.Counter.add (Registry.counter r "pkts") 42;
+  Metrics.Gauge.set (Registry.gauge r "depth") 3;
+  Registry.set_value r "util" 0.5;
+  record_all (Registry.histogram r "occ") [ 1; 2; 2; 9 ];
+  r
+
+let test_export_rows () =
+  let rows = Obs.Export.rows (sample_registry ()) in
+  let get name =
+    match List.assoc_opt name rows with
+    | Some v -> v
+    | None -> Alcotest.failf "missing row %s" name
+  in
+  Alcotest.(check string) "counter" "42" (get "pkts");
+  Alcotest.(check string) "gauge" "3" (get "depth");
+  Alcotest.(check string) "gauge peak" "3" (get "depth.peak");
+  Alcotest.(check string) "value" "0.5" (get "util");
+  Alcotest.(check string) "hist count" "4" (get "occ.count");
+  Alcotest.(check string) "hist max" "9" (get "occ.max");
+  Alcotest.(check string) "hist p50 (bucket upper edge)" "3" (get "occ.p50");
+  (* Metrics come out in sorted name order; a histogram's sub-rows keep
+     their semantic order (count, mean, quantiles, max). *)
+  Alcotest.(check (list string)) "deterministic row order"
+    [ "depth"; "depth.peak"; "occ.count"; "occ.mean"; "occ.p50"; "occ.p99";
+      "occ.max"; "pkts"; "util" ]
+    (List.map fst rows)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_export_csv_and_json () =
+  let r = sample_registry () in
+  let csv = Obs.Export.to_csv r in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 13 && String.sub csv 0 13 = "metric,value\n");
+  let json = Obs.Export.to_json r in
+  Alcotest.(check bool) "json has counter" true (contains json "\"pkts\": 42");
+  Alcotest.(check bool) "json has value" true (contains json "\"util\": 0.5")
+
+let test_sampler () =
+  let r = sample_registry () in
+  let s = Obs.Export.Sampler.create r [ "pkts"; "util" ] in
+  Obs.Export.Sampler.sample s ~time:0.;
+  Metrics.Counter.add (Registry.counter r "pkts") 8;
+  Obs.Export.Sampler.sample s ~time:1.;
+  Alcotest.(check int) "length" 2 (Obs.Export.Sampler.length s);
+  Alcotest.(check string) "csv"
+    "time,pkts,util\n0,42,0.5\n1,50,0.5\n"
+    (Obs.Export.Sampler.to_csv s);
+  Alcotest.check_raises "time goes backwards"
+    (Invalid_argument "Export.Sampler.sample: time went backwards") (fun () ->
+      Obs.Export.Sampler.sample s ~time:0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free record path                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_record_path_allocation_free () =
+  let h = Metrics.Histogram.create () in
+  let c = Metrics.Counter.create () in
+  let g = Metrics.Gauge.create () in
+  (* Warm up (first calls may allocate lazily elsewhere). *)
+  Metrics.Histogram.record h 5;
+  Metrics.Counter.incr c;
+  Metrics.Gauge.set g 1;
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Metrics.Histogram.record h i;
+    Metrics.Counter.incr c;
+    Metrics.Gauge.set g i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* Gc.minor_words itself boxes its float result; allow a few words of
+     slack but nothing proportional to the 30k records. *)
+  if allocated > 16. then
+    Alcotest.failf "record path allocated %.0f minor words" allocated
+
+(* ------------------------------------------------------------------ *)
+(* Golden report                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let report_variants =
+  [ Experiments.Variants.tcp_pr; Experiments.Variants.tcp_sack ]
+
+let render_report ~jobs =
+  Check.Report.render ~seed:1 ~jobs ~scenario:Check.Report.Dumbbell
+    ~variants:report_variants ()
+
+let first_diff_line expected actual =
+  let e = String.split_on_char '\n' expected in
+  let a = String.split_on_char '\n' actual in
+  let rec scan n e a =
+    match (e, a) with
+    | [], [] -> Printf.sprintf "no differing line found (line %d)" n
+    | x :: _, [] -> Printf.sprintf "line %d: report ends; stored has %S" n x
+    | [], y :: _ -> Printf.sprintf "line %d: stored ends; report has %S" n y
+    | x :: e', y :: a' ->
+      if String.equal x y then scan (n + 1) e' a'
+      else Printf.sprintf "line %d:\n  stored:   %s\n  computed: %s" n x y
+  in
+  scan 1 e a
+
+let golden_report_path = Filename.concat "golden" "report.txt"
+
+let test_report_matches_golden () =
+  if not (Sys.file_exists golden_report_path) then
+    Alcotest.failf "%s missing (run `make golden`)" golden_report_path;
+  let stored =
+    In_channel.with_open_bin golden_report_path In_channel.input_all
+  in
+  let actual = render_report ~jobs:1 in
+  if not (String.equal stored actual) then
+    Alcotest.failf
+      "report drifted from %s at %s\n\
+       (if the change is intended, regenerate with `make golden`)"
+      golden_report_path
+      (first_diff_line stored actual)
+
+let test_report_jobs_independent () =
+  Alcotest.(check string)
+    "jobs=2 byte-identical to jobs=1" (render_report ~jobs:1)
+    (render_report ~jobs:2)
+
+let test_report_csv_shape () =
+  let csv =
+    Check.Report.render ~csv:true ~seed:1 ~jobs:1
+      ~scenario:Check.Report.Jitter_chain
+      ~variants:[ Experiments.Variants.tcp_pr ]
+      ()
+  in
+  match String.split_on_char '\n' csv with
+  | header :: first :: _ ->
+    Alcotest.(check string) "header" "scenario,variant,metric,value" header;
+    Alcotest.(check bool) "rows carry scenario and variant" true
+      (String.length first > 20
+      && String.sub first 0 20 = "jitter-chain,TCP-PR,")
+  | _ -> Alcotest.fail "empty csv"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter" `Quick test_counter_basics;
+          Alcotest.test_case "gauge peak" `Quick test_gauge_peak;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+          Alcotest.test_case "record path allocation-free" `Quick
+            test_record_path_allocation_free ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) histogram_props );
+      ( "registry",
+        [ Alcotest.test_case "find or create" `Quick
+            test_registry_find_or_create;
+          Alcotest.test_case "kind clash" `Quick test_registry_kind_clash;
+          Alcotest.test_case "names sorted" `Quick test_registry_names_sorted;
+          Alcotest.test_case "merge semantics" `Quick test_registry_merge ] );
+      ( "flight-recorder",
+        [ Alcotest.test_case "wraps" `Quick test_recorder_wraps;
+          Alcotest.test_case "partial fill" `Quick test_recorder_partial;
+          Alcotest.test_case "attach" `Quick test_recorder_attach;
+          Alcotest.test_case "zero capacity rejected" `Quick
+            test_recorder_rejects_zero_capacity ] );
+      ( "export",
+        [ Alcotest.test_case "rows" `Quick test_export_rows;
+          Alcotest.test_case "csv and json" `Quick test_export_csv_and_json;
+          Alcotest.test_case "sampler" `Quick test_sampler ] );
+      ( "report",
+        [ Alcotest.test_case "matches golden" `Quick test_report_matches_golden;
+          Alcotest.test_case "jobs independent" `Quick
+            test_report_jobs_independent;
+          Alcotest.test_case "csv shape" `Quick test_report_csv_shape ] ) ]

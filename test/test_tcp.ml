@@ -355,6 +355,95 @@ let test_receiver_dsack_in_buffer () =
   | Some { Tcp.Types.first = 3; last = 3 } -> ()
   | _ -> Alcotest.fail "expected dsack [3,3]"
 
+(* ---- Delayed ACKs (RFC 1122): only a lone in-order segment defers. *)
+
+let delack_config = { Tcp.Config.default with Tcp.Config.delayed_ack = true }
+
+let deferred = function
+  | Tcp.Receiver.Defer _ -> true
+  | Tcp.Receiver.Ack_now _ -> false
+
+let test_receiver_delack_alternates () =
+  let r = Tcp.Receiver.create delack_config in
+  Alcotest.(check bool) "first lone segment defers" true
+    (deferred (Tcp.Receiver.receive r ~seq:0 ()));
+  Alcotest.(check bool) "second segment acks now" false
+    (deferred (Tcp.Receiver.receive r ~seq:1 ()));
+  Alcotest.(check bool) "then defers again" true
+    (deferred (Tcp.Receiver.receive r ~seq:2 ()))
+
+let test_receiver_delack_gap_acks_now () =
+  let r = Tcp.Receiver.create delack_config in
+  ignore (Tcp.Receiver.receive r ~seq:0 ());
+  Alcotest.(check bool) "out-of-order acks now" false
+    (deferred (Tcp.Receiver.receive r ~seq:2 ()));
+  (* The hole fill drains the buffer — still an immediate ACK. *)
+  Alcotest.(check bool) "hole fill acks now" false
+    (deferred (Tcp.Receiver.receive r ~seq:1 ()));
+  Alcotest.(check int) "drained" 0 (Tcp.Receiver.buffered r)
+
+let test_receiver_delack_duplicate_acks_now () =
+  let r = Tcp.Receiver.create delack_config in
+  ignore (Tcp.Receiver.receive r ~seq:0 ());
+  match Tcp.Receiver.receive r ~seq:0 () with
+  | Tcp.Receiver.Defer _ -> Alcotest.fail "duplicate must ack now"
+  | Tcp.Receiver.Ack_now ack ->
+    (match ack.Tcp.Types.dsack with
+    | Some { Tcp.Types.first = 0; last = 0 } -> ()
+    | _ -> Alcotest.fail "expected dsack [0,0]")
+
+let test_receiver_delack_off_never_defers () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  Alcotest.(check bool) "disabled: ack now" false
+    (deferred (Tcp.Receiver.receive r ~seq:0 ()))
+
+let test_receiver_reorder_depth () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:3 ());
+  ignore (Tcp.Receiver.on_data r ~seq:5 ());
+  ignore (Tcp.Receiver.on_data r ~seq:1 ());
+  let h = Tcp.Receiver.reorder_depth r in
+  (* Only the two out-of-order arrivals record a depth (seq - rcv_next
+     at arrival time): 3 - 1 = 2 and 5 - 1 = 4. *)
+  Alcotest.(check int) "two samples" 2 (Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "min depth" 2 (Obs.Metrics.Histogram.min_value h);
+  Alcotest.(check int) "max depth" 4 (Obs.Metrics.Histogram.max_value h);
+  Alcotest.(check int) "sum" 6 (Obs.Metrics.Histogram.sum h)
+
+(* Connection-level: a deferred ACK with no follow-up segment is flushed
+   by the delayed-ACK timer, and the connection counts the timeout. *)
+let test_connection_delack_timer_fires () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let src = Net.Network.add_node network in
+  let dst = Net.Network.add_node network in
+  ignore
+    (Net.Network.add_link network ~src ~dst ~bandwidth_bps:10e6 ~delay_s:0.01
+       ~capacity:100 ());
+  ignore
+    (Net.Network.add_link network ~src:dst ~dst:src ~bandwidth_bps:10e6
+       ~delay_s:0.01 ~capacity:100 ());
+  let config =
+    { delack_config with
+      Tcp.Config.total_segments = Some 1;
+      initial_cwnd = 1. }
+  in
+  let connection =
+    Tcp.Connection.create network ~flow:0 ~src ~dst
+      ~sender:(module Tcp.Sack : Tcp.Sender.S)
+      ~config
+      ~route_data:(fun () -> [| Net.Node.id dst |])
+      ~route_ack:(fun () -> [| Net.Node.id src |])
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:5.;
+  Alcotest.(check bool) "transfer completes" true
+    (Tcp.Connection.finished connection);
+  Alcotest.(check bool) "delack timeout counted" true
+    (Tcp.Connection.delack_timeouts connection >= 1)
+
 (* Feeding any arrival order of a permutation of 0..n-1 ends with
    rcv_next = n and an empty out-of-order buffer. *)
 let receiver_permutation_prop =
@@ -515,6 +604,18 @@ let () =
             test_receiver_dsack_below_cumulative;
           Alcotest.test_case "dsack in buffer" `Quick
             test_receiver_dsack_in_buffer;
+          Alcotest.test_case "delack alternates" `Quick
+            test_receiver_delack_alternates;
+          Alcotest.test_case "delack gap acks now" `Quick
+            test_receiver_delack_gap_acks_now;
+          Alcotest.test_case "delack duplicate acks now" `Quick
+            test_receiver_delack_duplicate_acks_now;
+          Alcotest.test_case "delack off never defers" `Quick
+            test_receiver_delack_off_never_defers;
+          Alcotest.test_case "reorder depth histogram" `Quick
+            test_receiver_reorder_depth;
+          Alcotest.test_case "delack timer fires" `Quick
+            test_connection_delack_timer_fires;
           QCheck_alcotest.to_alcotest ~long:false receiver_permutation_prop ] );
       ( "newreno",
         [ Alcotest.test_case "start" `Quick test_newreno_start;

@@ -1,0 +1,179 @@
+(* Tests for the workload generators: Ftp bulk-flow batches (spawn
+   validation, unbounded backlog, start jitter, throughput accounting)
+   and Parking-lot cross traffic (per-pair fan-out and labels). *)
+
+let sack = snd Experiments.Variants.tcp_sack
+
+(* Two nodes joined by a clean 10 Mb/s duplex link. *)
+let duplex_pair () =
+  let engine = Sim.Engine.create () in
+  let network = Net.Network.create engine in
+  let src = Net.Network.add_node network in
+  let dst = Net.Network.add_node network in
+  ignore
+    (Net.Network.add_link network ~src ~dst ~bandwidth_bps:10e6 ~delay_s:0.01
+       ~capacity:100 ());
+  ignore
+    (Net.Network.add_link network ~src:dst ~dst:src ~bandwidth_bps:10e6
+       ~delay_s:0.01 ~capacity:100 ());
+  (engine, network, src, dst)
+
+let spawn_ftp ?(count = 1) ?(start_window = 0.) ?(config = Tcp.Config.default)
+    network ~src ~dst =
+  Workload.Ftp.spawn network ~sender:sack ~label:"bulk" ~count ~first_flow:0
+    ~src ~dst
+    ~route_data:(fun () -> [| Net.Node.id dst |])
+    ~route_ack:(fun () -> [| Net.Node.id src |])
+    ~config
+    ~start_rng:(Sim.Rng.create 11)
+    ~start_window ()
+
+let test_spawn_count_and_labels () =
+  let _engine, network, src, dst = duplex_pair () in
+  let flows = spawn_ftp ~count:3 network ~src ~dst in
+  Alcotest.(check int) "three flows" 3 (List.length flows);
+  List.iter
+    (fun f -> Alcotest.(check string) "label" "bulk" f.Workload.Ftp.label)
+    flows
+
+let test_spawn_zero_count () =
+  let _engine, network, src, dst = duplex_pair () in
+  Alcotest.(check int) "no flows" 0
+    (List.length (spawn_ftp ~count:0 network ~src ~dst))
+
+let test_spawn_validation () =
+  let _engine, network, src, dst = duplex_pair () in
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Ftp.spawn: negative count") (fun () ->
+      ignore (spawn_ftp ~count:(-1) network ~src ~dst));
+  Alcotest.check_raises "negative window"
+    (Invalid_argument "Ftp.spawn: negative start window") (fun () ->
+      ignore (spawn_ftp ~start_window:(-1.) network ~src ~dst))
+
+(* Ftp forces [total_segments = None]: a flow spawned from a bounded
+   config keeps transferring past the bound. *)
+let test_spawn_unbounded_backlog () =
+  let engine, network, src, dst = duplex_pair () in
+  let config =
+    { Tcp.Config.default with Tcp.Config.total_segments = Some 5 }
+  in
+  let flows = spawn_ftp ~config network ~src ~dst in
+  Sim.Engine.run engine ~until:5.;
+  let flow = List.hd flows in
+  let segments = Tcp.Connection.received_segments flow.Workload.Ftp.connection in
+  if segments <= 5 then
+    Alcotest.failf "backlog still bounded: only %d segments delivered" segments
+
+(* start_window = 0 starts every flow immediately: all of them have
+   delivered data well before the window a jittered start would use. *)
+let test_spawn_immediate_start () =
+  let engine, network, src, dst = duplex_pair () in
+  let flows = spawn_ftp ~count:4 ~start_window:0. network ~src ~dst in
+  Sim.Engine.run engine ~until:1.;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "flow has started" true
+        (Tcp.Connection.received_bytes f.Workload.Ftp.connection > 0))
+    flows
+
+let test_throughput_accounting () =
+  let engine, network, src, dst = duplex_pair () in
+  let flows = spawn_ftp ~count:2 network ~src ~dst in
+  Sim.Engine.run engine ~until:2.;
+  let start_bytes = Workload.Ftp.snapshot_bytes flows in
+  Sim.Engine.run engine ~until:6.;
+  let reported =
+    Workload.Ftp.throughputs flows ~window_start_bytes:start_bytes ~seconds:4.
+  in
+  Alcotest.(check int) "one rate per flow" 2 (List.length reported);
+  List.iteri
+    (fun i (label, mbps) ->
+      let f = List.nth flows i in
+      Alcotest.(check string) "labels preserved" f.Workload.Ftp.label label;
+      let end_bytes =
+        Tcp.Connection.received_bytes f.Workload.Ftp.connection
+      in
+      let start = List.nth start_bytes i in
+      let expected = float_of_int (end_bytes - start) *. 8. /. 4. /. 1e6 in
+      Alcotest.(check (float 1e-9)) "rate matches byte delta" expected mbps;
+      Alcotest.(check bool) "flow made progress" true (mbps > 0.))
+    reported
+
+let test_throughput_mismatch () =
+  let _engine, network, src, dst = duplex_pair () in
+  let flows = spawn_ftp ~count:2 network ~src ~dst in
+  Alcotest.check_raises "snapshot mismatch"
+    (Invalid_argument "Ftp.throughputs: snapshot length mismatch") (fun () ->
+      ignore (Workload.Ftp.throughputs flows ~window_start_bytes:[ 0 ] ~seconds:1.))
+
+(* ------------------------------------------------------------------ *)
+(* Cross traffic                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_traffic_fan_out () =
+  let engine = Sim.Engine.create () in
+  let lot = Topo.Parking_lot.create engine () in
+  let flows_per_pair = 2 in
+  let flows =
+    Workload.Cross_traffic.spawn lot ~flows_per_pair ~first_flow:10
+      ~config:Tcp.Config.default
+      ~start_rng:(Sim.Rng.create 3)
+      ~start_window:0. ()
+  in
+  let pairs = List.length lot.Topo.Parking_lot.cross_pairs in
+  Alcotest.(check int) "paper matrix has six pairs" 6 pairs;
+  Alcotest.(check int) "flows_per_pair flows per pair"
+    (pairs * flows_per_pair) (List.length flows);
+  let label_counts = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let l = f.Workload.Ftp.label in
+      Hashtbl.replace label_counts l
+        (1 + Option.value ~default:0 (Hashtbl.find_opt label_counts l)))
+    flows;
+  List.iter
+    (fun (pair : Topo.Parking_lot.cross_pair) ->
+      let label = Printf.sprintf "cross-%d" pair.Topo.Parking_lot.index in
+      Alcotest.(check (option int))
+        (label ^ " count") (Some flows_per_pair)
+        (Hashtbl.find_opt label_counts label))
+    lot.Topo.Parking_lot.cross_pairs
+
+let test_cross_traffic_delivers () =
+  let engine = Sim.Engine.create () in
+  let lot = Topo.Parking_lot.create engine () in
+  let flows =
+    Workload.Cross_traffic.spawn lot ~flows_per_pair:1 ~first_flow:0
+      ~config:Tcp.Config.default
+      ~start_rng:(Sim.Rng.create 3)
+      ~start_window:0. ()
+  in
+  Sim.Engine.run engine ~until:5.;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f.Workload.Ftp.label ^ " delivers")
+        true
+        (Tcp.Connection.received_bytes f.Workload.Ftp.connection > 0))
+    flows
+
+let () =
+  Alcotest.run "workload"
+    [ ( "ftp",
+        [ Alcotest.test_case "count and labels" `Quick
+            test_spawn_count_and_labels;
+          Alcotest.test_case "zero count" `Quick test_spawn_zero_count;
+          Alcotest.test_case "validation" `Quick test_spawn_validation;
+          Alcotest.test_case "unbounded backlog" `Quick
+            test_spawn_unbounded_backlog;
+          Alcotest.test_case "immediate start" `Quick
+            test_spawn_immediate_start;
+          Alcotest.test_case "throughput accounting" `Quick
+            test_throughput_accounting;
+          Alcotest.test_case "throughput mismatch" `Quick
+            test_throughput_mismatch ] );
+      ( "cross-traffic",
+        [ Alcotest.test_case "fan-out and labels" `Quick
+            test_cross_traffic_fan_out;
+          Alcotest.test_case "delivers" `Quick test_cross_traffic_delivers ] )
+    ]
