@@ -1,5 +1,5 @@
-.PHONY: all build test bench bench-quick bench-gate figures golden ci doc \
-	coverage coverage-summary clean
+.PHONY: all build test bench bench-quick bench-gate scale-smoke figures \
+	golden ci doc coverage coverage-summary clean
 
 all: build
 
@@ -20,18 +20,26 @@ bench-record:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # Quick perf snapshot: bench-scale Figs. 2/3/6, the bechamel
-# micro-benchmarks and the allocation suite; records wall-clock,
-# ns/run, bytes/simulated-packet and a metrics snapshot in
-# BENCH_PR4.json (repo root and results/). BENCH_JOBS=N parallelises
-# the figure grids.
+# micro-benchmarks, the allocation suite and the many-flow scale
+# suite; records wall-clock, ns/run, bytes/simulated-packet,
+# events/sec and metrics snapshots in BENCH_PR5.json (repo root and
+# results/). BENCH_JOBS=N parallelises the figure grids.
 bench-quick:
 	dune exec bench/main.exe -- quick
 
-# Allocation gate only: re-measure bytes/simulated-packet and fail if
-# any scenario exceeds the recorded BENCH_PR3.json baseline by more
-# than the 16 B/packet metrics budget. Does not rewrite the record.
+# Perf gate only: re-measure bytes/simulated-packet (fail if any
+# scenario exceeds the recorded baseline by more than the 16 B/packet
+# budget) and the events/sec scaling floor at 10k vs 1k flows. Does
+# not rewrite the records.
 bench-gate:
 	dune exec bench/main.exe -- gate
+
+# One-point smoke of the many-flow scale scenario: 1k concurrent flow
+# slots for one simulated second on both timer substrates; the wheel
+# and heap rows must agree on everything but wall-clock.
+scale-smoke:
+	dune exec -- bin/tcp_pr_sim.exe scale --flows 1000 --duration 1 \
+	  --heap-baseline
 
 # FIGURE_JOBS=N sets the domain count for the experiment grids
 # (default: the machine's cores; output is identical at any N).
@@ -85,12 +93,14 @@ coverage-summary:
 
 # Full gate: build everything, run the test suite, a conformance
 # smoke run — fixed random scenarios over every sender variant with the
-# invariant monitors armed, plus the golden-trace digests — and the
-# allocation regression gate against the recorded BENCH_PR3.json.
+# invariant monitors armed, plus the golden-trace digests — the
+# many-flow scale smoke, and the perf regression gate (allocation
+# budget + events/sec scaling floor) against the recorded record.
 ci:
 	dune build @all
 	dune runtest
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 30 --golden test/golden
+	$(MAKE) --no-print-directory scale-smoke
 	dune exec bench/main.exe -- gate
 	-@$(MAKE) --no-print-directory coverage
 

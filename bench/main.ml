@@ -14,26 +14,36 @@
    Part 3 measures allocation per simulated packet (Alloc_suite) —
    the number the zero-allocation packet path is judged on.
 
-   Usage: main.exe [all|figures|micro|quick|alloc|gate] [--jobs N]
-     all      figures + extensions + ablations + micro + alloc (default)
+   Part 4 runs the many-flow scale suite (Scale_suite): 1k/5k/10k
+   concurrent flows of closed-loop churn over the dumbbell, on the
+   timing wheel and on the heap-only baseline, reporting events/sec
+   and timer ops/sec.
+
+   Usage: main.exe [all|figures|micro|quick|alloc|scale|gate] [--jobs N]
+     all      figures + extensions + ablations + micro + alloc + scale
+              (default)
      figures  Figs. 2/3/4/6 only
      micro    micro-benchmarks only
      alloc    allocation-per-packet scenarios only
-     quick    Figs. 2/3/6 + micro + alloc (the `make bench-quick` target)
-     gate     re-run the alloc scenarios and FAIL (exit 1) if bytes per
-              simulated packet exceeds the PR3 baseline in the
-              checked-in BENCH_PR3.json by more than the metrics
-              budget (16 B/packet) — the always-on observability layer
-              must stay within that; reads the record, never writes it
-              (used by `make ci`)
+     scale    many-flow scale suite only (wheel + heap baseline)
+     quick    Figs. 2/3/6 + micro + alloc + scale (the `make bench-quick`
+              target)
+     gate     FAIL (exit 1) if either
+                - bytes per simulated packet exceeds the recorded
+                  baseline (BENCH_PR5.json, falling back to
+                  BENCH_PR3.json) by more than the budget
+                  (16 B/packet), or
+                - events/sec at 10k flows on the wheel falls below
+                  0.5x events/sec at 1k flows (the scale floor)
+              reads the records, never writes them (used by `make ci`)
    --jobs N (or BENCH_JOBS=N) runs figure grid points on N domains;
    the tables are identical to a sequential run.
 
    Every run (except gate) records wall-clock seconds per figure,
-   ns/run per micro-benchmark, and bytes/packet plus a metrics
-   snapshot per alloc scenario to results/BENCH_PR4.json and the
-   repo-root BENCH_PR4.json so later PRs can track the perf
-   trajectory. *)
+   ns/run per micro-benchmark, bytes/packet plus a metrics snapshot
+   per alloc scenario, and events/sec plus a metrics snapshot per
+   scale point to results/BENCH_PR5.json and the repo-root
+   BENCH_PR5.json so later PRs can track the perf trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -66,7 +76,7 @@ let jobs =
   max 1 requested
 
 let mode =
-  let known = [ "all"; "figures"; "micro"; "quick"; "alloc"; "gate" ] in
+  let known = [ "all"; "figures"; "micro"; "quick"; "alloc"; "scale"; "gate" ] in
   let picked = ref "all" in
   Array.iteri
     (fun i arg -> if i > 0 && List.mem arg known then picked := arg)
@@ -78,6 +88,8 @@ let figure_seconds : (string * float) list ref = ref []
 let micro_ns : (string * float) list ref = ref []
 
 let alloc_measurements : Alloc_suite.measurement list ref = ref []
+
+let scale_measurements : Scale_suite.measurement list ref = ref []
 
 let heading title = Printf.printf "\n===== %s =====\n%!" title
 
@@ -373,6 +385,22 @@ let alloc_suite () =
   alloc_measurements := measurements
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: many-flow scale suite                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scale_suite () =
+  heading "Many-flow scale: timing wheel vs heap baseline";
+  let measurements = Scale_suite.run_all () in
+  List.iter Scale_suite.pp_measurement measurements;
+  (match Scale_suite.divergences measurements with
+  | [] ->
+    print_endline "  wheel/heap simulated results identical at every size"
+  | diverged ->
+    Printf.printf "  WARNING: wheel/heap diverge at %s\n"
+      (String.concat ", " diverged));
+  scale_measurements := measurements
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable record                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -417,7 +445,7 @@ let write_record ~total_s =
    with Unix.Unix_error _ -> ());
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer "{\n";
-  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 4,\n");
+  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 5,\n");
   Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buffer (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buffer
@@ -446,6 +474,27 @@ let write_record ~total_s =
         m.Alloc_suite.wall_s m.Alloc_suite.allocated_bytes
         m.Alloc_suite.minor_collections m.Alloc_suite.packets
         m.Alloc_suite.metrics_json);
+  Buffer.add_string buffer ",\n  \"scale_events_per_s\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map
+       (fun m -> (Scale_suite.label m, m.Scale_suite.events_per_s))
+       !scale_measurements)
+    (Printf.sprintf "%.0f");
+  Buffer.add_string buffer ",\n  \"scale_points\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map (fun m -> (Scale_suite.label m, m)) !scale_measurements)
+    (fun m ->
+      Printf.sprintf
+        "{ \"flows\": %d, \"substrate\": \"%s\", \"sim_s\": %.1f, \
+         \"wall_s\": %.3f, \"transfers_completed\": %d, \
+         \"goodput_mbps\": %.2f, \"events\": %d, \"timer_ops\": %d, \
+         \"events_per_s\": %.0f, \"timer_ops_per_s\": %.0f, \
+         \"metrics\": %s }"
+        m.Scale_suite.flows m.Scale_suite.substrate m.Scale_suite.duration
+        m.Scale_suite.wall_s m.Scale_suite.transfers_completed
+        m.Scale_suite.goodput_mbps m.Scale_suite.events
+        m.Scale_suite.timer_ops m.Scale_suite.events_per_s
+        m.Scale_suite.timer_ops_per_s m.Scale_suite.metrics_json);
   Buffer.add_string buffer ",\n  \"baseline_pre_pr\": ";
   json_object_of buffer ~indent:"    " baseline_pre_pr (Printf.sprintf "%.3f");
   Buffer.add_string buffer "\n}\n";
@@ -456,7 +505,7 @@ let write_record ~total_s =
       output_string oc contents;
       close_out oc;
       Printf.printf "Perf record written to %s\n" path)
-    [ "results/BENCH_PR4.json"; "BENCH_PR4.json" ]
+    [ "results/BENCH_PR5.json"; "BENCH_PR5.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate                                                     *)
@@ -516,7 +565,14 @@ let gate_budget_bytes = 16.
 
 let gate () =
   heading "Bench gate: bytes per simulated packet vs recorded baseline";
-  let path = "BENCH_PR3.json" in
+  (* Prefer the PR5 record: it was measured with the minor-heap flush
+     in [Alloc_suite.measure], so its numbers are comparable to what
+     this run measures. The PR3 record predates the flush and is only a
+     fallback for trees without a PR5 record. *)
+  let path =
+    if Sys.file_exists "BENCH_PR5.json" then "BENCH_PR5.json"
+    else "BENCH_PR3.json"
+  in
   if not (Sys.file_exists path) then begin
     Printf.printf
       "  no %s found; record one with `dune exec bench/main.exe -- alloc`\n"
@@ -549,15 +605,36 @@ let gate () =
     measurements;
   if !failed then begin
     Printf.printf
-      "\nGate FAILED: bytes/packet exceeds the PR3 baseline by more than\n\
-       the %.0f B/packet metrics budget. If the regression is intended,\n\
+      "\nGate FAILED: bytes/packet exceeds the %s baseline by more than\n\
+       the %.0f B/packet budget. If the regression is intended,\n\
        re-record the baseline.\n"
-      gate_budget_bytes;
+      path gate_budget_bytes;
     exit 1
   end
   else
-    Printf.printf "\nGate passed (budget %.0f B/packet over PR3 baseline).\n"
-      gate_budget_bytes
+    Printf.printf "\nGate passed (budget %.0f B/packet over %s baseline).\n"
+      gate_budget_bytes path;
+  heading "Bench gate: events/sec scaling floor at 10x flow count";
+  let small, large, ok = Scale_suite.gate_check () in
+  Scale_suite.pp_measurement small;
+  Scale_suite.pp_measurement large;
+  let ratio =
+    large.Scale_suite.events_per_s
+    /. Float.max small.Scale_suite.events_per_s 1e-9
+  in
+  Printf.printf "  events/sec at %d flows is %.2fx of %d flows (floor %.2f)  %s\n"
+    large.Scale_suite.flows ratio small.Scale_suite.flows
+    Scale_suite.gate_scaling_floor
+    (if ok then "ok" else "REGRESSION");
+  if not ok then begin
+    Printf.printf
+      "\nGate FAILED: per-event cost grows too fast with the timer\n\
+       population — the timing wheel should keep scheduler cost flat.\n";
+    exit 1
+  end
+  else
+    Printf.printf "\nGate passed (scale floor %.2f).\n"
+      Scale_suite.gate_scaling_floor
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -571,12 +648,14 @@ let () =
     timed "fig6" fig6
   | "micro" -> microbenchmarks ()
   | "alloc" -> alloc_suite ()
+  | "scale" -> scale_suite ()
   | "quick" ->
     timed "fig2" fig2;
     timed "fig3" fig3;
     timed "fig6" fig6;
     microbenchmarks ();
-    alloc_suite ()
+    alloc_suite ();
+    scale_suite ()
   | _ ->
     timed "fig2" fig2;
     timed "fig3" fig3;
@@ -585,7 +664,8 @@ let () =
     timed "extensions" extensions;
     timed "ablations" ablations;
     microbenchmarks ();
-    alloc_suite ());
+    alloc_suite ();
+    scale_suite ());
   if mode <> "gate" then begin
     let total_s = Unix.gettimeofday () -. t0 in
     write_record ~total_s;

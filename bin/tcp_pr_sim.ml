@@ -371,6 +371,47 @@ let demo seed jobs =
   |> List.iter (fun (label, mbps) ->
          Printf.printf "  %-10s %6.2f Mb/s\n" label mbps)
 
+let scale seed csv flows_list duration variant heap_baseline =
+  let sender =
+    match Experiments.Variants.find variant with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "unknown variant %S\n" variant;
+      exit 2
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ "flows"; "substrate"; "transfers"; "goodput Mb/s"; "events";
+          "timer ops"; "events/s"; "timer ops/s"; "wall s" ]
+  in
+  let run_one flows use_wheel =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Experiments.Scale.run ~seed ~sender ~use_wheel ~duration ~flows ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let ops = Experiments.Scale.timer_ops r in
+    let per_sec n = Printf.sprintf "%.0f" (float_of_int n /. wall) in
+    Stats.Table.add_row table
+      [ string_of_int flows;
+        (if use_wheel then "wheel" else "heap");
+        Printf.sprintf "%d/%d" r.Experiments.Scale.transfers_completed
+          r.Experiments.Scale.transfers_started;
+        Printf.sprintf "%.1f" r.Experiments.Scale.goodput_mbps;
+        string_of_int r.Experiments.Scale.events_executed;
+        string_of_int ops;
+        per_sec r.Experiments.Scale.events_executed;
+        per_sec ops;
+        Printf.sprintf "%.2f" wall ]
+  in
+  List.iter
+    (fun flows ->
+      run_one flows true;
+      if heap_baseline then run_one flows false)
+    flows_list;
+  render ~csv table
+
 let cmd_of name ~doc term =
   Cmd.v (Cmd.info name ~doc) term
 
@@ -516,6 +557,41 @@ let report_cmd =
       const report $ seed_term $ jobs_term $ csv_term $ scenario $ variants
       $ tail $ out)
 
+let scale_cmd =
+  let flows =
+    Arg.(
+      value
+      & opt_all int [ 1000; 5000; 10000 ]
+      & info [ "flows" ] ~docv:"N"
+          ~doc:"Concurrent flow slots (repeatable; default 1000 5000 10000).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds per run.")
+  in
+  let variant =
+    Arg.(
+      value & opt string "TCP-PR"
+      & info [ "variant" ] ~docv:"NAME" ~doc:"Sender variant (default TCP-PR).")
+  in
+  let heap_baseline =
+    Arg.(
+      value & flag
+      & info [ "heap-baseline" ]
+          ~doc:
+            "Also run each point with timers on the binary heap instead of \
+             the timing wheel; simulated results are identical, only \
+             wall-clock differs.")
+  in
+  cmd_of "scale"
+    ~doc:
+      "Many-flow churn scenario: closed-loop transfers at 1k-10k concurrent \
+       flows, reporting events/sec and timer ops/sec."
+    Term.(
+      const scale $ seed_term $ csv_term $ flows $ duration $ variant
+      $ heap_baseline)
+
 let demo_cmd =
   cmd_of "demo" ~doc:"Two-minute tour: fairness and reordering robustness."
     Term.(const demo $ seed_term $ jobs_term)
@@ -539,4 +615,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig4_cmd; fig6_cmd; flaps_cmd; jitter_cmd;
-            manet_cmd; ablate_cmd; check_cmd; report_cmd; demo_cmd ]))
+            manet_cmd; ablate_cmd; check_cmd; report_cmd; scale_cmd;
+            demo_cmd ]))

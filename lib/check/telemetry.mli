@@ -16,6 +16,19 @@
     [.pool.in_pool]). *)
 val network : ?prefix:string -> Obs.Registry.t -> Net.Network.t -> now:float -> unit
 
+(** [engine registry eng] lifts the scheduler's counters under [prefix]
+    (default ["engine"]): [.events], [.timer.arms], [.timer.cancels],
+    [.timer.fires], and [.wheel] (1 when timers ride the timing wheel,
+    0 on the heap baseline). *)
+val engine : ?prefix:string -> Obs.Registry.t -> Sim.Engine.t -> unit
+
+(** [churn registry w] lifts a {!Workload.Flow_churn} workload's
+    counters under [prefix] (default ["churn"]): [.flows],
+    [.transfers.started], [.transfers.completed], [.segments],
+    [.bytes], the [.active] gauge and the [.transfer.segments] /
+    [.transfer.ms] histograms. *)
+val churn : ?prefix:string -> Obs.Registry.t -> Workload.Flow_churn.t -> unit
+
 (** [connection registry c] lifts one connection's counters under
     [prefix] (default ["conn"]): [.sent], [.timer_fires],
     [.delack_timeouts], [.received], [.duplicates], the receiver's

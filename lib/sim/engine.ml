@@ -9,30 +9,75 @@ type event = ..
 
 type event += Closure of (unit -> unit)
 
+(* A recurring-timer cell. [t_seq] is the engine-global rank of the
+   pending armament (-1 when unarmed); [t_widx] is its wheel entry
+   index, or -1 when the armament lives on the heap (heap-substrate
+   engines). [t_fire] caches the cell's own [Timer_fire] wrapper so
+   rearming never allocates. *)
+type timer = {
+  mutable t_seq : int;
+  mutable t_widx : int;
+  t_payload : event;
+  mutable t_fire : event;
+}
+
+type event += Timer_fire of timer
+
 type t = {
   (* One-slot [floatarray] rather than a [mutable float] field: writing
      a float into a mixed record boxes it, and the clock is written
      once per executed event. *)
   clock : floatarray;
   queue : event Event_queue.t;
+  (* Second scheduling substrate: high-churn recurring timers. Both
+     substrates draw ranks from [next_seq], so the merged pop order is
+     exactly the (time, rank) order a single heap would produce. *)
+  wheel : timer Timer_wheel.t;
+  use_wheel : bool;
+  mutable next_seq : int;
   (* Chain of typed-event dispatchers, installed once per (engine,
      layer) by [add_dispatcher]. [Closure] never reaches it. *)
   mutable dispatch : event -> unit;
   dispatcher_keys : (string, unit) Hashtbl.t;
+  (* Scheduler counters, for the scale suite and telemetry. *)
+  mutable events_executed : int;
+  mutable timer_arms : int;
+  mutable timer_cancels : int;
+  mutable timer_fires : int;
 }
 
 let unhandled _ =
   invalid_arg "Engine: typed event has no registered dispatcher"
 
-let create () =
+let create ?(use_wheel = true) ?(timer_granularity = 1e-3) () =
+  let granularity = if timer_granularity > 0. then timer_granularity else 1e-3 in
   { clock = Float.Array.make 1 0.;
     queue = Event_queue.create ();
+    wheel = Timer_wheel.create ~granularity ();
+    use_wheel;
+    next_seq = 0;
     dispatch = unhandled;
-    dispatcher_keys = Hashtbl.create 4 }
+    dispatcher_keys = Hashtbl.create 4;
+    events_executed = 0;
+    timer_arms = 0;
+    timer_cancels = 0;
+    timer_fires = 0 }
 
 let now t = Float.Array.unsafe_get t.clock 0
 
 let set_clock t time = Float.Array.unsafe_set t.clock 0 time
+
+let uses_wheel t = t.use_wheel
+
+let timer_granularity t = Timer_wheel.granularity t.wheel
+
+let events_executed t = t.events_executed
+
+let timer_arms t = t.timer_arms
+
+let timer_cancels t = t.timer_cancels
+
+let timer_fires t = t.timer_fires
 
 let add_dispatcher t ~key f =
   if not (Hashtbl.mem t.dispatcher_keys key) then begin
@@ -41,18 +86,37 @@ let add_dispatcher t ~key f =
     t.dispatch <- (fun ev -> if not (f ev) then next ev)
   end
 
-let execute t = function Closure f -> f () | ev -> t.dispatch ev
+(* Firing a timer clears its cell *before* running the handler, so a
+   handler that rearms its own timer starts from an unarmed cell — no
+   stale bookkeeping to race (the Connection-layer bug this design
+   replaces). *)
+let rec execute t = function
+  | Closure f -> f ()
+  | Timer_fire tm ->
+      tm.t_seq <- -1;
+      t.timer_fires <- t.timer_fires + 1;
+      execute t tm.t_payload
+  | ev -> t.dispatch ev
+
+let next_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
 
 let schedule_event_at t ~time ev =
   if time < now t then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
          (now t));
-  Event_queue.push t.queue ~time ev
+  let seq = next_seq t in
+  Event_queue.push_seq t.queue ~time ~seq ev;
+  seq
 
 let schedule_event_after t ~delay ev =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  Event_queue.push t.queue ~time:(now t +. delay) ev
+  let seq = next_seq t in
+  Event_queue.push_seq t.queue ~time:(now t +. delay) ~seq ev;
+  seq
 
 let schedule_at t ~time f = schedule_event_at t ~time (Closure f)
 
@@ -60,17 +124,83 @@ let schedule_after t ~delay f = schedule_event_after t ~delay (Closure f)
 
 let cancel t id = Event_queue.cancel t.queue id
 
-(* [drain] pops without boxing a result per event; the callback is the
-   only allocation, once per [run] call. *)
+(* --- timer cells ----------------------------------------------------- *)
+
+let pass () = ()
+
+let make_timer _t payload =
+  let tm = { t_seq = -1; t_widx = -1; t_payload = payload; t_fire = Closure pass } in
+  tm.t_fire <- Timer_fire tm;
+  tm
+
+let timer_armed tm = tm.t_seq >= 0
+
+let cancel_timer t tm =
+  if tm.t_seq >= 0 then begin
+    t.timer_cancels <- t.timer_cancels + 1;
+    if tm.t_widx >= 0 then Timer_wheel.cancel t.wheel tm.t_widx ~seq:tm.t_seq
+    else Event_queue.cancel t.queue tm.t_seq;
+    tm.t_seq <- -1;
+    tm.t_widx <- -1
+  end
+
+let arm_timer t tm ~delay =
+  if delay < 0. then invalid_arg "Engine.arm_timer: negative delay";
+  if tm.t_seq >= 0 then cancel_timer t tm;
+  let seq = next_seq t in
+  tm.t_seq <- seq;
+  t.timer_arms <- t.timer_arms + 1;
+  let time = now t +. delay in
+  if t.use_wheel then tm.t_widx <- Timer_wheel.arm t.wheel ~time ~seq tm
+  else begin
+    tm.t_widx <- -1;
+    Event_queue.push_seq t.queue ~time ~seq tm.t_fire
+  end
+
+(* --- run loop -------------------------------------------------------- *)
+
+(* Pop whichever substrate holds the earliest (time, rank) key. The
+   wheel's cursor is only ever advanced up to the heap head (or
+   [until]), so wheel work is bounded by what is actually due; ties
+   across substrates are resolved by rank, reproducing the exact order
+   a single shared heap would give. *)
+let run_loop t ~until =
+  let continue = ref true in
+  while !continue do
+    let qh = Event_queue.head t.queue in
+    let qt = if qh then Event_queue.head_time t.queue else infinity in
+    let wlimit = if qt < until then qt else until in
+    if t.use_wheel && Timer_wheel.due t.wheel ~up_to:wlimit then begin
+      let wt = Timer_wheel.head_time t.wheel in
+      if qh && qt = wt && Event_queue.head_seq t.queue < Timer_wheel.head_seq t.wheel
+      then begin
+        let ev = Event_queue.pop_head t.queue in
+        set_clock t qt;
+        t.events_executed <- t.events_executed + 1;
+        execute t ev
+      end
+      else begin
+        let tm = Timer_wheel.pop_due t.wheel in
+        set_clock t wt;
+        t.events_executed <- t.events_executed + 1;
+        tm.t_seq <- -1;
+        t.timer_fires <- t.timer_fires + 1;
+        execute t tm.t_payload
+      end
+    end
+    else if qh && qt <= until then begin
+      let ev = Event_queue.pop_head t.queue in
+      set_clock t qt;
+      t.events_executed <- t.events_executed + 1;
+      execute t ev
+    end
+    else continue := false
+  done
+
 let run t ~until =
-  Event_queue.drain t.queue ~until (fun time ev ->
-      set_clock t time;
-      execute t ev);
+  run_loop t ~until;
   if until > now t then set_clock t until
 
-let run_to_completion t =
-  Event_queue.drain t.queue ~until:infinity (fun time ev ->
-      set_clock t time;
-      execute t ev)
+let run_to_completion t = run_loop t ~until:infinity
 
-let pending t = Event_queue.length t.queue
+let pending t = Event_queue.length t.queue + Timer_wheel.live t.wheel

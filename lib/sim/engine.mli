@@ -1,9 +1,15 @@
 (** Discrete-event simulation engine.
 
-    The engine owns the simulated clock and the event queue. Components
-    schedule events at absolute or relative times; [run] executes them
-    in timestamp order (insertion order within a timestamp) while
-    advancing the clock. The clock never moves backwards.
+    The engine owns the simulated clock and two scheduling substrates:
+    a binary-heap event queue for one-shot events (packet
+    transmissions, workload arrivals, closures) and a hierarchical
+    {!Timer_wheel} for high-churn recurring timers (retransmission and
+    delayed-ACK timers, which are armed and cancelled per packet).
+    Both substrates draw event ranks from one engine-global counter and
+    the run loop pops whichever substrate holds the earliest
+    [(time, rank)] key, so execution order — including ties — is
+    byte-identical to running everything on a single heap. The clock
+    never moves backwards.
 
     Events come in two forms. The general form is a closure
     ([schedule_at] / [schedule_after]). Hot paths instead extend the
@@ -11,9 +17,13 @@
     directly ([schedule_event_at] / [schedule_event_after]), paying one
     small variant block per event instead of heap closures; each layer
     installs a dispatcher for its constructors once per engine with
-    [add_dispatcher]. Both forms share one queue, so the deterministic
-    (time, insertion) order is unaffected by which form a component
-    uses. *)
+    [add_dispatcher]. Both forms share the deterministic (time,
+    insertion) order regardless of which form a component uses.
+
+    Recurring timers use {!timer} cells: allocate once with
+    [make_timer], then [arm_timer] / [cancel_timer] freely — rearming
+    from the timer's own handler is safe because the cell is cleared
+    before the handler runs. *)
 
 type t
 
@@ -27,11 +37,22 @@ type event = ..
     passed to registered dispatchers. *)
 type event += Closure of (unit -> unit)
 
-(** [create ()] returns an engine with the clock at time 0. *)
-val create : unit -> t
+(** [create ()] returns an engine with the clock at time 0.
+    [use_wheel] (default [true]) selects the timer substrate: when
+    [false], timer cells are scheduled on the heap instead — same
+    semantics and same event order, used as the differential baseline.
+    [timer_granularity] is the wheel's slot width in seconds (default
+    1e-3; non-positive values fall back to the default). *)
+val create : ?use_wheel:bool -> ?timer_granularity:float -> unit -> t
 
 (** [now t] is the current simulated time, in seconds. *)
 val now : t -> float
+
+(** Which substrate timer cells ride (see [create]). *)
+val uses_wheel : t -> bool
+
+(** The wheel's slot width, in seconds. *)
+val timer_granularity : t -> float
 
 (** [add_dispatcher t ~key f] installs [f] to execute typed events.
     [f ev] must return [true] if it handled [ev], [false] to pass it to
@@ -61,12 +82,51 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> event_id
     event that already ran is a no-op. *)
 val cancel : t -> event_id -> unit
 
-(** [run t ~until] executes events until the queue is empty or the next
-    event is later than [until], then sets the clock to [until]. *)
+(** {2 Recurring timer cells} *)
+
+(** A reusable timer slot: at most one pending armament at a time,
+    firing a fixed payload. Arm/rearm/cancel are O(1) on the wheel and
+    allocation-free after [make_timer]. *)
+type timer
+
+(** [make_timer t payload] allocates an unarmed cell that executes
+    [payload] (via the engine's dispatchers) each time it fires. *)
+val make_timer : t -> event -> timer
+
+(** [arm_timer t tm ~delay] schedules [tm] to fire after [delay]
+    seconds, first cancelling any pending armament of the same cell.
+    Requires [delay >= 0.]. *)
+val arm_timer : t -> timer -> delay:float -> unit
+
+(** [cancel_timer t tm] disarms [tm]; a no-op if unarmed. *)
+val cancel_timer : t -> timer -> unit
+
+(** [timer_armed tm] is [true] while an armament is pending. The cell
+    reads as unarmed inside its own fire handler, so handlers can
+    rearm unconditionally. *)
+val timer_armed : timer -> bool
+
+(** {2 Running} *)
+
+(** [run t ~until] executes events until both substrates are out of
+    events due by [until], then sets the clock to [until]. *)
 val run : t -> until:float -> unit
 
-(** [run_to_completion t] executes events until the queue is empty. *)
+(** [run_to_completion t] executes events until both substrates are
+    empty. *)
 val run_to_completion : t -> unit
 
-(** [pending t] is the number of scheduled, uncancelled events. *)
+(** [pending t] is the number of scheduled, uncancelled events across
+    both substrates. *)
 val pending : t -> int
+
+(** {2 Scheduler counters} (monotone over the engine's lifetime) *)
+
+val events_executed : t -> int
+
+val timer_arms : t -> int
+
+val timer_cancels : t -> int
+
+val timer_fires : t -> int
+

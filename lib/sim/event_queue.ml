@@ -152,17 +152,29 @@ let ensure_heap_capacity t payload =
     if cap = 0 then resize_heap t 64 payload
     else resize_heap t (2 * cap) t.payloads.(0)
 
-let push t ~time payload =
+let push_with_seq t ~time ~seq payload =
   ensure_heap_capacity t payload;
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
   ensure_bit_capacity t seq;
   set_bit t seq;
   let i = t.size in
   t.size <- t.size + 1;
   t.live <- t.live + 1;
-  sift_up t i time seq payload;
+  sift_up t i time seq payload
+
+let push t ~time payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push_with_seq t ~time ~seq payload;
   seq
+
+(* External sequence numbers must never collide with internal ones (the
+   bitmap indexes by seq), so they have to be monotone across both
+   entry points. *)
+let push_seq t ~time ~seq payload =
+  if seq < t.next_seq then
+    invalid_arg "Event_queue.push_seq: seq below the internal counter";
+  t.next_seq <- seq + 1;
+  push_with_seq t ~time ~seq payload
 
 (* Drop the root and restore the heap property. Stale payload slots
    beyond [size] are not cleared: they only ever duplicate a reference
@@ -233,6 +245,29 @@ let drain t ~until f =
       end
     end
   done
+
+(* Head primitives for the engine's two-substrate merge: skim dead
+   entries once, then read the head key field-by-field (no option or
+   tuple per event). *)
+let rec head t =
+  if t.size = 0 then false
+  else if bit_is_set t t.seqs.(0) then true
+  else begin
+    remove_top t;
+    head t
+  end
+
+let head_time t = t.times.(0)
+
+let head_seq t = t.seqs.(0)
+
+(* Only called after [head] returned true, so the root is live. *)
+let pop_head t =
+  let payload = t.payloads.(0) in
+  clear_bit t t.seqs.(0);
+  t.live <- t.live - 1;
+  remove_top t;
+  payload
 
 let rec peek_time t =
   if t.size = 0 then None

@@ -10,7 +10,11 @@
 
 type 'a t
 
-type id
+(** Ids are the event's insertion rank — the [seq] of the (time, seq)
+    ordering key. Exposed as [int] so a scheduler layering another
+    substrate over this one (see {!Engine}) can draw ranks from a
+    shared counter and feed them back via {!push_seq}. *)
+type id = int
 
 (** [create ()] returns an empty queue. *)
 val create : unit -> 'a t
@@ -18,6 +22,13 @@ val create : unit -> 'a t
 (** [push t ~time payload] inserts an event, returning an id usable with
     {!cancel}. *)
 val push : 'a t -> time:float -> 'a -> id
+
+(** [push_seq t ~time ~seq payload] inserts an event with an externally
+    drawn rank. [seq] must be at least the internal counter (which
+    advances to [seq + 1]); ranks must be globally monotone across both
+    entry points or the pending bitmap would alias.
+    @raise Invalid_argument on a stale [seq]. *)
+val push_seq : 'a t -> time:float -> seq:int -> 'a -> unit
 
 (** [cancel t id] marks an event as cancelled; popping skips it.
     Cancelling an already-popped or already-cancelled event is a no-op. *)
@@ -43,6 +54,27 @@ val pop_until : 'a t -> until:float -> (float * 'a) option
     push further events; ones due by [until] are drained in the same
     call. *)
 val drain : 'a t -> until:float -> (float -> 'a -> unit) -> unit
+
+(** Allocation-free head primitives, for a caller that merges this
+    queue against another substrate and wants to read the head key
+    field-by-field instead of materialising options or tuples. *)
+
+(** [head t] skims cancelled entries off the top and reports whether a
+    live head remains. Must be called (and return [true]) before
+    {!head_time}, {!head_seq} or {!pop_head}. *)
+val head : 'a t -> bool
+
+(** Time of the live head. Only meaningful after {!head} returned
+    [true]. *)
+val head_time : 'a t -> float
+
+(** Rank of the live head. Only meaningful after {!head} returned
+    [true]. *)
+val head_seq : 'a t -> int
+
+(** Removes and returns the live head's payload. Only sound after
+    {!head} returned [true]. *)
+val pop_head : 'a t -> 'a
 
 (** [length t] counts live (non-cancelled) events. *)
 val length : 'a t -> int

@@ -21,7 +21,6 @@ type t = {
   receiver : Receiver.t;
   route_data : unit -> int array;
   route_ack : unit -> int array;
-  timers : (int, Sim.Engine.event_id) Hashtbl.t;
   mutable started : bool;
   mutable data_packets_sent : int;
   mutable timer_fires : int;
@@ -30,14 +29,18 @@ type t = {
   (* Delayed-ACK machinery: the deferred acknowledgement (refreshed on
      each arrival) and its flush deadline. *)
   mutable pending_ack : Types.ack option;
-  mutable delack_timer : Sim.Engine.event_id option;
   probe : Probe.t option;
-  (* Cached scheduler events, allocated once per connection: the same
-     [Delack]/[Timer] block is re-pushed every time the corresponding
-     timer is armed, so steady-state (re)arming allocates nothing.
-     [timer_events] is indexed by timer key (senders use 0..2). *)
-  mutable delack_event : Sim.Engine.event;
-  mutable timer_events : Sim.Engine.event array;
+  on_finish : (unit -> unit) option;
+  (* Keyed timer slots, one {!Sim.Engine.timer} cell per sender timer
+     key (senders use 0..2) plus one for the delayed-ACK flush. The
+     cell is the single source of truth for "is this timer pending" —
+     the engine clears it before running the handler, so handlers can
+     rearm their own key without racing any stale bookkeeping (the
+     Hashtbl id table this replaces had exactly that race). Cells are
+     allocated once per key; steady-state (re)arming allocates
+     nothing. *)
+  mutable timer_cells : Sim.Engine.timer option array;
+  mutable delack_cell : Sim.Engine.timer option;
 }
 
 (* Typed scheduler events: a retransmission timer or delayed-ACK flush
@@ -47,18 +50,18 @@ type Sim.Engine.event +=
   | Timer of t * int
   | Delack of t
 
-let timer_event t key =
-  if key >= Array.length t.timer_events then begin
-    let bigger = Array.make (key + 1) (Sim.Engine.Closure ignore) in
-    Array.blit t.timer_events 0 bigger 0 (Array.length t.timer_events);
-    t.timer_events <- bigger
+let timer_cell t key =
+  if key >= Array.length t.timer_cells then begin
+    let bigger = Array.make (key + 1) None in
+    Array.blit t.timer_cells 0 bigger 0 (Array.length t.timer_cells);
+    t.timer_cells <- bigger
   end;
-  match t.timer_events.(key) with
-  | Timer _ as ev -> ev
-  | _ ->
-    let ev = Timer (t, key) in
-    t.timer_events.(key) <- ev;
-    ev
+  match t.timer_cells.(key) with
+  | Some tm -> tm
+  | None ->
+    let tm = Sim.Engine.make_timer t.engine (Timer (t, key)) in
+    t.timer_cells.(key) <- Some tm;
+    tm
 
 (* Instrumentation is pay-for-use: [probing t] is false unless a probe
    with at least one listener was supplied, and every snapshot or event
@@ -109,8 +112,12 @@ let send_ack t ack =
 let note_finished t =
   if t.finished_at = None && Sender.finished t.sender then begin
     t.finished_at <- Some (Sim.Engine.now t.engine);
-    Hashtbl.iter (fun _ id -> Sim.Engine.cancel t.engine id) t.timers;
-    Hashtbl.reset t.timers
+    Array.iter
+      (function
+        | Some tm -> Sim.Engine.cancel_timer t.engine tm
+        | None -> ())
+      t.timer_cells;
+    match t.on_finish with Some f -> f () | None -> ()
   end
 
 (* [instrumented t make run] runs a sender handler and, when probing,
@@ -123,19 +130,14 @@ let rec apply t actions =
   let execute = function
     | Action.Send { seq; retx } -> send_data t ~seq ~retx
     | Action.Set_timer { key; delay } ->
-      (match Hashtbl.find_opt t.timers key with
-      | Some id -> Sim.Engine.cancel t.engine id
-      | None -> ());
-      let id =
-        Sim.Engine.schedule_event_after t.engine ~delay (timer_event t key)
-      in
-      Hashtbl.replace t.timers key id
-    | Action.Cancel_timer { key } -> (
-      match Hashtbl.find_opt t.timers key with
-      | Some id ->
-        Sim.Engine.cancel t.engine id;
-        Hashtbl.remove t.timers key
-      | None -> ())
+      (* [arm_timer] rearms in place, cancelling any pending armament
+         of the same cell. *)
+      Sim.Engine.arm_timer t.engine (timer_cell t key) ~delay
+    | Action.Cancel_timer { key } ->
+      if key < Array.length t.timer_cells then (
+        match t.timer_cells.(key) with
+        | Some tm -> Sim.Engine.cancel_timer t.engine tm
+        | None -> ())
   in
   List.iter execute actions;
   note_finished t
@@ -150,9 +152,10 @@ and instrumented t make run =
   end
   else apply t (run ())
 
+(* The engine has already cleared the cell when this runs, so a handler
+   issuing [Set_timer] for its own key rearms a clean slot. *)
 let fire_timer t key =
   t.timer_fires <- t.timer_fires + 1;
-  Hashtbl.remove t.timers key;
   let now = Sim.Engine.now t.engine in
   if probing t then
     instrumented t
@@ -162,11 +165,17 @@ let fire_timer t key =
       (fun () -> Sender.on_timer t.sender ~now ~key)
   else apply t (Sender.on_timer t.sender ~now ~key)
 
+let delack_cell t =
+  match t.delack_cell with
+  | Some tm -> tm
+  | None ->
+    let tm = Sim.Engine.make_timer t.engine (Delack t) in
+    t.delack_cell <- Some tm;
+    tm
+
 let cancel_delack t =
-  match t.delack_timer with
-  | Some id ->
-    Sim.Engine.cancel t.engine id;
-    t.delack_timer <- None
+  match t.delack_cell with
+  | Some tm -> Sim.Engine.cancel_timer t.engine tm
   | None -> ()
 
 let flush_pending_ack t =
@@ -205,13 +214,10 @@ let on_data_arrival t packet =
       send_ack t ack
     | Receiver.Defer ack ->
       t.pending_ack <- Some ack;
-      if t.delack_timer = None then begin
-        let id =
-          Sim.Engine.schedule_event_after t.engine
-            ~delay:t.config.Config.delack_timeout t.delack_event
-        in
-        t.delack_timer <- Some id
-      end)
+      let tm = delack_cell t in
+      if not (Sim.Engine.timer_armed tm) then
+        Sim.Engine.arm_timer t.engine tm
+          ~delay:t.config.Config.delack_timeout)
   | _ -> ());
   (* The payload has been fully consumed (the ack record, if any, is a
      separate heap block), so the record can go back to the pool. *)
@@ -239,14 +245,13 @@ let dispatch = function
     fire_timer t key;
     true
   | Delack t ->
-    t.delack_timer <- None;
     t.delack_timeouts <- t.delack_timeouts + 1;
     flush_pending_ack t;
     true
   | _ -> false
 
-let create ?probe network ~flow ~src ~dst ~sender ~config ~route_data
-    ~route_ack () =
+let create ?probe ?on_finish network ~flow ~src ~dst ~sender ~config
+    ~route_data ~route_ack () =
   Config.validate config;
   let engine = Net.Network.engine network in
   Sim.Engine.add_dispatcher engine ~key:"tcp.connection" dispatch;
@@ -261,19 +266,17 @@ let create ?probe network ~flow ~src ~dst ~sender ~config ~route_data
       receiver = Receiver.create config;
       route_data;
       route_ack;
-      timers = Hashtbl.create 8;
       started = false;
       data_packets_sent = 0;
       timer_fires = 0;
       delack_timeouts = 0;
       finished_at = None;
       pending_ack = None;
-      delack_timer = None;
       probe;
-      delack_event = Sim.Engine.Closure ignore;
-      timer_events = Array.make 4 (Sim.Engine.Closure ignore) }
+      on_finish;
+      timer_cells = Array.make 4 None;
+      delack_cell = None }
   in
-  t.delack_event <- Delack t;
   Net.Node.attach dst ~flow (on_data_arrival t);
   Net.Node.attach src ~flow (on_ack_arrival t);
   t

@@ -16,6 +16,9 @@ type t
 
     @param probe optional instrumentation tap (see {!Probe}); when
     omitted or unarmed the connection pays no instrumentation cost.
+    @param on_finish called once, when a bounded transfer completes
+    (from within the completing event); used by closed-loop workloads
+    to start the flow's successor.
     @param sender the variant, e.g. [(module Tcp.Sack : Tcp.Sender.S)].
     @param route_data returns the forward route: node ids after [src],
     ending with [dst].
@@ -23,6 +26,7 @@ type t
     ending with [src]. *)
 val create :
   ?probe:Probe.t ->
+  ?on_finish:(unit -> unit) ->
   Net.Network.t ->
   flow:int ->
   src:Net.Node.t ->

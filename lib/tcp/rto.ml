@@ -32,8 +32,20 @@ let current t =
   let rto = Float.max rto t.config.Config.min_rto in
   Float.min rto t.config.Config.max_rto
 
+(* Back off by doubling the *clamped* RTO, not the raw multiplier.
+   Doubling the multiplier alone misbehaves at both clamps: while the
+   floor is active (min_rto > base, e.g. low-RTT paths at startup) the
+   multiplier inflates for several timeouts with no effect on the armed
+   RTO, and then overshoots in one jump; and the multiplier itself was
+   never bounded. Solving [clamp (base * m') = min (2 * rto, max_rto)]
+   for [m'] keeps the armed RTO exactly doubling per timeout, monotone,
+   and the multiplier bounded by [max_rto / base]. *)
 let backoff t =
-  if current t < t.config.Config.max_rto then t.multiplier <- t.multiplier *. 2.
+  let target = Float.min (2. *. current t) t.config.Config.max_rto in
+  (* [base] is positive in any validated config ([initial_rto > 0] and
+     RTT samples are nonnegative); the floor only guards the degenerate
+     all-zero case against dividing by zero. *)
+  t.multiplier <- target /. Float.max (base t) 1e-12
 
 let reset_backoff t = t.multiplier <- 1.
 

@@ -17,7 +17,11 @@ val sample : t -> float -> unit
 (** [current t] is the RTO in seconds, back-off included. *)
 val current : t -> float
 
-(** [backoff t] doubles the RTO (clamped to [max_rto]). *)
+(** [backoff t] doubles the effective (clamped) RTO, saturating at
+    [max_rto]: after the call, [current t = min (2 * rto, max_rto)]
+    where [rto] was the pre-call value. In particular the armed RTO
+    really doubles even while the [min_rto] floor is active, and the
+    internal back-off state stays bounded at both clamps. *)
 val backoff : t -> unit
 
 (** [reset_backoff t] clears exponential back-off (on new ACK). *)

@@ -1,0 +1,68 @@
+(** Closed-loop many-flow churn workload.
+
+    [flows] independent "users" each loop forever over a dumbbell pair:
+    think (exponentially distributed), transfer (bounded-Pareto size in
+    segments — mostly mice, bytes dominated by elephants), think again.
+    Initial arrivals are staggered uniformly across [ramp_s], so the
+    concurrent population ramps up to [flows] and stays there — the
+    regime the timer wheel exists for: every in-flight packet of every
+    active flow arms and cancels retransmission timers.
+
+    Determinism: each slot draws from its own {!Sim.Rng} stream (split
+    from the caller's by slot index), and every transfer runs under a
+    globally fresh flow id; finished transfers detach both endpoints,
+    so late in-flight packets of a finished flow strand (and are
+    counted) rather than leaking into a successor. Repeating a run with
+    the same seed reproduces every arrival, size and flow id
+    exactly. *)
+
+type config = {
+  flows : int;  (** concurrent user slots (>= 1) *)
+  mean_think_s : float;  (** mean think time between transfers *)
+  min_segments : int;  (** smallest transfer, in segments *)
+  max_segments : int;  (** largest transfer, in segments *)
+  size_alpha : float;  (** bounded-Pareto shape (smaller = heavier tail) *)
+  ramp_s : float;  (** initial arrivals spread uniformly over [0, ramp_s) *)
+}
+
+(** 100 slots, 0.5 s mean think, 4..512-segment transfers with shape
+    1.3, 1 s ramp. *)
+val default_config : config
+
+type t
+
+(** [spawn dumbbell ~sender ~config ~churn ~rng ()] wires the slots and
+    schedules their initial arrivals; run the engine afterwards. Slots
+    cycle pairs round-robin ([slot mod pairs]). [config.total_segments]
+    is overridden per transfer. Raises [Invalid_argument] on a
+    malformed [churn]. *)
+val spawn :
+  Topo.Dumbbell.t ->
+  sender:(module Tcp.Sender.S) ->
+  config:Tcp.Config.t ->
+  churn:config ->
+  rng:Sim.Rng.t ->
+  unit ->
+  t
+
+val flows : t -> int
+
+(** Transfers started (including the ones still active). *)
+val transfers_started : t -> int
+
+val transfers_completed : t -> int
+
+(** Segments delivered by completed transfers. *)
+val segments_completed : t -> int
+
+(** [segments_completed] in bytes ([mss] per segment). *)
+val bytes_completed : t -> int
+
+(** Transfers currently in progress. *)
+val active : t -> int
+
+(** Histogram of completed transfer sizes, in segments. *)
+val transfer_segments : t -> Obs.Metrics.Histogram.t
+
+(** Histogram of completed transfer durations, in milliseconds. *)
+val transfer_ms : t -> Obs.Metrics.Histogram.t

@@ -438,6 +438,335 @@ let test_engine_pending () =
   Alcotest.(check int) "one pending" 1 (Sim.Engine.pending engine)
 
 (* ------------------------------------------------------------------ *)
+(* Timer_wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let wheel_drain w ~up_to =
+  let acc = ref [] in
+  while Sim.Timer_wheel.due w ~up_to do
+    let time = Sim.Timer_wheel.head_time w in
+    let seq = Sim.Timer_wheel.head_seq w in
+    let payload = Sim.Timer_wheel.pop_due w in
+    acc := (time, seq, payload) :: !acc
+  done;
+  List.rev !acc
+
+let test_wheel_orders_by_key () =
+  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  (* Two entries land in the same level-0 slot (same millisecond tick):
+     the mini-heap must still surface them in exact (time, seq) order. *)
+  ignore (Sim.Timer_wheel.arm w ~time:0.5 ~seq:3 "d");
+  ignore (Sim.Timer_wheel.arm w ~time:0.0102 ~seq:2 "c");
+  ignore (Sim.Timer_wheel.arm w ~time:0.0101 ~seq:1 "b");
+  ignore (Sim.Timer_wheel.arm w ~time:0.0101 ~seq:0 "a");
+  Alcotest.(check (list (triple (float 1e-12) int string)))
+    "exact key order"
+    [ (0.0101, 0, "a"); (0.0101, 1, "b"); (0.0102, 2, "c"); (0.5, 3, "d") ]
+    (wheel_drain w ~up_to:1.)
+
+let test_wheel_due_respects_horizon () =
+  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  ignore (Sim.Timer_wheel.arm w ~time:0.25 ~seq:0 "x");
+  Alcotest.(check bool) "not due early" false
+    (Sim.Timer_wheel.due w ~up_to:0.2);
+  Alcotest.(check bool) "due at its time" true
+    (Sim.Timer_wheel.due w ~up_to:0.25);
+  Alcotest.(check string) "payload" "x" (Sim.Timer_wheel.pop_due w);
+  Alcotest.(check bool) "empty after pop" false
+    (Sim.Timer_wheel.due w ~up_to:10.)
+
+let test_wheel_cancel () =
+  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  ignore (Sim.Timer_wheel.arm w ~time:0.1 ~seq:0 "keep1");
+  let idx = Sim.Timer_wheel.arm w ~time:0.2 ~seq:1 "drop" in
+  ignore (Sim.Timer_wheel.arm w ~time:0.3 ~seq:2 "keep2");
+  Sim.Timer_wheel.cancel w idx ~seq:1;
+  (* A stale (idx, seq) pair must be a no-op, not a wild cancel. *)
+  Sim.Timer_wheel.cancel w idx ~seq:1;
+  Sim.Timer_wheel.cancel w idx ~seq:99;
+  Alcotest.(check int) "live excludes cancelled" 2 (Sim.Timer_wheel.live w);
+  Alcotest.(check (list string))
+    "cancelled skipped" [ "keep1"; "keep2" ]
+    (List.map (fun (_, _, p) -> p) (wheel_drain w ~up_to:1.))
+
+let test_wheel_arm_below_cursor () =
+  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  ignore (Sim.Timer_wheel.arm w ~time:1.0 ~seq:0 "later");
+  Alcotest.(check bool) "cursor advanced" false
+    (Sim.Timer_wheel.due w ~up_to:0.5);
+  (* Arming below the cursor is legal and immediately due. *)
+  ignore (Sim.Timer_wheel.arm w ~time:0.25 ~seq:1 "past");
+  Alcotest.(check (list (triple (float 1e-12) int string)))
+    "past entry surfaces first"
+    [ (0.25, 1, "past"); (1.0, 0, "later") ]
+    (wheel_drain w ~up_to:2.)
+
+let test_wheel_distant_deadline () =
+  (* Beyond the top level's span (2^20 ms ≈ 1048.6 s) entries wrap and
+     are re-filed each revolution; they must still fire exactly once at
+     the right time. *)
+  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  ignore (Sim.Timer_wheel.arm w ~time:5000. ~seq:0 "far");
+  Alcotest.(check bool) "not due after one span" false
+    (Sim.Timer_wheel.due w ~up_to:2000.);
+  Alcotest.(check bool) "not due just before" false
+    (Sim.Timer_wheel.due w ~up_to:4999.);
+  Alcotest.(check (list (triple (float 1e-12) int string)))
+    "fires once at its time"
+    [ (5000., 0, "far") ]
+    (wheel_drain w ~up_to:6000.)
+
+let test_wheel_physical_bound () =
+  (* The lattice RTO pattern: every packet arms a timer ~1 s out and
+     cancels it moments later. Lazy sweeping must keep physical usage
+     O(live), not O(churn). *)
+  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  let live_target = 100 in
+  for i = 0 to live_target - 1 do
+    ignore (Sim.Timer_wheel.arm w ~time:(100. +. float_of_int i) ~seq:i "live")
+  done;
+  for k = 0 to 9_999 do
+    let seq = live_target + k in
+    let now = 0.001 *. float_of_int k in
+    let idx = Sim.Timer_wheel.arm w ~time:(now +. 1.) ~seq "churn" in
+    Sim.Timer_wheel.cancel w idx ~seq
+  done;
+  Alcotest.(check int) "live survivors" live_target (Sim.Timer_wheel.live w);
+  let physical = Sim.Timer_wheel.physical w in
+  Alcotest.(check bool)
+    (Printf.sprintf "physical %d is O(live)" physical)
+    true
+    (physical <= (2 * live_target) + 16)
+
+(* Model-based churn property: the wheel must agree with a sorted-list
+   reference under arbitrary interleavings of arm / cancel / horizon
+   advance. Times are drawn in units of half a tick so entries
+   constantly straddle slot boundaries and share slots. *)
+
+type wheel_op =
+  | Warm of int  (* arm at now + k half-ticks *)
+  | Wcancel of int  (* cancel the k-th arm so far, mod count *)
+  | Wadvance of int  (* advance the horizon by k half-ticks and drain *)
+
+let wheel_op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (5, map (fun k -> Warm k) (int_bound 64));
+        (3, map (fun k -> Wcancel k) (int_bound 50));
+        (2, map (fun k -> Wadvance k) (int_bound 600)) ])
+
+let wheel_op_print = function
+  | Warm k -> Printf.sprintf "Warm %d" k
+  | Wcancel k -> Printf.sprintf "Wcancel %d" k
+  | Wadvance k -> Printf.sprintf "Wadvance %d" k
+
+let wheel_ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map wheel_op_print ops))
+    QCheck.Gen.(list_size (int_bound 200) wheel_op_gen)
+
+let wheel_model_agrees ops =
+  let granularity = 1e-3 in
+  let half_tick = granularity /. 2. in
+  let w = Sim.Timer_wheel.create ~granularity () in
+  (* Reference: (time, seq) sorted assoc list, seq = arm index. *)
+  let model = ref [] in
+  let armed = ref [||] in
+  let arm_count = ref 0 in
+  let now = ref 0. in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let insert (t, s) =
+    let rec go = function
+      | [] -> [ (t, s) ]
+      | (t', s') :: _ as rest when t < t' || (t = t' && s < s') ->
+        (t, s) :: rest
+      | entry :: rest -> entry :: go rest
+    in
+    model := go !model
+  in
+  let drain_due up_to =
+    while Sim.Timer_wheel.due w ~up_to do
+      let time = Sim.Timer_wheel.head_time w in
+      let seq = Sim.Timer_wheel.head_seq w in
+      let payload = Sim.Timer_wheel.pop_due w in
+      (match !model with
+      | (t', s') :: rest ->
+        check (time = t' && seq = s' && payload = s');
+        model := rest
+      | [] -> check false);
+      check (time <= up_to)
+    done;
+    (* Everything due by [up_to] must have surfaced. *)
+    match !model with
+    | (t', _) :: _ -> check (t' > up_to)
+    | [] -> ()
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | Warm k ->
+        let seq = !arm_count in
+        let time = !now +. (half_tick *. float_of_int k) in
+        let idx = Sim.Timer_wheel.arm w ~time ~seq seq in
+        armed := Array.append !armed [| (idx, seq) |];
+        insert (time, seq);
+        incr arm_count
+      | Wcancel k ->
+        if !arm_count > 0 then begin
+          let idx, seq = !armed.((k mod !arm_count)) in
+          Sim.Timer_wheel.cancel w idx ~seq;
+          model := List.filter (fun (_, s) -> s <> seq) !model
+        end
+      | Wadvance k ->
+        now := !now +. (half_tick *. float_of_int k);
+        drain_due !now);
+      check (Sim.Timer_wheel.live w = List.length !model);
+      (* The physical-usage invariant from the interface. *)
+      check
+        (Sim.Timer_wheel.physical w <= (2 * Sim.Timer_wheel.live w) + 16))
+    ops;
+  (* Entries are armed at most 32 ticks past [now], so a finite final
+     horizon well past that drains everything. *)
+  drain_due (!now +. 10.);
+  check (!model = []);
+  !ok
+
+let wheel_props =
+  [ QCheck.Test.make ~name:"wheel agrees with sorted-list model" ~count:300
+      wheel_ops_arbitrary wheel_model_agrees ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine timer cells and substrate equivalence                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_cell_lifecycle () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  let tm = Sim.Engine.make_timer engine (Sim.Engine.Closure (fun () -> incr fired)) in
+  Alcotest.(check bool) "starts unarmed" false (Sim.Engine.timer_armed tm);
+  Sim.Engine.arm_timer engine tm ~delay:1.;
+  Alcotest.(check bool) "armed" true (Sim.Engine.timer_armed tm);
+  Sim.Engine.cancel_timer engine tm;
+  Alcotest.(check bool) "disarmed" false (Sim.Engine.timer_armed tm);
+  Sim.Engine.run engine ~until:5.;
+  Alcotest.(check int) "cancelled never fires" 0 !fired;
+  Sim.Engine.arm_timer engine tm ~delay:1.;
+  (* Rearming replaces the pending armament: only the later one fires. *)
+  Sim.Engine.arm_timer engine tm ~delay:2.;
+  Sim.Engine.run engine ~until:20.;
+  Alcotest.(check int) "rearm fires once" 1 !fired;
+  Alcotest.(check bool) "unarmed after firing" false
+    (Sim.Engine.timer_armed tm);
+  Alcotest.(check int) "arms counted" 3 (Sim.Engine.timer_arms engine);
+  (* cancel_timer plus the implicit cancel of the replaced armament. *)
+  Alcotest.(check int) "cancels counted" 2 (Sim.Engine.timer_cancels engine);
+  Alcotest.(check int) "fires counted" 1 (Sim.Engine.timer_fires engine)
+
+let test_timer_rearm_from_own_handler () =
+  (* The RTO pattern: the handler rearms its own cell. The cell must
+     read unarmed inside the handler and the rearm must take effect —
+     this is the regression test for the timer-slot refactor. *)
+  let engine = Sim.Engine.create () in
+  let fires = ref [] in
+  let armed_inside = ref [] in
+  let cell = ref None in
+  let handler () =
+    let tm = Option.get !cell in
+    armed_inside := Sim.Engine.timer_armed tm :: !armed_inside;
+    fires := Sim.Engine.now engine :: !fires;
+    if List.length !fires < 3 then Sim.Engine.arm_timer engine tm ~delay:0.5
+  in
+  let tm = Sim.Engine.make_timer engine (Sim.Engine.Closure handler) in
+  cell := Some tm;
+  Sim.Engine.arm_timer engine tm ~delay:0.5;
+  Sim.Engine.run engine ~until:10.;
+  Alcotest.(check (list (float 1e-12)))
+    "fires at each rearm" [ 0.5; 1.0; 1.5 ] (List.rev !fires);
+  Alcotest.(check (list bool))
+    "reads unarmed inside handler" [ false; false; false ] !armed_inside
+
+let test_timer_subtick_times_exact () =
+  (* Wheel slots quantise placement, never the key: timers due inside
+     one slot fire at their exact times, in seq order on ties. *)
+  let engine = Sim.Engine.create ~timer_granularity:1e-3 () in
+  let log = ref [] in
+  let mk label delay =
+    let tm =
+      Sim.Engine.make_timer engine
+        (Sim.Engine.Closure
+           (fun () -> log := (label, Sim.Engine.now engine) :: !log))
+    in
+    Sim.Engine.arm_timer engine tm ~delay
+  in
+  mk "b" 0.0007;
+  mk "a" 0.0005;
+  mk "c" 0.0007;
+  Sim.Engine.run engine ~until:1.;
+  Alcotest.(check (list (pair string (float 1e-12))))
+    "exact sub-tick times, seq order on ties"
+    [ ("a", 0.0005); ("b", 0.0007); ("c", 0.0007) ]
+    (List.rev !log)
+
+(* Differential harness: the same program of one-shot closures and
+   self-rearming timer cells on both substrates must produce the same
+   execution trace — times, interleaving and counters. *)
+let run_mixed_program ~use_wheel ~oneshots ~timers =
+  let engine = Sim.Engine.create ~use_wheel () in
+  let log = ref [] in
+  let note label = log := (label, Sim.Engine.now engine) :: !log in
+  List.iteri
+    (fun i time ->
+      ignore
+        (Sim.Engine.schedule_at engine ~time (fun () -> note (1000 + i))))
+    oneshots;
+  List.iteri
+    (fun i (delay, repeats) ->
+      let remaining = ref repeats in
+      let cell = ref None in
+      let handler () =
+        note i;
+        if !remaining > 0 then begin
+          decr remaining;
+          Sim.Engine.arm_timer engine (Option.get !cell) ~delay
+        end
+      in
+      let tm = Sim.Engine.make_timer engine (Sim.Engine.Closure handler) in
+      cell := Some tm;
+      Sim.Engine.arm_timer engine tm ~delay)
+    timers;
+  Sim.Engine.run engine ~until:100.;
+  ( List.rev !log,
+    Sim.Engine.events_executed engine,
+    Sim.Engine.timer_fires engine )
+
+let test_engine_wheel_heap_identical () =
+  let oneshots = [ 0.1; 0.25; 0.25; 3.7; 50. ] in
+  let timers = [ (0.25, 3); (0.5, 2); (1e-4, 5); (40., 1) ] in
+  let wheel = run_mixed_program ~use_wheel:true ~oneshots ~timers in
+  let heap = run_mixed_program ~use_wheel:false ~oneshots ~timers in
+  let trace (t, _, _) = t in
+  let executed (_, e, _) = e in
+  let fires (_, _, f) = f in
+  Alcotest.(check (list (pair int (float 0.))))
+    "identical traces" (trace heap) (trace wheel);
+  Alcotest.(check int) "identical event counts" (executed heap)
+    (executed wheel);
+  Alcotest.(check int) "identical fire counts" (fires heap) (fires wheel)
+
+let engine_substrate_props =
+  [ QCheck.Test.make
+      ~name:"wheel and heap schedules are byte-identical" ~count:100
+      QCheck.(
+        pair
+          (list_of_size (Gen.int_bound 20) (float_bound_exclusive 10.))
+          (list_of_size (Gen.int_bound 6)
+             (pair (float_range 1e-4 2.) (int_bound 4))))
+      (fun (oneshots, timers) ->
+        run_mixed_program ~use_wheel:true ~oneshots ~timers
+        = run_mixed_program ~use_wheel:false ~oneshots ~timers) ]
+
+(* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -513,6 +842,29 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick
             test_engine_nested_scheduling;
           Alcotest.test_case "pending" `Quick test_engine_pending ] );
+      ( "timer-wheel",
+        [ Alcotest.test_case "orders by key" `Quick test_wheel_orders_by_key;
+          Alcotest.test_case "due respects horizon" `Quick
+            test_wheel_due_respects_horizon;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "arm below cursor" `Quick
+            test_wheel_arm_below_cursor;
+          Alcotest.test_case "distant deadline" `Quick
+            test_wheel_distant_deadline;
+          Alcotest.test_case "physical O(live)" `Quick
+            test_wheel_physical_bound ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) wheel_props );
+      ( "engine-timers",
+        [ Alcotest.test_case "cell lifecycle" `Quick test_timer_cell_lifecycle;
+          Alcotest.test_case "rearm from own handler" `Quick
+            test_timer_rearm_from_own_handler;
+          Alcotest.test_case "sub-tick times exact" `Quick
+            test_timer_subtick_times_exact;
+          Alcotest.test_case "wheel vs heap identical" `Quick
+            test_engine_wheel_heap_identical ]
+        @ List.map
+            (QCheck_alcotest.to_alcotest ~long:false)
+            engine_substrate_props );
       ( "trace",
         [ Alcotest.test_case "counters" `Quick test_trace_counters;
           Alcotest.test_case "tap runs in registration order" `Quick

@@ -244,6 +244,42 @@ let test_rto_backoff_survives_sample () =
   Tcp.Rto.reset_backoff rto;
   check_float "reset restores base" 0.25 (Tcp.Rto.current rto)
 
+let test_rto_backoff_at_floor () =
+  (* Regression: with the min_rto floor active (tiny RTT), each timeout
+     must still double the armed RTO. The old multiplier-only back-off
+     inflated silently under the floor and then overshot in one jump. *)
+  let rto = Tcp.Rto.create { rto_config with Tcp.Config.max_rto = 10. } in
+  Tcp.Rto.sample rto 0.001;
+  check_float "at floor" 0.2 (Tcp.Rto.current rto);
+  Tcp.Rto.backoff rto;
+  check_float "doubles off the floor" 0.4 (Tcp.Rto.current rto);
+  Tcp.Rto.backoff rto;
+  check_float "keeps doubling" 0.8 (Tcp.Rto.current rto);
+  Tcp.Rto.reset_backoff rto;
+  check_float "reset returns to floor" 0.2 (Tcp.Rto.current rto)
+
+let rto_props =
+  [ QCheck.Test.make ~name:"backoff doubles current, saturating at max_rto"
+      ~count:500
+      QCheck.(
+        triple (float_bound_exclusive 2.) (int_range 0 12)
+          (float_bound_exclusive 2.))
+      (fun (first_rtt, backoffs, later_rtt) ->
+        let rto = Tcp.Rto.create { rto_config with Tcp.Config.max_rto = 10. } in
+        Tcp.Rto.sample rto first_rtt;
+        let ok = ref true in
+        for _ = 1 to backoffs do
+          let before = Tcp.Rto.current rto in
+          Tcp.Rto.backoff rto;
+          let expected = Float.min (2. *. before) 10. in
+          if abs_float (Tcp.Rto.current rto -. expected) > 1e-9 then
+            ok := false
+        done;
+        (* A fresh sample must leave the armed RTO within the clamps. *)
+        Tcp.Rto.sample rto later_rtt;
+        let v = Tcp.Rto.current rto in
+        !ok && v >= 0.2 -. 1e-9 && v <= 10. +. 1e-9) ]
+
 let test_rto_sample_on_fresh_ack () =
   (* Sender-level: a clean first ACK yields an RTT sample. *)
   let config =
@@ -588,10 +624,13 @@ let () =
             test_rto_backoff_without_sample;
           Alcotest.test_case "backoff survives sample" `Quick
             test_rto_backoff_survives_sample;
+          Alcotest.test_case "backoff at floor" `Quick
+            test_rto_backoff_at_floor;
           Alcotest.test_case "fresh ack sampled" `Quick
             test_rto_sample_on_fresh_ack;
           Alcotest.test_case "Karn invalidation" `Quick
-            test_rto_karn_invalidation ] );
+            test_rto_karn_invalidation ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) rto_props );
       ( "receiver",
         [ Alcotest.test_case "in order" `Quick test_receiver_in_order;
           Alcotest.test_case "gap produces sack" `Quick test_receiver_gap_sack;

@@ -75,6 +75,24 @@ let newton_prop =
       let x = Core.Ewrtt.newton ~alpha ~cwnd ~iterations:2 in
       x > alpha -. 1e-9 && x <= 1. +. 1e-9)
 
+(* Footnote 5's regime: alpha near 1 (memory of a few hundred RTTs).
+   Two Newton iterations must track exp(log alpha / cwnd) across the
+   whole plausible window range, or the envelope decays at the wrong
+   rate on exactly the paths TCP-PR targets. *)
+let newton_vs_exact_prop =
+  QCheck.Test.make ~name:"newton tracks exact alpha^(1/cwnd)" ~count:500
+    QCheck.(pair (float_range 0.9 0.9999) (float_range 1. 10_000.))
+    (fun (alpha, cwnd) ->
+      let config =
+        { Tcp.Config.default with
+          Tcp.Config.pr_alpha = alpha;
+          pr_newton_iterations = 2 }
+      in
+      let e = Core.Ewrtt.create config in
+      let approx = Core.Ewrtt.decay_factor e ~cwnd in
+      let exact = Core.Ewrtt.exact_decay_factor e ~cwnd in
+      abs_float (approx -. exact) < 1e-4)
+
 (* ------------------------------------------------------------------ *)
 (* Ewrtt envelope                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -375,7 +393,8 @@ let () =
           Alcotest.test_case "improves with iterations" `Quick
             test_newton_improves_with_iterations;
           Alcotest.test_case "cwnd=1 exact" `Quick test_newton_cwnd_one_exact;
-          QCheck_alcotest.to_alcotest ~long:false newton_prop ] );
+          QCheck_alcotest.to_alcotest ~long:false newton_prop;
+          QCheck_alcotest.to_alcotest ~long:false newton_vs_exact_prop ] );
       ( "ewrtt",
         [ Alcotest.test_case "first sample" `Quick
             test_ewrtt_first_sample_initialises;

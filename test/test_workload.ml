@@ -157,6 +157,80 @@ let test_cross_traffic_delivers () =
         (Tcp.Connection.received_bytes f.Workload.Ftp.connection > 0))
     flows
 
+(* ------------------------------------------------------------------ *)
+(* Flow churn                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let churn_run ?(use_wheel = true) ?(seed = 3) () =
+  Experiments.Scale.run ~seed ~use_wheel ~duration:1.5 ~flows:50 ()
+
+let churn_fingerprint (r : Experiments.Scale.result) =
+  ( r.Experiments.Scale.transfers_started,
+    r.Experiments.Scale.transfers_completed,
+    r.Experiments.Scale.segments_completed,
+    r.Experiments.Scale.events_executed,
+    Experiments.Scale.timer_ops r )
+
+let test_churn_deterministic () =
+  Alcotest.(check bool)
+    "same seed reproduces the run exactly" true
+    (churn_fingerprint (churn_run ()) = churn_fingerprint (churn_run ()))
+
+let test_churn_seed_changes_run () =
+  Alcotest.(check bool)
+    "different seed gives a different run" true
+    (churn_fingerprint (churn_run ~seed:3 ())
+    <> churn_fingerprint (churn_run ~seed:4 ()))
+
+let test_churn_wheel_heap_identical () =
+  (* The scale scenario end-to-end: the timer substrate must not leak
+     into simulated results, only into wall-clock. *)
+  Alcotest.(check bool)
+    "wheel and heap agree on every simulated quantity" true
+    (churn_fingerprint (churn_run ~use_wheel:true ())
+    = churn_fingerprint (churn_run ~use_wheel:false ()))
+
+let test_churn_population_invariants () =
+  let r = churn_run () in
+  let w = r.Experiments.Scale.workload in
+  Alcotest.(check int) "slot count" 50 (Workload.Flow_churn.flows w);
+  Alcotest.(check bool) "work happened" true
+    (Workload.Flow_churn.transfers_started w > 0);
+  (* Closed loop: each slot runs at most one transfer at a time. *)
+  Alcotest.(check bool) "active bounded by slots" true
+    (Workload.Flow_churn.active w <= 50);
+  Alcotest.(check int) "started = completed + active"
+    (Workload.Flow_churn.transfers_started w)
+    (Workload.Flow_churn.transfers_completed w + Workload.Flow_churn.active w);
+  Alcotest.(check int) "bytes follow segments"
+    (Workload.Flow_churn.segments_completed w
+    * Experiments.Scale.default_config.Tcp.Config.mss)
+    (Workload.Flow_churn.bytes_completed w)
+
+let test_churn_validation () =
+  let engine = Sim.Engine.create () in
+  let dumbbell = Topo.Dumbbell.create engine () in
+  let bad churn =
+    Workload.Flow_churn.spawn dumbbell
+      ~sender:(snd Experiments.Variants.tcp_pr)
+      ~config:Tcp.Config.default ~churn
+      ~rng:(Sim.Rng.create 0)
+      ()
+  in
+  let base = Workload.Flow_churn.default_config in
+  List.iter
+    (fun (label, churn) ->
+      Alcotest.(check bool) label true
+        (try
+           ignore (bad churn);
+           false
+         with Invalid_argument _ -> true))
+    [ ("zero flows", { base with Workload.Flow_churn.flows = 0 });
+      ("negative think", { base with Workload.Flow_churn.mean_think_s = -1. });
+      ( "inverted sizes",
+        { base with Workload.Flow_churn.min_segments = 8; max_segments = 4 } )
+    ]
+
 let () =
   Alcotest.run "workload"
     [ ( "ftp",
@@ -175,5 +249,14 @@ let () =
       ( "cross-traffic",
         [ Alcotest.test_case "fan-out and labels" `Quick
             test_cross_traffic_fan_out;
-          Alcotest.test_case "delivers" `Quick test_cross_traffic_delivers ] )
+          Alcotest.test_case "delivers" `Quick test_cross_traffic_delivers ] );
+      ( "flow-churn",
+        [ Alcotest.test_case "deterministic" `Quick test_churn_deterministic;
+          Alcotest.test_case "seed changes run" `Quick
+            test_churn_seed_changes_run;
+          Alcotest.test_case "wheel vs heap identical" `Quick
+            test_churn_wheel_heap_identical;
+          Alcotest.test_case "population invariants" `Quick
+            test_churn_population_invariants;
+          Alcotest.test_case "validation" `Quick test_churn_validation ] )
     ]
