@@ -1,0 +1,7 @@
+let () =
+  let engine = Sim.Engine.create () in
+  let fired = ref false in
+  let tm = Sim.Engine.make_timer engine (Sim.Engine.Closure (fun () -> fired := true)) in
+  Sim.Engine.arm_timer engine tm ~delay:1.0;
+  Sim.Engine.run_to_completion engine;
+  Printf.printf "fired=%b now=%g pending=%d\n" !fired (Sim.Engine.now engine) (Sim.Engine.pending engine)
