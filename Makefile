@@ -20,17 +20,19 @@ bench-record:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # Quick perf snapshot: bench-scale Figs. 2/3/6, the bechamel
-# micro-benchmarks, the allocation suite and the many-flow scale
-# suite; records wall-clock, ns/run, bytes/simulated-packet,
-# events/sec and metrics snapshots in BENCH_PR5.json (repo root and
-# results/). BENCH_JOBS=N parallelises the figure grids.
+# micro-benchmarks, the allocation suite, the many-flow scale suite
+# and the engine-only churn suite; records wall-clock, ns/run,
+# bytes/simulated-packet, events/sec and metrics snapshots in
+# BENCH_PR6.json (repo root and results/). BENCH_JOBS=N parallelises
+# the figure grids.
 bench-quick:
 	dune exec bench/main.exe -- quick
 
 # Perf gate only: re-measure bytes/simulated-packet (fail if any
 # scenario exceeds the recorded baseline by more than the 16 B/packet
-# budget) and the events/sec scaling floor at 10k vs 1k flows. Does
-# not rewrite the records.
+# budget), the events/sec scaling floor at 10k vs 1k flows, and the
+# raw engine events/sec floor (each engine-churn scenario must hold
+# >= 0.7x its recorded rate). Does not rewrite the records.
 bench-gate:
 	dune exec bench/main.exe -- gate
 
@@ -91,11 +93,13 @@ coverage-summary:
 	  echo "bisect_ppx not installed — no coverage summary"; \
 	fi
 
-# Full gate: build everything, run the test suite, a conformance
-# smoke run — fixed random scenarios over every sender variant with the
+# Full gate: build everything, run the test suite (which includes the
+# Gc-delta bytes/packet ceilings in test_alloc), a conformance smoke
+# run — fixed random scenarios over every sender variant with the
 # invariant monitors armed, plus the golden-trace digests — the
 # many-flow scale smoke, and the perf regression gate (allocation
-# budget + events/sec scaling floor) against the recorded record.
+# budget + events/sec scaling floor + raw engine events/sec floor)
+# against the recorded BENCH_PR6.json.
 ci:
 	dune build @all
 	dune runtest

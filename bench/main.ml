@@ -19,31 +19,41 @@
    timing wheel and on the heap-only baseline, reporting events/sec
    and timer ops/sec.
 
-   Usage: main.exe [all|figures|micro|quick|alloc|scale|gate] [--jobs N]
+   Part 5 runs the engine-only churn suite (Engine_suite): raw
+   scheduler events/sec with no workload at all, the number the
+   events/sec regression gate tracks.
+
+   Usage: main.exe [all|figures|micro|quick|alloc|scale|engine|gate]
+                   [--jobs N]
      all      figures + extensions + ablations + micro + alloc + scale
-              (default)
+              + engine (default)
      figures  Figs. 2/3/4/6 only
      micro    micro-benchmarks only
      alloc    allocation-per-packet scenarios only
      scale    many-flow scale suite only (wheel + heap baseline)
-     quick    Figs. 2/3/6 + micro + alloc + scale (the `make bench-quick`
-              target)
-     gate     FAIL (exit 1) if either
+     engine   engine-only churn suite only
+     quick    Figs. 2/3/6 + micro + alloc + scale + engine (the
+              `make bench-quick` target)
+     gate     FAIL (exit 1) if any of
                 - bytes per simulated packet exceeds the recorded
-                  baseline (BENCH_PR5.json, falling back to
-                  BENCH_PR3.json) by more than the budget
-                  (16 B/packet), or
+                  baseline (BENCH_PR6.json, falling back to
+                  BENCH_PR5.json then BENCH_PR3.json) by more than
+                  the budget (16 B/packet),
                 - events/sec at 10k flows on the wheel falls below
-                  0.5x events/sec at 1k flows (the scale floor)
+                  0.5x events/sec at 1k flows (the scale floor), or
+                - any engine-churn scenario's events/sec falls below
+                  0.7x its recorded BENCH_PR6.json value (the raw
+                  speed floor; absent from older records, skipped)
               reads the records, never writes them (used by `make ci`)
    --jobs N (or BENCH_JOBS=N) runs figure grid points on N domains;
    the tables are identical to a sequential run.
 
    Every run (except gate) records wall-clock seconds per figure,
    ns/run per micro-benchmark, bytes/packet plus a metrics snapshot
-   per alloc scenario, and events/sec plus a metrics snapshot per
-   scale point to results/BENCH_PR5.json and the repo-root
-   BENCH_PR5.json so later PRs can track the perf trajectory. *)
+   per alloc scenario, events/sec plus a metrics snapshot per scale
+   point, and events/sec per engine-churn scenario to
+   results/BENCH_PR6.json and the repo-root BENCH_PR6.json so later
+   PRs can track the perf trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -76,7 +86,9 @@ let jobs =
   max 1 requested
 
 let mode =
-  let known = [ "all"; "figures"; "micro"; "quick"; "alloc"; "scale"; "gate" ] in
+  let known =
+    [ "all"; "figures"; "micro"; "quick"; "alloc"; "scale"; "engine"; "gate" ]
+  in
   let picked = ref "all" in
   Array.iteri
     (fun i arg -> if i > 0 && List.mem arg known then picked := arg)
@@ -90,6 +102,8 @@ let micro_ns : (string * float) list ref = ref []
 let alloc_measurements : Alloc_suite.measurement list ref = ref []
 
 let scale_measurements : Scale_suite.measurement list ref = ref []
+
+let engine_measurements : Engine_suite.measurement list ref = ref []
 
 let heading title = Printf.printf "\n===== %s =====\n%!" title
 
@@ -401,6 +415,16 @@ let scale_suite () =
   scale_measurements := measurements
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: engine-only churn suite                                     *)
+(* ------------------------------------------------------------------ *)
+
+let engine_suite () =
+  heading "Engine-only churn: raw scheduler events/sec";
+  let measurements = Engine_suite.run_all () in
+  List.iter Engine_suite.pp_measurement measurements;
+  engine_measurements := measurements
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable record                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -428,24 +452,27 @@ let json_object_of buffer ~indent pairs format_value =
   Buffer.add_string buffer ("\n" ^ String.sub indent 0 (String.length indent - 2));
   Buffer.add_string buffer "}"
 
-(* Pre-PR (closure-scheduler, list-route, unpooled) reference numbers,
-   measured on this machine at jobs=1 before the zero-allocation packet
-   path landed. Kept in the record so the improvement is auditable. *)
+(* Pre-PR reference numbers, measured on this machine at jobs=1 at the
+   PR5 tree (wheel landed, boxed RNG / boxed heap sifts still in
+   place), immediately before this PR's hot-path work. Kept in the
+   record so the improvement is auditable: the alloc drop is mostly the
+   event-queue sift and xoshiro de-boxing, the events/sec gain mostly
+   the batched two-substrate dispatcher plus the same de-boxing. *)
 let baseline_pre_pr =
-  [ ("total_wall_clock_s", 31.814);
-    ("fig2_s", 4.314);
-    ("fig3_s", 2.849);
-    ("fig6_s", 20.617);
-    ("dumbbell_bytes_per_packet", 867.1);
-    ("lattice_bytes_per_packet", 1041.3);
-    ("jitter-chain_bytes_per_packet", 1395.7) ]
+  [ ("dumbbell_bytes_per_packet", 451.5);
+    ("lattice_bytes_per_packet", 775.2);
+    ("jitter-chain_bytes_per_packet", 819.4);
+    ("scale_wheel_1000_events_per_s", 884276.);
+    ("scale_wheel_5000_events_per_s", 792965.);
+    ("scale_wheel_10000_events_per_s", 769855.);
+    ("scale_heap_10000_events_per_s", 575134.) ]
 
 let write_record ~total_s =
   (try if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755
    with Unix.Unix_error _ -> ());
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer "{\n";
-  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 5,\n");
+  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 6,\n");
   Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buffer (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buffer
@@ -495,6 +522,22 @@ let write_record ~total_s =
         m.Scale_suite.goodput_mbps m.Scale_suite.events
         m.Scale_suite.timer_ops m.Scale_suite.events_per_s
         m.Scale_suite.timer_ops_per_s m.Scale_suite.metrics_json);
+  Buffer.add_string buffer ",\n  \"engine_events_per_s\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map
+       (fun m -> (m.Engine_suite.name, m.Engine_suite.events_per_s))
+       !engine_measurements)
+    (Printf.sprintf "%.0f");
+  Buffer.add_string buffer ",\n  \"engine_suite_points\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map (fun m -> (m.Engine_suite.name, m)) !engine_measurements)
+    (fun m ->
+      Printf.sprintf
+        "{ \"events\": %d, \"wall_s\": %.3f, \"events_per_s\": %.0f, \
+         \"allocated_bytes\": %.0f, \"bytes_per_event\": %.1f }"
+        m.Engine_suite.events m.Engine_suite.wall_s
+        m.Engine_suite.events_per_s m.Engine_suite.allocated_bytes
+        m.Engine_suite.bytes_per_event);
   Buffer.add_string buffer ",\n  \"baseline_pre_pr\": ";
   json_object_of buffer ~indent:"    " baseline_pre_pr (Printf.sprintf "%.3f");
   Buffer.add_string buffer "\n}\n";
@@ -505,17 +548,17 @@ let write_record ~total_s =
       output_string oc contents;
       close_out oc;
       Printf.printf "Perf record written to %s\n" path)
-    [ "results/BENCH_PR5.json"; "BENCH_PR5.json" ]
+    [ "results/BENCH_PR6.json"; "BENCH_PR6.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Minimal extraction of "alloc_bytes_per_packet": { "name": nnn, ... }
-   from the checked-in record — no JSON library in the tree, and the
-   file is machine-written by [write_record] above, so a string scan is
+(* Minimal extraction of "<key>": { "name": nnn, ... } from the
+   checked-in record — no JSON library in the tree, and the file is
+   machine-written by [write_record] above, so a string scan is
    enough. *)
-let baseline_bytes_per_packet path =
+let record_block path key =
   let contents =
     let ic = open_in_bin path in
     let n = in_channel_length ic in
@@ -531,7 +574,7 @@ let baseline_bytes_per_packet path =
     in
     go from
   in
-  match find_sub contents "\"alloc_bytes_per_packet\"" 0 with
+  match find_sub contents (Printf.sprintf "\"%s\"" key) 0 with
   | None -> []
   | Some at -> (
     match (String.index_from_opt contents at '{',
@@ -563,14 +606,22 @@ let baseline_bytes_per_packet path =
    int-backed, so the expected overhead is zero. *)
 let gate_budget_bytes = 16.
 
+(* Raw-speed floor for the engine-only churn suite: each scenario's
+   events/sec must hold at least this fraction of its recorded value.
+   Wall-clock microbenches are noisier than allocation counts, so the
+   tolerance is wide — 30% — but a real regression (a box back on the
+   sift path, a per-event closure) costs well over that. *)
+let engine_gate_floor = 0.7
+
 let gate () =
   heading "Bench gate: bytes per simulated packet vs recorded baseline";
-  (* Prefer the PR5 record: it was measured with the minor-heap flush
-     in [Alloc_suite.measure], so its numbers are comparable to what
-     this run measures. The PR3 record predates the flush and is only a
-     fallback for trees without a PR5 record. *)
+  (* Prefer the newest record: PR6's was measured with the per-scenario
+     warmup in [Alloc_suite] (construction and first-use costs excluded
+     from the quotient), so its numbers are the comparable ones. Older
+     records are fallbacks for trees that predate it. *)
   let path =
-    if Sys.file_exists "BENCH_PR5.json" then "BENCH_PR5.json"
+    if Sys.file_exists "BENCH_PR6.json" then "BENCH_PR6.json"
+    else if Sys.file_exists "BENCH_PR5.json" then "BENCH_PR5.json"
     else "BENCH_PR3.json"
   in
   if not (Sys.file_exists path) then begin
@@ -579,7 +630,7 @@ let gate () =
       path;
     exit 1
   end;
-  let baseline = baseline_bytes_per_packet path in
+  let baseline = record_block path "alloc_bytes_per_packet" in
   if baseline = [] then begin
     Printf.printf "  %s has no alloc_bytes_per_packet block\n" path;
     exit 1
@@ -634,7 +685,43 @@ let gate () =
   end
   else
     Printf.printf "\nGate passed (scale floor %.2f).\n"
-      Scale_suite.gate_scaling_floor
+      Scale_suite.gate_scaling_floor;
+  heading "Bench gate: raw engine events/sec vs recorded baseline";
+  match record_block path "engine_events_per_s" with
+  | [] ->
+    (* Older records predate the engine suite; the alloc and scale
+       gates above still ran, so pass rather than block a fresh tree. *)
+    Printf.printf "  %s has no engine_events_per_s block; skipping\n" path
+  | recorded ->
+    let measurements = Engine_suite.run_all () in
+    List.iter Engine_suite.pp_measurement measurements;
+    let failed = ref false in
+    List.iter
+      (fun m ->
+        let name = m.Engine_suite.name in
+        match List.assoc_opt name recorded with
+        | None ->
+          Printf.printf "  %-18s no recorded baseline -> FAIL\n" name;
+          failed := true
+        | Some base ->
+          let floor = engine_gate_floor *. base in
+          let ok = m.Engine_suite.events_per_s >= floor in
+          Printf.printf
+            "  %-18s %9.0f ev/s vs recorded %9.0f (floor %9.0f)  %s\n" name
+            m.Engine_suite.events_per_s base floor
+            (if ok then "ok" else "REGRESSION");
+          if not ok then failed := true)
+      measurements;
+    if !failed then begin
+      Printf.printf
+        "\nGate FAILED: raw engine events/sec fell below %.0f%% of the\n\
+         %s record. If the slowdown is intended, re-record the baseline.\n"
+        (100. *. engine_gate_floor) path;
+      exit 1
+    end
+    else
+      Printf.printf "\nGate passed (engine floor %.2f of %s).\n"
+        engine_gate_floor path
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -649,13 +736,15 @@ let () =
   | "micro" -> microbenchmarks ()
   | "alloc" -> alloc_suite ()
   | "scale" -> scale_suite ()
+  | "engine" -> engine_suite ()
   | "quick" ->
     timed "fig2" fig2;
     timed "fig3" fig3;
     timed "fig6" fig6;
     microbenchmarks ();
     alloc_suite ();
-    scale_suite ()
+    scale_suite ();
+    engine_suite ()
   | _ ->
     timed "fig2" fig2;
     timed "fig3" fig3;
@@ -665,7 +754,8 @@ let () =
     timed "ablations" ablations;
     microbenchmarks ();
     alloc_suite ();
-    scale_suite ());
+    scale_suite ();
+    engine_suite ());
   if mode <> "gate" then begin
     let total_s = Unix.gettimeofday () -. t0 in
     write_record ~total_s;

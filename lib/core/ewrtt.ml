@@ -2,7 +2,10 @@ type t = {
   alpha : float;
   beta : float;
   iterations : int;
-  mutable ewrtt : float;
+  (* One-slot [floatarray]: [on_sample] writes the envelope once per
+     ACK, and a [mutable float] field in this mixed record would box
+     every write. *)
+  ewrtt : floatarray;
   mutable has_sample : bool;
 }
 
@@ -11,7 +14,7 @@ let create config =
   { alpha = config.Tcp.Config.pr_alpha;
     beta = config.Tcp.Config.pr_beta;
     iterations = config.Tcp.Config.pr_newton_iterations;
-    ewrtt = config.Tcp.Config.pr_initial_ewrtt;
+    ewrtt = Float.Array.make 1 config.Tcp.Config.pr_initial_ewrtt;
     has_sample = false }
 
 (* Newton's method on f(x) = x^cwnd - alpha, started at x = 1:
@@ -37,10 +40,12 @@ let on_sample t ~cwnd ~sample =
        measurement; the configured initial value only covers the period
        before any ACK has arrived. *)
     t.has_sample <- true;
-    t.ewrtt <- sample
+    Float.Array.unsafe_set t.ewrtt 0 sample
   end
-  else t.ewrtt <- Float.max (decay_factor t ~cwnd *. t.ewrtt) sample
+  else
+    Float.Array.unsafe_set t.ewrtt 0
+      (Float.max (decay_factor t ~cwnd *. Float.Array.unsafe_get t.ewrtt 0) sample)
 
-let ewrtt t = t.ewrtt
+let ewrtt t = Float.Array.unsafe_get t.ewrtt 0
 
-let mxrtt t = t.beta *. t.ewrtt
+let mxrtt t = t.beta *. Float.Array.unsafe_get t.ewrtt 0

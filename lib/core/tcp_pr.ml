@@ -1,7 +1,5 @@
 let name = "TCP-PR"
 
-module Int_set = Set.Make (Int)
-
 let drop_timer_key = 0
 
 let backoff_timer_key = 1
@@ -10,31 +8,74 @@ type mode =
   | Slow_start
   | Cong_avoid
 
-(* One outstanding packet: its latest send time and the congestion
-   window at that send (Table 1 stores both in the to-be-ack list). The
-   memorize list is a flag on the entry, as the paper's Remark 1
-   suggests for the Linux implementation. *)
-type entry = {
-  mutable sent_at : float;
-  mutable cwnd_at_send : float;
-  mutable in_memorize : bool;
-}
+(* Per-packet sender state, struct-of-arrays.
+
+   Table 1's three lists (to-be-ack, to-be-sent, memorize) plus the
+   drop-time and original-transmission-time maps all key on the packet
+   sequence number, and every member lies in the active span
+   [snd_una, next_new) — everything below the cumulative ACK has been
+   removed from every list. So the whole per-packet state lives in one
+   ring indexed by [seq land (cap - 1)]: a state-bits byte and three
+   float slots (last send time — which doubles as the drop time once
+   the packet is declared dropped, exactly the value the old drop_times
+   map held —, cwnd at send, first-transmission time). This replaces a
+   per-send record + queue-cell + tuple + boxed float and per-ACK
+   hashtable churn with flat stores: the ACK path performs zero
+   allocation. Ring slots alias seqs modulo [cap], so every lookup
+   guards on span membership first; any seq leaving all lists has its
+   state byte zeroed, keeping reused slots clean. *)
+
+let outstanding_bit = 1 (* in to-be-ack: sent, awaiting acknowledgement *)
+
+let memorize_bit = 2 (* in the memorize snapshot (implies outstanding) *)
+
+let pending_bit = 4 (* in to-be-sent: declared dropped, awaiting resend *)
+
+let original_bit = 8 (* original_at holds the first-transmission time *)
+
+(* Hot float scalars, one flat floatarray (mutable float fields in a
+   mixed record would box every write on the ACK path).
+   [mxrtt_override_] is 0. when no extreme-loss override is active (real
+   overrides are >= 1 s). *)
+let cwnd_ = 0
+
+let ssthr_ = 1
+
+let backoff_until_ = 2
+
+let mxrtt_override_ = 3
+
+let fs_slots = 4
 
 type t = {
   config : Tcp.Config.t;
   envelope : Ewrtt.t;
   mutable mode : mode;
-  mutable cwnd : float;
-  mutable ssthr : float;
-  to_be_ack : (int, entry) Hashtbl.t;
+  fs : floatarray;
+  (* Packet-state ring, capacity a power of two >= next_new - snd_una. *)
+  mutable cap : int;
+  mutable state : Bytes.t;
+  mutable sent_at : floatarray;
+  mutable cwnd_send : floatarray;
+  mutable original_at : floatarray;
+  mutable out_count : int; (* to-be-ack cardinality *)
+  mutable pending_count : int; (* to-be-sent cardinality *)
+  (* Lower bound on the smallest to-be-sent seq: lowered when a drop is
+     declared, advanced by scanning when the minimum is taken, so
+     flush's min-lookup is O(1) amortised. *)
+  mutable pending_min : int;
   (* Transmissions in send order, for O(1) earliest-deadline lookup:
      the head is the oldest outstanding send. Entries are validated
-     lazily against [to_be_ack] (a packet may have been acknowledged,
-     declared dropped, or re-sent since). *)
-  send_order : (int * float) Queue.t;
-  mutable to_be_sent : Int_set.t;  (* declared-dropped packets awaiting resend *)
-  mutable next_new : int;  (* next never-sent sequence number *)
-  mutable snd_una : int;  (* cumulative acknowledgement *)
+     lazily against the packet ring (a packet may have been
+     acknowledged, declared dropped, or re-sent since). A seq/time pair
+     ring replaces the old [(int * float) Queue.t], whose every push
+     allocated a tuple, a boxed float, and a queue cell. *)
+  mutable so_seq : int array;
+  mutable so_time : floatarray;
+  mutable so_head : int;
+  mutable so_len : int;
+  mutable next_new : int; (* next never-sent sequence number *)
+  mutable snd_una : int; (* cumulative acknowledgement *)
   mutable memorize_size : int;
   mutable cburst : int;
   (* The extreme reset fires at most once per memorized burst: set on
@@ -44,16 +85,6 @@ type t = {
      overridden (>= 1 s, doubling on new drops) and sending is delayed
      until [backoff_until]. *)
   mutable extreme : bool;
-  mutable mxrtt_override : float option;
-  mutable backoff_until : float;
-  (* Send times of packets declared dropped, so that a late ACK for a
-     false drop still feeds the RTT envelope. *)
-  drop_times : (int, float) Hashtbl.t;
-  (* First-transmission time of every un-acknowledged sequence number:
-     an ACK whose [for_retx] echo says "generated by the original
-     transmission" is timed against this, however often the packet has
-     been retransmitted since. *)
-  original_times : (int, float) Hashtbl.t;
   (* metrics *)
   mutable n_sent : int;
   mutable n_retx : int;
@@ -63,26 +94,39 @@ type t = {
   mutable n_mxrtt_doublings : int;
 }
 
+let fget t i = Float.Array.unsafe_get t.fs i
+
+let fset t i v = Float.Array.unsafe_set t.fs i v
+
+let initial_cap = 64
+
 let create config =
   Tcp.Config.validate config;
+  let fs = Float.Array.make fs_slots 0. in
+  Float.Array.unsafe_set fs cwnd_ config.Tcp.Config.initial_cwnd;
+  Float.Array.unsafe_set fs ssthr_ config.Tcp.Config.initial_ssthresh;
   { config;
     envelope = Ewrtt.create config;
     mode = Slow_start;
-    cwnd = config.Tcp.Config.initial_cwnd;
-    ssthr = config.Tcp.Config.initial_ssthresh;
-    to_be_ack = Hashtbl.create 512;
-    send_order = Queue.create ();
-    to_be_sent = Int_set.empty;
+    fs;
+    cap = initial_cap;
+    state = Bytes.make initial_cap '\000';
+    sent_at = Float.Array.make initial_cap 0.;
+    cwnd_send = Float.Array.make initial_cap 0.;
+    original_at = Float.Array.make initial_cap 0.;
+    out_count = 0;
+    pending_count = 0;
+    pending_min = 0;
+    so_seq = Array.make initial_cap 0;
+    so_time = Float.Array.make initial_cap 0.;
+    so_head = 0;
+    so_len = 0;
     next_new = 0;
     snd_una = 0;
     memorize_size = 0;
     cburst = 0;
     burst_reacted = false;
     extreme = false;
-    mxrtt_override = None;
-    backoff_until = 0.;
-    drop_times = Hashtbl.create 64;
-    original_times = Hashtbl.create 512;
     n_sent = 0;
     n_retx = 0;
     n_drops_detected = 0;
@@ -90,18 +134,89 @@ let create config =
     n_extreme_resets = 0;
     n_mxrtt_doublings = 0 }
 
-let cwnd t = t.cwnd
+(* --- ring primitives -------------------------------------------------- *)
+
+let in_span t seq = seq >= t.snd_una && seq < t.next_new
+
+let slot t seq = seq land (t.cap - 1)
+
+let get_state t seq = Char.code (Bytes.unsafe_get t.state (slot t seq))
+
+let set_state t seq st = Bytes.unsafe_set t.state (slot t seq) (Char.unsafe_chr st)
+
+(* Grow the packet ring so the active span fits, re-placing every
+   in-span seq at its new slot (slots shift because the mask changes). *)
+let grow_ring t ~span =
+  let ocap = t.cap in
+  let ncap = ref ocap in
+  while span > !ncap do
+    ncap := 2 * !ncap
+  done;
+  let ncap = !ncap in
+  let state = Bytes.make ncap '\000' in
+  let sent_at = Float.Array.make ncap 0. in
+  let cwnd_send = Float.Array.make ncap 0. in
+  let original_at = Float.Array.make ncap 0. in
+  let omask = ocap - 1 in
+  let nmask = ncap - 1 in
+  for seq = t.snd_una to t.next_new - 1 do
+    let o = seq land omask in
+    let n = seq land nmask in
+    Bytes.unsafe_set state n (Bytes.unsafe_get t.state o);
+    Float.Array.unsafe_set sent_at n (Float.Array.unsafe_get t.sent_at o);
+    Float.Array.unsafe_set cwnd_send n (Float.Array.unsafe_get t.cwnd_send o);
+    Float.Array.unsafe_set original_at n
+      (Float.Array.unsafe_get t.original_at o)
+  done;
+  t.cap <- ncap;
+  t.state <- state;
+  t.sent_at <- sent_at;
+  t.cwnd_send <- cwnd_send;
+  t.original_at <- original_at
+
+let ensure_span t ~span = if span > t.cap then grow_ring t ~span
+
+let so_push t ~seq ~time =
+  let cap = Array.length t.so_seq in
+  if t.so_len = cap then begin
+    let seqs = Array.make (2 * cap) 0 in
+    let times = Float.Array.make (2 * cap) 0. in
+    for k = 0 to cap - 1 do
+      let i = (t.so_head + k) land (cap - 1) in
+      Array.unsafe_set seqs k (Array.unsafe_get t.so_seq i);
+      Float.Array.unsafe_set times k (Float.Array.unsafe_get t.so_time i)
+    done;
+    t.so_seq <- seqs;
+    t.so_time <- times;
+    t.so_head <- 0
+  end;
+  let i = (t.so_head + t.so_len) land (Array.length t.so_seq - 1) in
+  Array.unsafe_set t.so_seq i seq;
+  Float.Array.unsafe_set t.so_time i time;
+  t.so_len <- t.so_len + 1
+
+let so_pop t =
+  t.so_head <- (t.so_head + 1) land (Array.length t.so_seq - 1);
+  t.so_len <- t.so_len - 1
+
+let so_head_seq t = Array.unsafe_get t.so_seq t.so_head
+
+let so_head_time t = Float.Array.unsafe_get t.so_time t.so_head
+
+(* --- accessors -------------------------------------------------------- *)
+
+let cwnd t = fget t cwnd_
 
 let acked t = t.snd_una
 
 let mxrtt t =
-  match t.mxrtt_override with
-  | Some value -> value
-  | None -> Float.max (Ewrtt.mxrtt t.envelope) t.config.Tcp.Config.pr_min_mxrtt
+  let ov = fget t mxrtt_override_ in
+  if ov > 0. then ov
+  else Float.max (Ewrtt.mxrtt t.envelope) t.config.Tcp.Config.pr_min_mxrtt
 
 let ewrtt t = Ewrtt.ewrtt t.envelope
 
-let outstanding t = Hashtbl.length t.to_be_ack
+let outstanding t = t.out_count
 
 let memorize_size t = t.memorize_size
 
@@ -126,71 +241,97 @@ let metrics t =
     ("false_drops", float_of_int t.n_false_drops);
     ("extreme_resets", float_of_int t.n_extreme_resets);
     ("mxrtt_doublings", float_of_int t.n_mxrtt_doublings);
-    ("cwnd", t.cwnd);
+    ("cwnd", fget t cwnd_);
     ("ewrtt", ewrtt t);
     ("mxrtt", mxrtt t);
     ("memorize_size", float_of_int t.memorize_size);
-    ("outstanding", float_of_int (outstanding t)) ]
+    ("outstanding", float_of_int t.out_count) ]
 
 (* A [send_order] head is live if the packet is still outstanding with
    that exact send time (it may have been acknowledged, declared
    dropped, or re-sent since it was queued). *)
-let rec drop_stale_heads t =
-  match Queue.peek_opt t.send_order with
-  | Some (seq, sent_at) -> (
-    match Hashtbl.find_opt t.to_be_ack seq with
-    | Some entry when entry.sent_at = sent_at -> ()
-    | Some _ | None ->
-      ignore (Queue.pop t.send_order);
-      drop_stale_heads t)
-  | None -> ()
+let drop_stale_heads t =
+  let continue = ref true in
+  while !continue && t.so_len > 0 do
+    let seq = so_head_seq t in
+    if
+      in_span t seq
+      && get_state t seq land outstanding_bit <> 0
+      && Float.Array.unsafe_get t.sent_at (slot t seq) = so_head_time t
+    then continue := false
+    else so_pop t
+  done
 
 (* Earliest drop deadline among outstanding packets. All entries share
    the same mxrtt and sends happen in time order, so it is the send
    time at the head of [send_order] plus mxrtt — O(1) amortised. *)
-let earliest_deadline t =
-  drop_stale_heads t;
-  match Queue.peek_opt t.send_order with
-  | Some (_, sent_at) -> Some (sent_at +. mxrtt t)
-  | None -> None
-
 let arm_drop_timer t ~now =
-  match earliest_deadline t with
-  | None -> [ Tcp.Action.Cancel_timer { key = drop_timer_key } ]
-  | Some deadline ->
+  drop_stale_heads t;
+  if t.so_len = 0 then [ Tcp.Action.Cancel_timer { key = drop_timer_key } ]
+  else begin
+    let deadline = so_head_time t +. mxrtt t in
     [ Tcp.Action.Set_timer
         { key = drop_timer_key; delay = Float.max (deadline -. now) 0. } ]
+  end
 
 let send t ~now ~seq ~retx =
   t.n_sent <- t.n_sent + 1;
   if retx then t.n_retx <- t.n_retx + 1;
-  Hashtbl.replace t.to_be_ack seq
-    { sent_at = now; cwnd_at_send = t.cwnd; in_memorize = false };
-  Queue.push (seq, now) t.send_order;
-  Hashtbl.remove t.drop_times seq;
-  if not retx then Hashtbl.replace t.original_times seq now;
+  let i = slot t seq in
+  (* A retransmission keeps the first-transmission record; a fresh send
+     creates it. Either way the packet is now exactly outstanding (the
+     caller already took it out of to-be-sent). *)
+  let st =
+    if retx then get_state t seq land original_bit lor outstanding_bit
+    else begin
+      Float.Array.unsafe_set t.original_at i now;
+      original_bit lor outstanding_bit
+    end
+  in
+  Bytes.unsafe_set t.state i (Char.unsafe_chr st);
+  Float.Array.unsafe_set t.sent_at i now;
+  Float.Array.unsafe_set t.cwnd_send i (fget t cwnd_);
+  t.out_count <- t.out_count + 1;
+  so_push t ~seq ~time:now;
   Tcp.Action.Send { seq; retx }
+
+(* Smallest to-be-sent seq, or -1: advance [pending_min] past
+   non-members (it is a lower bound on every member). *)
+let pending_min_elt t =
+  if t.pending_count = 0 then -1
+  else begin
+    let seq = ref (max t.pending_min t.snd_una) in
+    while get_state t !seq land pending_bit = 0 do
+      incr seq
+    done;
+    t.pending_min <- !seq;
+    !seq
+  end
 
 (* flush-cwnd (Table 1): send the smallest pending sequence number while
    the window exceeds the number of outstanding packets — unless the
    extreme-loss state is delaying transmission. *)
 let flush t ~now =
-  let window = Float.min t.cwnd t.config.Tcp.Config.max_cwnd in
+  let window = Float.min (fget t cwnd_) t.config.Tcp.Config.max_cwnd in
   let rec loop acc =
-    if now < t.backoff_until then List.rev acc
-    else if window <= float_of_int (outstanding t) then List.rev acc
+    if now < fget t backoff_until_ then List.rev acc
+    else if window <= float_of_int t.out_count then List.rev acc
     else begin
-      match Int_set.min_elt_opt t.to_be_sent with
-      | Some seq ->
-        t.to_be_sent <- Int_set.remove seq t.to_be_sent;
-        loop (send t ~now ~seq ~retx:true :: acc)
-      | None ->
-        if all_new_data_sent t then List.rev acc
-        else begin
-          let seq = t.next_new in
-          t.next_new <- seq + 1;
-          loop (send t ~now ~seq ~retx:false :: acc)
-        end
+      let pending = pending_min_elt t in
+      if pending >= 0 then begin
+        let i = slot t pending in
+        set_state t pending
+          (Char.code (Bytes.unsafe_get t.state i) land lnot pending_bit);
+        t.pending_count <- t.pending_count - 1;
+        loop (send t ~now ~seq:pending ~retx:true :: acc)
+      end
+      else if all_new_data_sent t then List.rev acc
+      else begin
+        let seq = t.next_new in
+        ensure_span t ~span:(seq + 1 - t.snd_una);
+        t.next_new <- seq + 1;
+        loop (send t ~now ~seq ~retx:false :: acc)
+      end
     end
   in
   loop []
@@ -206,24 +347,24 @@ let start t ~now = flush_then_arm t ~now
 
 (* Window update on an acknowledged packet (Table 1, lines 18-22). *)
 let grow_window t =
-  (match t.mode with
-  | Slow_start ->
-    if t.cwnd +. 1. <= t.ssthr then t.cwnd <- t.cwnd +. 1.
-    else begin
-      t.mode <- Cong_avoid;
-      t.cwnd <- t.cwnd +. (1. /. t.cwnd)
-    end
-  | Cong_avoid -> t.cwnd <- t.cwnd +. (1. /. t.cwnd));
-  t.cwnd <- Float.min t.cwnd t.config.Tcp.Config.max_cwnd
+  let cwnd = fget t cwnd_ in
+  let cwnd =
+    match t.mode with
+    | Slow_start ->
+      if cwnd +. 1. <= fget t ssthr_ then cwnd +. 1.
+      else begin
+        t.mode <- Cong_avoid;
+        cwnd +. (1. /. cwnd)
+      end
+    | Cong_avoid -> cwnd +. (1. /. cwnd)
+  in
+  fset t cwnd_ (Float.min cwnd t.config.Tcp.Config.max_cwnd)
 
-let remove_from_memorize t entry =
-  if entry.in_memorize then begin
-    entry.in_memorize <- false;
-    t.memorize_size <- t.memorize_size - 1;
-    if t.memorize_size = 0 then begin
-      t.cburst <- 0;
-      t.burst_reacted <- false
-    end
+let remove_from_memorize t =
+  t.memorize_size <- t.memorize_size - 1;
+  if t.memorize_size = 0 then begin
+    t.cburst <- 0;
+    t.burst_reacted <- false
   end
 
 (* An informative ACK ends the extreme-loss episode: Table 1 recomputes
@@ -233,27 +374,29 @@ let remove_from_memorize t entry =
 let leave_extreme t =
   if t.extreme then begin
     t.extreme <- false;
-    t.mxrtt_override <- None
+    fset t mxrtt_override_ 0.
   end
 
 (* "ACK received for packet n" (Table 1): remove [n] from every list,
    updating the window for a packet confirmed delivered. If [n] had been
    declared dropped, the drop was really reordering: cancel the pending
-   retransmission. *)
+   retransmission. Zeroing the state byte also drops the
+   first-transmission record and keeps the ring slot clean for reuse. *)
 let ack_one t seq =
-  Hashtbl.remove t.original_times seq;
-  match Hashtbl.find_opt t.to_be_ack seq with
-  | Some entry ->
-    remove_from_memorize t entry;
-    Hashtbl.remove t.to_be_ack seq;
-    grow_window t
-  | None ->
-    if Int_set.mem seq t.to_be_sent then begin
-      t.to_be_sent <- Int_set.remove seq t.to_be_sent;
-      Hashtbl.remove t.drop_times seq;
+  if in_span t seq then begin
+    let st = get_state t seq in
+    set_state t seq 0;
+    if st land outstanding_bit <> 0 then begin
+      if st land memorize_bit <> 0 then remove_from_memorize t;
+      t.out_count <- t.out_count - 1;
+      grow_window t
+    end
+    else if st land pending_bit <> 0 then begin
+      t.pending_count <- t.pending_count - 1;
       t.n_false_drops <- t.n_false_drops + 1;
       grow_window t
     end
+  end
 
 (* One RTT sample per ACK: [now - time(n)] for the packet [n] whose
    arrival generated this ACK (identified by [for_seq]; [for_retx]
@@ -268,27 +411,30 @@ let ack_one t seq =
    from masking large samples and starving the envelope. *)
 let sample_rtt t ~now (ack : Tcp.Types.ack) =
   let for_seq = ack.Tcp.Types.for_seq in
-  let sent_at =
-    if not ack.Tcp.Types.for_retx then
-      Hashtbl.find_opt t.original_times for_seq
-    else begin
-      match Hashtbl.find_opt t.to_be_ack for_seq with
-      | Some entry -> Some entry.sent_at
-      | None -> Hashtbl.find_opt t.drop_times for_seq
+  if in_span t for_seq then begin
+    let st = get_state t for_seq in
+    if not ack.Tcp.Types.for_retx then begin
+      if st land original_bit <> 0 then
+        Ewrtt.on_sample t.envelope ~cwnd:(fget t cwnd_)
+          ~sample:(now -. Float.Array.unsafe_get t.original_at (slot t for_seq))
     end
-  in
-  match sent_at with
-  | Some sent_at ->
-    Ewrtt.on_sample t.envelope ~cwnd:t.cwnd ~sample:(now -. sent_at)
-  | None -> ()
+    else if st land (outstanding_bit lor pending_bit) <> 0 then
+      (* Outstanding: last send time. Declared dropped: the send time
+         recorded at the drop (the [sent_at] slot is preserved across
+         the transition). *)
+      Ewrtt.on_sample t.envelope ~cwnd:(fget t cwnd_)
+        ~sample:(now -. Float.Array.unsafe_get t.sent_at (slot t for_seq))
+  end
 
 let on_ack t ~now (ack : Tcp.Types.ack) =
   if finished t then []
   else begin
     let advanced = ack.Tcp.Types.next > t.snd_una in
     let arrived_new =
-      Hashtbl.mem t.to_be_ack ack.Tcp.Types.for_seq
-      || Int_set.mem ack.Tcp.Types.for_seq t.to_be_sent
+      in_span t ack.Tcp.Types.for_seq
+      && get_state t ack.Tcp.Types.for_seq
+         land (outstanding_bit lor pending_bit)
+         <> 0
     in
     if advanced || arrived_new then begin
       sample_rtt t ~now ack;
@@ -321,67 +467,72 @@ let on_ack t ~now (ack : Tcp.Types.ack) =
 let enter_extreme t ~now =
   t.n_extreme_resets <- t.n_extreme_resets + 1;
   t.extreme <- true;
-  t.cwnd <- 1.;
+  fset t cwnd_ 1.;
   t.mode <- Slow_start;
   (* The burst that triggered the reset has been reacted to. *)
   t.cburst <- 0;
   t.burst_reacted <- true;
-  t.mxrtt_override <- Some (Float.max (mxrtt t) 1.);
-  t.backoff_until <- now +. mxrtt t
+  let override = Float.max (mxrtt t) 1. in
+  fset t mxrtt_override_ override;
+  fset t backoff_until_ (now +. override)
 
 let double_mxrtt t ~now =
   t.n_mxrtt_doublings <- t.n_mxrtt_doublings + 1;
-  let current = mxrtt t in
-  t.mxrtt_override <-
-    Some (Float.min (current *. 2.) t.config.Tcp.Config.max_rto);
-  t.backoff_until <- now +. mxrtt t
+  let override = Float.min (mxrtt t *. 2.) t.config.Tcp.Config.max_rto in
+  fset t mxrtt_override_ override;
+  fset t backoff_until_ (now +. override)
 
-(* Drop detected for packet [seq] (Table 1, lines 5-12). *)
-let declare_dropped t ~now seq entry =
+(* Drop detected for packet [seq] (Table 1, lines 5-12). The caller
+   guarantees [seq] is outstanding; its [sent_at] slot is preserved as
+   the drop time (feeding a late false-drop RTT sample). *)
+let declare_dropped t ~now seq =
   t.n_drops_detected <- t.n_drops_detected + 1;
-  Hashtbl.remove t.to_be_ack seq;
-  Hashtbl.replace t.drop_times seq entry.sent_at;
-  t.to_be_sent <- Int_set.add seq t.to_be_sent;
-  if entry.in_memorize then begin
+  let st = get_state t seq in
+  set_state t seq (st land lnot (outstanding_bit lor memorize_bit) lor pending_bit);
+  t.out_count <- t.out_count - 1;
+  t.pending_count <- t.pending_count + 1;
+  if seq < t.pending_min then t.pending_min <- seq;
+  if st land memorize_bit <> 0 then begin
     (* The sender already reacted to this congestion event; count the
        burst and watch for extreme losses. The reset fires only while
        the window is still open — once collapsed to one packet, further
        burst drops are already accounted for. *)
-    entry.in_memorize <- false;
     t.memorize_size <- t.memorize_size - 1;
     t.cburst <- t.cburst + 1;
     if
-      float_of_int t.cburst > (t.cwnd /. 2.) +. 1.
+      float_of_int t.cburst > (fget t cwnd_ /. 2.) +. 1.
       && (not t.burst_reacted)
-      && t.cwnd > 1.
+      && fget t cwnd_ > 1.
     then enter_extreme t ~now;
     if t.memorize_size = 0 then begin
       t.cburst <- 0;
       t.burst_reacted <- false
     end
   end
-  else if t.extreme && t.cwnd <= 1. then
+  else if t.extreme && fget t cwnd_ <= 1. then
     (* New drop while collapsed by extreme losses: exponential back-off
        of the threshold instead of another window halving. *)
     double_mxrtt t ~now
   else begin
     let basis =
-      if t.config.Tcp.Config.pr_snapshot_cwnd then entry.cwnd_at_send
-      else t.cwnd
+      if t.config.Tcp.Config.pr_snapshot_cwnd then
+        Float.Array.unsafe_get t.cwnd_send (slot t seq)
+      else fget t cwnd_
     in
-    t.cwnd <- Float.max (basis /. 2.) 1.;
-    t.ssthr <- t.cwnd;
+    fset t cwnd_ (Float.max (basis /. 2.) 1.);
+    fset t ssthr_ (fget t cwnd_);
     t.mode <- Cong_avoid;
     if t.config.Tcp.Config.pr_memorize then begin
       (* Snapshot the packets outstanding at the halving; their later
-         drops belong to this same congestion event. *)
-      let flag _ e =
-        if not e.in_memorize then begin
-          e.in_memorize <- true;
+         drops belong to this same congestion event. [seq] itself is
+         already out of to-be-ack and is not flagged. *)
+      for s = t.snd_una to t.next_new - 1 do
+        let st = get_state t s in
+        if st land outstanding_bit <> 0 && st land memorize_bit = 0 then begin
+          set_state t s (st lor memorize_bit);
           t.memorize_size <- t.memorize_size + 1
         end
-      in
-      Hashtbl.iter flag t.to_be_ack;
+      done;
       t.cburst <- 0
     end
   end
@@ -389,23 +540,23 @@ let declare_dropped t ~now seq entry =
 let check_drops t ~now =
   (* Walk [send_order] from the oldest outstanding send: everything past
      its deadline is declared dropped, and the first live entry inside
-     the deadline stops the scan (later sends expire later). *)
-  let rec expire () =
+     the deadline stops the scan (later sends expire later; mxrtt is
+     re-read per step because an extreme back-off can change it
+     mid-scan). *)
+  let continue = ref true in
+  while !continue do
     drop_stale_heads t;
-    match Queue.peek_opt t.send_order with
-    | Some (seq, sent_at) when sent_at +. mxrtt t <= now +. 1e-12 ->
-      ignore (Queue.pop t.send_order);
-      (match Hashtbl.find_opt t.to_be_ack seq with
-      | Some entry -> declare_dropped t ~now seq entry
-      | None -> ());
-      expire ()
-    | Some _ | None -> ()
-  in
-  expire ();
+    if t.so_len > 0 && so_head_time t +. mxrtt t <= now +. 1e-12 then begin
+      let seq = so_head_seq t in
+      so_pop t;
+      declare_dropped t ~now seq
+    end
+    else continue := false
+  done;
   let backoff_timer =
-    if now < t.backoff_until then
+    if now < fget t backoff_until_ then
       [ Tcp.Action.Set_timer
-          { key = backoff_timer_key; delay = t.backoff_until -. now } ]
+          { key = backoff_timer_key; delay = fget t backoff_until_ -. now } ]
     else []
   in
   let sends_and_timer = flush_then_arm t ~now in

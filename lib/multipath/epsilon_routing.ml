@@ -1,4 +1,12 @@
-type t = { rng : Sim.Rng.t; weights : float array }
+type t = {
+  rng : Sim.Rng.t;
+  weights : float array;
+  (* Left-to-right running sums of [weights], precomputed so that
+     [sample] replays exactly the scan [Sim.Rng.choose] would perform
+     without allocating anything per draw — path choice runs once per
+     packet. *)
+  cum : floatarray;
+}
 
 let create rng ~epsilon ~costs =
   if epsilon < 0. then invalid_arg "Epsilon_routing.create: negative epsilon";
@@ -16,7 +24,14 @@ let create rng ~epsilon ~costs =
   let raw = Array.map (fun c -> exp (-.epsilon *. (c -. min_cost))) costs in
   let total = Array.fold_left ( +. ) 0. raw in
   let weights = Array.map (fun w -> w /. total) raw in
-  { rng; weights }
+  let n = Array.length weights in
+  let cum = Float.Array.create n in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. weights.(i);
+    Float.Array.set cum i !acc
+  done;
+  { rng; weights; cum }
 
 let of_hop_counts rng ~epsilon ~hop_counts =
   if Array.length hop_counts = 0 then
@@ -30,6 +45,17 @@ let for_lattice rng ~epsilon (lattice : Topo.Multipath_lattice.t) =
 
 let weights t = Array.copy t.weights
 
-let sample t = Sim.Rng.choose t.rng t.weights
+(* Same draw and same scan as [Sim.Rng.choose t.rng t.weights] — the
+   cumulative sums were built with the identical left-associated float
+   additions, so the chosen indices are bit-for-bit unchanged. *)
+let sample t =
+  let n = Float.Array.length t.cum in
+  let total = Float.Array.unsafe_get t.cum (n - 1) in
+  let target = Sim.Rng.float t.rng *. total in
+  let i = ref 0 in
+  while !i < n - 1 && not (target < Float.Array.unsafe_get t.cum !i) do
+    incr i
+  done;
+  !i
 
 let route t routes = routes.(sample t)

@@ -50,14 +50,29 @@ type t = {
      link serialises transmissions, so the same block can sit in the
      event queue for every one of them. *)
   mutable tx_done_event : Sim.Engine.event;
+  (* Free arrival cells (stack of [arrive_free] cells). Unlike
+     [Tx_done], many arrivals can be in flight on one link at once
+     (one per packet inside [delay_s]), so each carries its own cell —
+     pooled, with the [Arrive] event block cached inside, so the
+     steady-state per-transmission cost is two stores instead of a
+     fresh variant block per packet. *)
+  mutable arrive_cells : arrive_cell array;
+  mutable arrive_free : int;
 }
 
-(* Typed scheduler events: transmitting a packet costs one small variant
-   block (the arrival — its completion event is reused, see
-   [tx_done_event]) instead of two heap closures (see DESIGN.md §10). *)
+and arrive_cell = {
+  ar_link : t;
+  mutable ar_packet : Packet.t;
+  mutable ar_event : Sim.Engine.event;
+}
+
+(* Typed scheduler events: transmitting a packet reuses pooled event
+   blocks (completion via [tx_done_event], arrival via a pooled cell)
+   instead of allocating two heap closures per packet (see DESIGN.md
+   §10). *)
 type Sim.Engine.event +=
   | Tx_done of t
-  | Arrive of t * Packet.t
+  | Arrive of arrive_cell
 
 let id t = t.id
 
@@ -86,6 +101,31 @@ let set_bandwidth t bps =
   assert (bps > 0.);
   t.bandwidth_bps <- bps
 
+let alloc_arrive t packet =
+  if t.arrive_free = 0 then begin
+    let cell =
+      { ar_link = t; ar_packet = packet; ar_event = Sim.Engine.Closure ignore }
+    in
+    cell.ar_event <- Arrive cell;
+    cell
+  end
+  else begin
+    t.arrive_free <- t.arrive_free - 1;
+    let cell = Array.unsafe_get t.arrive_cells t.arrive_free in
+    cell.ar_packet <- packet;
+    cell
+  end
+
+let release_arrive t cell =
+  let cap = Array.length t.arrive_cells in
+  if t.arrive_free = cap then begin
+    let bigger = Array.make (max 4 (2 * cap)) cell in
+    Array.blit t.arrive_cells 0 bigger 0 cap;
+    t.arrive_cells <- bigger
+  end;
+  Array.unsafe_set t.arrive_cells t.arrive_free cell;
+  t.arrive_free <- t.arrive_free + 1
+
 let rec transmit t packet =
   observe t Transmit_start packet;
   let tx_time = float_of_int packet.Packet.size *. 8. /. t.bandwidth_bps in
@@ -105,7 +145,7 @@ let rec transmit t packet =
   ignore
     (Sim.Engine.schedule_event_after t.engine
        ~delay:(tx_time +. t.delay_s +. extra)
-       (Arrive (t, packet)))
+       (alloc_arrive t packet).ar_event)
 
 and finish_transmission t =
   t.transmitted_packets <- t.transmitted_packets + 1;
@@ -122,7 +162,10 @@ let dispatch = function
   | Tx_done link ->
     finish_transmission link;
     true
-  | Arrive (link, packet) ->
+  | Arrive cell ->
+    let link = cell.ar_link in
+    let packet = cell.ar_packet in
+    release_arrive link cell;
     arrive link packet;
     true
   | _ -> false
@@ -171,7 +214,9 @@ let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
       transmitted_bytes = 0;
       injected_losses = 0;
       busy_time = Float.Array.make 1 0.;
-      tx_done_event = Sim.Engine.Closure ignore }
+      tx_done_event = Sim.Engine.Closure ignore;
+      arrive_cells = [||];
+      arrive_free = 0 }
   in
   t.tx_done_event <- Tx_done t;
   t

@@ -95,45 +95,60 @@ let ensure_bit_capacity t seq =
 
 (* --- heap ----------------------------------------------------------- *)
 
-let place t i time seq payload =
-  t.times.(i) <- time;
-  t.seqs.(i) <- seq;
-  t.payloads.(i) <- payload
-
 (* Hole-based sifts: slot [i] is a hole; move entries across it until
-   (time, seq, payload) finds its position, then write once. *)
-let rec sift_up t i time seq payload =
-  if i = 0 then place t 0 time seq payload
-  else begin
-    let p = (i - 1) / 2 in
+   (time, seq, payload) finds its position, then write once. Spelled as
+   loops whose moves copy [times] slot-to-slot directly: a float array
+   to float array move stays unboxed, whereas routing the parent's time
+   through a helper call boxed it — one 16-byte block per heap level on
+   every push and pop (no flambda), which dominated the per-event cost
+   once enough packets were in flight to give the heap real depth. *)
+let sift_up t i time seq payload =
+  let i = ref i in
+  let walking = ref true in
+  while !walking && !i > 0 do
+    let p = (!i - 1) / 2 in
     let pt = t.times.(p) in
     if time < pt || (time = pt && seq < t.seqs.(p)) then begin
-      place t i pt t.seqs.(p) t.payloads.(p);
-      sift_up t p time seq payload
+      t.times.(!i) <- t.times.(p);
+      t.seqs.(!i) <- t.seqs.(p);
+      t.payloads.(!i) <- t.payloads.(p);
+      i := p
     end
-    else place t i time seq payload
-  end
+    else walking := false
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- payload
 
-let rec sift_down t i time seq payload =
-  let l = (2 * i) + 1 in
-  if l >= t.size then place t i time seq payload
-  else begin
-    let r = l + 1 in
-    let c =
-      if
-        r < t.size
-        && (t.times.(r) < t.times.(l)
-           || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
-      then r
-      else l
-    in
-    let ct = t.times.(c) in
-    if ct < time || (ct = time && t.seqs.(c) < seq) then begin
-      place t i ct t.seqs.(c) t.payloads.(c);
-      sift_down t c time seq payload
+let sift_down t i time seq payload =
+  let i = ref i in
+  let walking = ref true in
+  while !walking do
+    let l = (2 * !i) + 1 in
+    if l >= t.size then walking := false
+    else begin
+      let r = l + 1 in
+      let c =
+        if
+          r < t.size
+          && (t.times.(r) < t.times.(l)
+             || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
+        then r
+        else l
+      in
+      let ct = t.times.(c) in
+      if ct < time || (ct = time && t.seqs.(c) < seq) then begin
+        t.times.(!i) <- t.times.(c);
+        t.seqs.(!i) <- t.seqs.(c);
+        t.payloads.(!i) <- t.payloads.(c);
+        i := c
+      end
+      else walking := false
     end
-    else place t i time seq payload
-  end
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- payload
 
 let resize_heap t ncap filler =
   let times = Array.make ncap 0. in
@@ -183,7 +198,40 @@ let push_seq t ~time ~seq payload =
 let remove_top t =
   let n = t.size - 1 in
   t.size <- n;
-  if n > 0 then sift_down t 0 t.times.(n) t.seqs.(n) t.payloads.(n)
+  if n > 0 then begin
+    (* Inline [sift_down t 0 t.times.(n) ...]: calling it would box the
+       float argument once per pop. The hole's key lives in slot [n]
+       (dead, beyond [size]) and moves only slot-to-slot. *)
+    let seq = t.seqs.(n) in
+    let i = ref 0 in
+    let walking = ref true in
+    while !walking do
+      let l = (2 * !i) + 1 in
+      if l >= n then walking := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (t.times.(r) < t.times.(l)
+               || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
+          then r
+          else l
+        in
+        let ct = t.times.(c) in
+        if ct < t.times.(n) || (ct = t.times.(n) && t.seqs.(c) < seq) then begin
+          t.times.(!i) <- t.times.(c);
+          t.seqs.(!i) <- t.seqs.(c);
+          t.payloads.(!i) <- t.payloads.(c);
+          i := c
+        end
+        else walking := false
+      end
+    done;
+    t.times.(!i) <- t.times.(n);
+    t.seqs.(!i) <- seq;
+    t.payloads.(!i) <- t.payloads.(n)
+  end
 
 let rec pop t =
   if t.size = 0 then None
@@ -285,7 +333,9 @@ let compact t =
   let n = ref 0 in
   for i = 0 to t.size - 1 do
     if bit_is_set t t.seqs.(i) then begin
-      place t !n t.times.(i) t.seqs.(i) t.payloads.(i);
+      t.times.(!n) <- t.times.(i);
+      t.seqs.(!n) <- t.seqs.(i);
+      t.payloads.(!n) <- t.payloads.(i);
       incr n
     end
   done;

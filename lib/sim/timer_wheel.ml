@@ -82,7 +82,11 @@ let create ~granularity () =
     slots1 = Array.make l1_slots (-1);
     slots2 = Array.make l2_slots (-1);
     tick = 0;
-    due = [||];
+    (* Persistent scratch: the due heap lives for the wheel's lifetime
+       and only ever doubles, so steady-state advance/drain churn never
+       rebuilds it. 64 slots cover a tick's worth of timers for every
+       workload in the tree without a single regrow. *)
+    due = Array.make 64 (-1);
     due_size = 0 }
 
 let granularity t = t.granularity
@@ -375,27 +379,44 @@ let due t ~up_to =
   if t.live = 0 then false
   else begin
     due_skim t;
-    (* Advance until the due head provably precedes every still-slotted
-       entry (its tick is strictly below the cursor, so its time is
-       below the slot start, the lower bound of all unscanned slots —
-       strict, so equal-tick entries in the boundary slot are drained
-       first and (time, seq) decides), or the cursor passes [up_to]'s
-       tick, at which point nothing <= up_to can remain in the slots.
-       The loop body is all-integer: per-tick float arithmetic would
-       cost a boxed float per empty tick traversed. *)
-    let limit = tick_of t up_to in
-    let continue = ref true in
-    while !continue do
-      if t.due_size > 0 && t.ticks.(t.due.(0)) < t.tick then
-        continue := false
-      else if t.tick > limit then continue := false
-      else if t.live = 0 then continue := false
-      else begin
-        step t;
-        due_skim t
-      end
-    done;
-    t.due_size > 0 && t.times.(t.due.(0)) <= up_to
+    (* Fast path: a due head whose tick is strictly below the cursor
+       provably precedes every still-slotted entry (slotted entries have
+       time >= the cursor's slot start), so it is the wheel's global
+       minimum and no cursor work — in particular no [tick_of] float
+       division — is needed to answer. This is the common case when the
+       engine polls once per merged event. *)
+    if t.due_size > 0 && t.ticks.(t.due.(0)) < t.tick then
+      t.times.(t.due.(0)) <= up_to
+    else begin
+      (* Advance until the due head provably precedes every still-slotted
+         entry (its tick is strictly below the cursor, so its time is
+         below the slot start, the lower bound of all unscanned slots —
+         strict, so equal-tick entries in the boundary slot are drained
+         first and (time, seq) decides), or the cursor passes [up_to]'s
+         tick, at which point nothing <= up_to can remain in the slots.
+         The loop body is all-integer: per-tick float arithmetic would
+         cost a boxed float per empty tick traversed. *)
+      (* [tick_of] on an infinite or astronomically large bound would
+         hit undefined [int_of_float] behaviour (run-to-completion
+         passes [infinity]); an unreachable tick is equivalent, and the
+         [live = 0] guard still bounds the scan. *)
+      let limit =
+        if up_to /. t.granularity >= float_of_int max_int then max_int
+        else tick_of t up_to
+      in
+      let continue = ref true in
+      while !continue do
+        if t.due_size > 0 && t.ticks.(t.due.(0)) < t.tick then
+          continue := false
+        else if t.tick > limit then continue := false
+        else if t.live = 0 then continue := false
+        else begin
+          step t;
+          due_skim t
+        end
+      done;
+      t.due_size > 0 && t.times.(t.due.(0)) <= up_to
+    end
   end
 
 let head_time t = t.times.(t.due.(0))
@@ -411,3 +432,56 @@ let pop_due t =
   t.live <- t.live - 1;
   free_entry t i;
   payload
+
+(* [head_ready] re-establishes, after a pop or an arbitrary handler ran
+   (which may have cancelled entries sitting in the due heap), that the
+   due head is live and still provably the wheel's global minimum — the
+   fast-path condition of [due], without the [up_to] comparison. While
+   it holds, the engine's batched dispatcher can keep popping without
+   calling [due] (and paying its [tick_of]) per event. *)
+let head_ready t =
+  due_skim t;
+  t.due_size > 0 && t.ticks.(t.due.(0)) < t.tick
+
+(* Conservative lower bound on the key time of every pending entry:
+   slotted entries lie at or beyond the cursor's slot start (see
+   [tick_of]'s invariant: an entry's stored tick k satisfies
+   [float_of_int k *. granularity <= time], and float multiplication by
+   a positive constant is monotone), and due-heap entries speak for
+   themselves. Cancelled-but-linked entries only make the bound lower,
+   never wrong. While the heap substrate's head time is strictly below
+   this bound, the engine can drain heap events without touching the
+   wheel at all. *)
+let lower_bound t =
+  if t.live = 0 then infinity
+  else begin
+    let slot_lb = float_of_int t.tick *. t.granularity in
+    if t.due_size > 0 && t.times.(t.due.(0)) < slot_lb then
+      t.times.(t.due.(0))
+    else slot_lb
+  end
+
+(* Batch drain: dispatch every entry with [time <= up_to] to [f time
+   payload], in exact (time, seq) order, advancing the cursor as
+   needed. Equivalent to [while due t ~up_to do f (head_time t)
+   (pop_due t) done] but with the due/coverage check amortised over
+   whole buckets instead of re-derived per entry. [f] may arm or cancel
+   timers on this wheel. [stop] is polled between entries so a caller
+   merging with another event source can bail out as soon as that
+   source gains work (the engine stops when the heap becomes
+   non-empty). *)
+let drain_due t ~up_to ?(stop = fun () -> false) f =
+  let continue = ref true in
+  while !continue do
+    if stop () then continue := false
+    else if head_ready t then begin
+      (* Covered head: pop a run without consulting the cursor. *)
+      let time = t.times.(t.due.(0)) in
+      if time <= up_to then f time (pop_due t) else continue := false
+    end
+    else if due t ~up_to then begin
+      let time = t.times.(t.due.(0)) in
+      f time (pop_due t)
+    end
+    else continue := false
+  done

@@ -58,6 +58,33 @@ val head_seq : 'a t -> int
     only after {!due} returned [true]. *)
 val pop_due : 'a t -> 'a
 
+(** [head_ready t] is [true] while the earliest due entry is live and
+    provably the wheel's global minimum (its tick lies strictly below
+    the cursor), re-checked cheaply — no cursor advance, no float
+    division. While it holds, {!head_time} / {!head_seq} / {!pop_due}
+    may be used directly; a batched dispatcher calls this between pops
+    instead of re-running {!due} per event. *)
+val head_ready : 'a t -> bool
+
+(** [lower_bound t] is a conservative lower bound on the key time of
+    every pending entry ([infinity] when none are live): no entry can
+    fire strictly before it. Another event source whose head lies
+    strictly below the bound may be drained without touching the wheel
+    — but arming a new entry can lower the bound, so it must be
+    re-read after any arm. *)
+val lower_bound : 'a t -> float
+
+(** [drain_due t ~up_to f] pops every entry with [time <= up_to] in
+    exact [(time, seq)] order and calls [f time payload] on each — the
+    batched equivalent of a {!due} / {!pop_due} loop, with the
+    coverage check amortised over whole due buckets. [f] may arm and
+    cancel entries on [t]; newly armed entries due by [up_to] are
+    dispatched in the same call. [stop] (default [fun () -> false]) is
+    polled between entries; when it returns [true] the drain ends
+    immediately, leaving the remaining entries pending. *)
+val drain_due :
+  'a t -> up_to:float -> ?stop:(unit -> bool) -> (float -> 'a -> unit) -> unit
+
 (** Live (armed, uncancelled) entries. *)
 val live : 'a t -> int
 

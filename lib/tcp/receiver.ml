@@ -2,13 +2,24 @@ type disposition =
   | Ack_now of Types.ack
   | Defer of Types.ack
 
+(* [recent] (sequence numbers of recent out-of-order arrivals, most
+   recent first, ordering SACK blocks by recency as RFC 2018 requires)
+   is self-pruning: building the SACK list truncates it to the seqs
+   contributing the (at most [max_sack_blocks]) reported blocks, and
+   every arrival builds the list. So it lives in a tiny fixed array —
+   the old [int list] re-filtered per arrival allocated a fresh list
+   for every out-of-order packet. *)
+let recent_cap = Types.max_sack_blocks + 1
+
 type t = {
   config : Config.t;
   mutable rcv_next : int;
-  mutable out_of_order : Intervals.t;
-  (* Sequence numbers of recent out-of-order arrivals, most recent
-     first; used to order SACK blocks by recency as RFC 2018 requires. *)
-  mutable recent : int list;
+  out_of_order : Interval_buf.t;
+  recent : int array;
+  mutable recent_len : int;
+  (* Scratch for SACK-block assembly, reused across arrivals. *)
+  block_first : int array;
+  block_last : int array;
   mutable duplicates : int;
   (* Delayed ACKs: true while one in-order segment is awaiting
      acknowledgement. *)
@@ -25,8 +36,11 @@ let create config =
   Config.validate config;
   { config;
     rcv_next = 0;
-    out_of_order = Intervals.empty;
-    recent = [];
+    out_of_order = Interval_buf.create ();
+    recent = Array.make recent_cap 0;
+    recent_len = 0;
+    block_first = Array.make Types.max_sack_blocks 0;
+    block_last = Array.make Types.max_sack_blocks 0;
     duplicates = 0;
     ack_deferred = false;
     serial = 0;
@@ -38,52 +52,82 @@ let in_order_segments t = t.rcv_next
 
 let duplicates t = t.duplicates
 
-let buffered t = Intervals.cardinal t.out_of_order
+let buffered t = Interval_buf.cardinal t.out_of_order
 
 let reorder_depth t = t.reorder_depth
 
 (* Up to [max_sack_blocks] blocks: the block containing the most recent
    arrival first, then blocks containing earlier arrivals, without
    repeats. Stale entries (already cumulatively acked or merged) are
-   pruned as a side effect. *)
+   pruned as a side effect; entries beyond the block limit are dropped
+   with them, keeping [recent] within its fixed capacity. *)
 let sack_blocks t =
-  let rec build acc blocks seqs =
-    match seqs with
-    | [] -> (List.rev acc, List.rev blocks)
-    | seq :: rest ->
-      if List.length blocks >= Types.max_sack_blocks then
-        (List.rev acc, List.rev blocks)
-      else begin
-        match Intervals.containing t.out_of_order seq with
-        | None -> build acc blocks rest (* stale: drop from recency list *)
-        | Some (first, last) ->
-          let block = { Types.first; last } in
-          if List.mem block blocks then build acc blocks rest
-          else build (seq :: acc) (block :: blocks) rest
+  let nb = ref 0 in
+  let kept = ref 0 in
+  let i = ref 0 in
+  while !i < t.recent_len && !nb < Types.max_sack_blocks do
+    let seq = t.recent.(!i) in
+    let idx = Interval_buf.find t.out_of_order seq in
+    if idx >= 0 then begin
+      let first = Interval_buf.first t.out_of_order idx in
+      let last = Interval_buf.last t.out_of_order idx in
+      let dup = ref false in
+      for j = 0 to !nb - 1 do
+        if t.block_first.(j) = first && t.block_last.(j) = last then
+          dup := true
+      done;
+      if not !dup then begin
+        t.block_first.(!nb) <- first;
+        t.block_last.(!nb) <- last;
+        incr nb;
+        t.recent.(!kept) <- seq;
+        incr kept
       end
+    end;
+    incr i
+  done;
+  t.recent_len <- !kept;
+  let rec build j acc =
+    if j < 0 then acc
+    else
+      build (j - 1)
+        ({ Types.first = t.block_first.(j); last = t.block_last.(j) } :: acc)
   in
-  let kept, blocks = build [] [] t.recent in
-  t.recent <- kept;
-  blocks
+  build (!nb - 1) []
+
+(* Move [seq] to the front of [recent], dropping any existing
+   occurrence ([recent_len < recent_cap] always holds here: the
+   previous arrival's SACK build left at most [max_sack_blocks]
+   entries). *)
+let touch_recent t seq =
+  let pos = ref (-1) in
+  for k = 0 to t.recent_len - 1 do
+    if t.recent.(k) = seq then pos := k
+  done;
+  let shift_from = if !pos >= 0 then !pos else t.recent_len in
+  for k = shift_from downto 1 do
+    t.recent.(k) <- t.recent.(k - 1)
+  done;
+  t.recent.(0) <- seq;
+  if !pos < 0 then t.recent_len <- t.recent_len + 1
 
 let receive t ?(retx = false) ~seq () =
   assert (seq >= 0);
-  let buffered_before = not (Intervals.is_empty t.out_of_order) in
-  let duplicate = seq < t.rcv_next || Intervals.mem t.out_of_order seq in
+  let buffered_before = not (Interval_buf.is_empty t.out_of_order) in
+  let duplicate = seq < t.rcv_next || Interval_buf.mem t.out_of_order seq in
   let in_order = (not duplicate) && seq = t.rcv_next in
   if duplicate then t.duplicates <- t.duplicates + 1
   else if in_order then begin
     t.rcv_next <- t.rcv_next + 1;
     (* Drain any out-of-order run that is now contiguous. *)
-    (match Intervals.containing t.out_of_order t.rcv_next with
-    | Some (_, last) -> t.rcv_next <- last + 1
-    | None -> ());
-    t.out_of_order <- Intervals.remove_below t.out_of_order t.rcv_next
+    let idx = Interval_buf.find t.out_of_order t.rcv_next in
+    if idx >= 0 then t.rcv_next <- Interval_buf.last t.out_of_order idx + 1;
+    Interval_buf.remove_below t.out_of_order t.rcv_next
   end
   else begin
     Obs.Metrics.Histogram.record t.reorder_depth (seq - t.rcv_next);
-    t.out_of_order <- Intervals.add t.out_of_order seq;
-    t.recent <- seq :: List.filter (fun s -> s <> seq) t.recent
+    Interval_buf.add t.out_of_order seq;
+    touch_recent t seq
   end;
   let dsack = if duplicate then Some { Types.first = seq; last = seq } else None in
   let serial = t.serial in

@@ -1,34 +1,48 @@
+(* Hot float state lives in a flat [floatarray]: [sample] runs once per
+   ACK and [backoff]/[reset_backoff] per timeout/delivery, and writing a
+   float into a mixed record boxes it (2 words per write). *)
+let srtt_ = 0
+
+let rttvar_ = 1
+
+let multiplier_ = 2
+
 type t = {
   config : Config.t;
-  mutable srtt : float;
-  mutable rttvar : float;
+  f : floatarray;
   mutable has_sample : bool;
-  mutable multiplier : float;
 }
 
+let get t i = Float.Array.unsafe_get t.f i
+
+let set t i v = Float.Array.unsafe_set t.f i v
+
 let create config =
-  { config; srtt = 0.; rttvar = 0.; has_sample = false; multiplier = 1. }
+  let f = Float.Array.make 3 0. in
+  Float.Array.unsafe_set f multiplier_ 1.;
+  { config; f; has_sample = false }
 
 let sample t rtt =
   assert (rtt >= 0.);
   if not t.has_sample then begin
-    t.srtt <- rtt;
-    t.rttvar <- rtt /. 2.;
+    set t srtt_ rtt;
+    set t rttvar_ (rtt /. 2.);
     t.has_sample <- true
   end
   else begin
-    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt));
-    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+    let srtt = get t srtt_ in
+    set t rttvar_ ((0.75 *. get t rttvar_) +. (0.25 *. Float.abs (srtt -. rtt)));
+    set t srtt_ ((0.875 *. srtt) +. (0.125 *. rtt))
   end
 
 let base t =
   if not t.has_sample then t.config.Config.initial_rto
   else
     let g = t.config.Config.timer_granularity in
-    t.srtt +. Float.max g (4. *. t.rttvar)
+    get t srtt_ +. Float.max g (4. *. get t rttvar_)
 
 let current t =
-  let rto = base t *. t.multiplier in
+  let rto = base t *. get t multiplier_ in
   let rto = Float.max rto t.config.Config.min_rto in
   Float.min rto t.config.Config.max_rto
 
@@ -45,10 +59,10 @@ let backoff t =
   (* [base] is positive in any validated config ([initial_rto > 0] and
      RTT samples are nonnegative); the floor only guards the degenerate
      all-zero case against dividing by zero. *)
-  t.multiplier <- target /. Float.max (base t) 1e-12
+  set t multiplier_ (target /. Float.max (base t) 1e-12)
 
-let reset_backoff t = t.multiplier <- 1.
+let reset_backoff t = set t multiplier_ 1.
 
-let srtt t = if t.has_sample then Some t.srtt else None
+let srtt t = if t.has_sample then Some (get t srtt_) else None
 
-let rttvar t = if t.has_sample then Some t.rttvar else None
+let rttvar t = if t.has_sample then Some (get t rttvar_) else None

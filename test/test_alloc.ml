@@ -1,0 +1,137 @@
+(* Allocation regression tests: GC-delta bytes per simulated packet on
+   the two gate scenarios (dumbbell contention and the epsilon-routed
+   multipath lattice), on both scheduler substrates.
+
+   These replicate the bench/alloc_suite.ml scenarios at the same scale
+   (they run in milliseconds) but live in the test suite so `dune
+   runtest` catches an allocation regression without anyone running
+   `make bench-gate`: a box back on the heap-sift or RNG path, a
+   closure per packet, a [Some] on the receiver path all cost hundreds
+   of bytes per packet and blow the budget immediately.
+
+   The budgets are the PR6 acceptance ceilings (PR3 + 10%), not the
+   currently-measured values (~230 B/packet) — headroom for compiler
+   version drift, none for a real per-packet allocation. *)
+
+let dumbbell_budget = 360.
+
+let lattice_budget = 385.
+
+let bounded_config segments =
+  { Tcp.Config.default with
+    Tcp.Config.total_segments = Some segments;
+    min_rto = 0.2;
+    initial_rto = 1.;
+    max_rto = 16. }
+
+let count_packets network =
+  List.fold_left
+    (fun acc link ->
+      acc + Net.Link.transmitted_packets link + Net.Link.queue_drops link)
+    (Net.Network.total_injected_losses network)
+    (Net.Network.links network)
+
+(* [bytes_per_packet network ~measured] warms the minor heap out of the
+   way, runs the measured phase, flushes, and returns the GC-delta
+   quotient (see bench/alloc_suite.ml for why the flush is needed on
+   OCaml 5). *)
+let bytes_per_packet network ~measured =
+  Gc.full_major ();
+  let packets0 = count_packets network in
+  let bytes0 = Gc.allocated_bytes () in
+  measured ();
+  Gc.minor ();
+  let allocated = Gc.allocated_bytes () -. bytes0 in
+  let packets = count_packets network - packets0 in
+  Alcotest.(check bool) "measured phase moved packets" true (packets > 1000);
+  allocated /. float_of_int packets
+
+(* Dumbbell: a TCP-PR + TCP-SACK pair through the 1.5 Mb/s bottleneck,
+   warmup pair run to completion first (flows 0/1), measured pair
+   (flows 2/3) on the already-warm network. *)
+let dumbbell_bytes ~use_wheel =
+  let engine = Sim.Engine.create ~use_wheel () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  let config = bounded_config 600 in
+  let start ~at flow sender =
+    let c =
+      Tcp.Connection.create network ~flow ~src:topo.Topo.Dumbbell.sources.(0)
+        ~dst:topo.Topo.Dumbbell.sinks.(0) ~sender ~config
+        ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+        ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+        ()
+    in
+    Tcp.Connection.start c ~at
+  in
+  start ~at:0. 0 (snd Experiments.Variants.tcp_pr);
+  start ~at:0.05 1 (snd Experiments.Variants.tcp_sack);
+  Sim.Engine.run engine ~until:120.;
+  start ~at:120. 2 (snd Experiments.Variants.tcp_pr);
+  start ~at:120.05 3 (snd Experiments.Variants.tcp_sack);
+  bytes_per_packet network ~measured:(fun () ->
+      Sim.Engine.run engine ~until:240.)
+
+(* Lattice: one TCP-PR flow, epsilon = 0 (uniform path choice, maximal
+   persistent reordering), warmup flow first. *)
+let lattice_bytes ~use_wheel =
+  let engine = Sim.Engine.create ~use_wheel () in
+  let topo = Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ] () in
+  let network = topo.Topo.Multipath_lattice.network in
+  let rng = Sim.Rng.create 42 in
+  let sampler label =
+    Multipath.Epsilon_routing.for_lattice (Sim.Rng.split rng label)
+      ~epsilon:0. topo
+  in
+  let start ~at flow =
+    let fwd = sampler (Printf.sprintf "fwd-%d" flow)
+    and rev = sampler (Printf.sprintf "rev-%d" flow) in
+    let connection =
+      Tcp.Connection.create network ~flow
+        ~src:topo.Topo.Multipath_lattice.source
+        ~dst:topo.Topo.Multipath_lattice.destination
+        ~sender:(snd Experiments.Variants.tcp_pr)
+        ~config:(bounded_config 600)
+        ~route_data:(fun () ->
+          Multipath.Epsilon_routing.route fwd
+            topo.Topo.Multipath_lattice.forward_routes)
+        ~route_ack:(fun () ->
+          Multipath.Epsilon_routing.route rev
+            topo.Topo.Multipath_lattice.reverse_routes)
+        ()
+    in
+    Tcp.Connection.start connection ~at
+  in
+  start ~at:0. 0;
+  Sim.Engine.run engine ~until:120.;
+  start ~at:120. 1;
+  bytes_per_packet network ~measured:(fun () ->
+      Sim.Engine.run engine ~until:240.)
+
+let check_budget name budget bytes =
+  if bytes > budget then
+    Alcotest.failf "%s: %.1f B/packet exceeds the %.0f B/packet budget" name
+      bytes budget
+
+let test_dumbbell_wheel () =
+  check_budget "dumbbell (wheel)" dumbbell_budget (dumbbell_bytes ~use_wheel:true)
+
+let test_dumbbell_heap () =
+  check_budget "dumbbell (heap)" dumbbell_budget (dumbbell_bytes ~use_wheel:false)
+
+let test_lattice_wheel () =
+  check_budget "lattice (wheel)" lattice_budget (lattice_bytes ~use_wheel:true)
+
+let test_lattice_heap () =
+  check_budget "lattice (heap)" lattice_budget (lattice_bytes ~use_wheel:false)
+
+let () =
+  Alcotest.run "alloc"
+    [ ( "bytes-per-packet",
+        [ Alcotest.test_case "dumbbell, wheel" `Quick test_dumbbell_wheel;
+          Alcotest.test_case "dumbbell, heap" `Quick test_dumbbell_heap;
+          Alcotest.test_case "lattice, wheel" `Quick test_lattice_wheel;
+          Alcotest.test_case "lattice, heap" `Quick test_lattice_heap ] ) ]
