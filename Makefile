@@ -1,5 +1,6 @@
-.PHONY: all build test bench bench-quick bench-gate scale-smoke figures \
-	golden ci doc coverage coverage-summary clean
+.PHONY: all build test bench bench-quick bench-gate scale-smoke \
+	scale-smoke-sharded figures golden ci doc coverage coverage-summary \
+	clean
 
 all: build
 
@@ -30,9 +31,12 @@ bench-quick:
 
 # Perf gate only: re-measure bytes/simulated-packet (fail if any
 # scenario exceeds the recorded baseline by more than the 16 B/packet
-# budget), the events/sec scaling floor at 10k vs 1k flows, and the
-# raw engine events/sec floor (each engine-churn scenario must hold
-# >= 0.7x its recorded rate). Does not rewrite the records.
+# budget), the events/sec scaling floor at 10k vs 1k flows, the raw
+# engine events/sec floor (each engine-churn scenario must hold
+# >= 0.7x its recorded rate), and the sharded scaling floor (4-domain
+# events/sec >= 1.8x 1-domain; skipped below 4 cores). Baselines come
+# from the newest BENCH_PR*.json carrying each block. Does not
+# rewrite the records.
 bench-gate:
 	dune exec bench/main.exe -- gate
 
@@ -42,6 +46,14 @@ bench-gate:
 scale-smoke:
 	dune exec -- bin/tcp_pr_sim.exe scale --flows 1000 --duration 1 \
 	  --heap-baseline
+
+# Sharded smoke: the partitioned scenario at 1k flows on 2 domains,
+# with the invariant monitors armed per cell and the merged probe
+# trace required byte-identical to the --domains 1 baseline (exit 1
+# on any violation or digest mismatch).
+scale-smoke-sharded:
+	dune exec -- bin/tcp_pr_sim.exe scale --flows 1000 --duration 1 \
+	  --domains 2 --check-merge
 
 # FIGURE_JOBS=N sets the domain count for the experiment grids
 # (default: the machine's cores; output is identical at any N).
@@ -97,14 +109,16 @@ coverage-summary:
 # Gc-delta bytes/packet ceilings in test_alloc), a conformance smoke
 # run — fixed random scenarios over every sender variant with the
 # invariant monitors armed, plus the golden-trace digests — the
-# many-flow scale smoke, and the perf regression gate (allocation
-# budget + events/sec scaling floor + raw engine events/sec floor)
-# against the recorded BENCH_PR6.json.
+# many-flow scale smoke, the sharded merge smoke, and the perf
+# regression gate (allocation budget + events/sec scaling floor + raw
+# engine events/sec floor + sharded scaling floor) against the
+# recorded BENCH_PR*.json lineage.
 ci:
 	dune build @all
 	dune runtest
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 30 --golden test/golden
 	$(MAKE) --no-print-directory scale-smoke
+	$(MAKE) --no-print-directory scale-smoke-sharded
 	dune exec bench/main.exe -- gate
 	-@$(MAKE) --no-print-directory coverage
 

@@ -32,18 +32,23 @@
      alloc    allocation-per-packet scenarios only
      scale    many-flow scale suite only (wheel + heap baseline)
      engine   engine-only churn suite only
-     quick    Figs. 2/3/6 + micro + alloc + scale + engine (the
-              `make bench-quick` target)
+     sharded  sharded scale suite only (domains 1/2/4 sweep)
+     quick    Figs. 2/3/6 + micro + alloc + scale + engine + sharded
+              (the `make bench-quick` target)
      gate     FAIL (exit 1) if any of
                 - bytes per simulated packet exceeds the recorded
-                  baseline (BENCH_PR6.json, falling back to
-                  BENCH_PR5.json then BENCH_PR3.json) by more than
-                  the budget (16 B/packet),
+                  baseline (newest of BENCH_PR7/PR6/PR5/PR3.json with
+                  the block) by more than the budget (16 B/packet),
                 - events/sec at 10k flows on the wheel falls below
-                  0.5x events/sec at 1k flows (the scale floor), or
+                  0.5x events/sec at 1k flows (the scale floor),
                 - any engine-churn scenario's events/sec falls below
-                  0.7x its recorded BENCH_PR6.json value (the raw
-                  speed floor; absent from older records, skipped)
+                  0.7x its recorded value (the raw speed floor;
+                  absent from older records, skipped), or
+                - the 4-domain sharded scale run falls below 1.8x the
+                  1-domain events/sec or diverges from it in simulated
+                  counts (skipped with a notice on machines with
+                  fewer than 4 cores, where the shards cannot
+                  actually run concurrently)
               reads the records, never writes them (used by `make ci`)
    --jobs N (or BENCH_JOBS=N) runs figure grid points on N domains;
    the tables are identical to a sequential run.
@@ -51,9 +56,9 @@
    Every run (except gate) records wall-clock seconds per figure,
    ns/run per micro-benchmark, bytes/packet plus a metrics snapshot
    per alloc scenario, events/sec plus a metrics snapshot per scale
-   point, and events/sec per engine-churn scenario to
-   results/BENCH_PR6.json and the repo-root BENCH_PR6.json so later
-   PRs can track the perf trajectory. *)
+   point, events/sec per engine-churn scenario, and events/sec per
+   sharded domain count to results/BENCH_PR7.json and the repo-root
+   BENCH_PR7.json so later PRs can track the perf trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -87,7 +92,8 @@ let jobs =
 
 let mode =
   let known =
-    [ "all"; "figures"; "micro"; "quick"; "alloc"; "scale"; "engine"; "gate" ]
+    [ "all"; "figures"; "micro"; "quick"; "alloc"; "scale"; "engine";
+      "sharded"; "gate" ]
   in
   let picked = ref "all" in
   Array.iteri
@@ -104,6 +110,8 @@ let alloc_measurements : Alloc_suite.measurement list ref = ref []
 let scale_measurements : Scale_suite.measurement list ref = ref []
 
 let engine_measurements : Engine_suite.measurement list ref = ref []
+
+let sharded_measurements : Scale_suite.sharded_measurement list ref = ref []
 
 let heading title = Printf.printf "\n===== %s =====\n%!" title
 
@@ -425,6 +433,24 @@ let engine_suite () =
   engine_measurements := measurements
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: sharded scale suite                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sharded_suite () =
+  heading "Sharded scale: partitioned scenario across domain counts";
+  Printf.printf "  recommended_domain_count=%d\n%!"
+    (Domain.recommended_domain_count ());
+  let measurements = Scale_suite.run_sharded () in
+  List.iter Scale_suite.pp_sharded measurements;
+  (match Scale_suite.sharded_divergences measurements with
+  | [] ->
+    print_endline "  simulated results identical at every domain count"
+  | diverged ->
+    Printf.printf "  WARNING: domain counts diverge at %s\n"
+      (String.concat ", " diverged));
+  sharded_measurements := measurements
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable record                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -472,7 +498,7 @@ let write_record ~total_s =
    with Unix.Unix_error _ -> ());
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer "{\n";
-  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 6,\n");
+  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 7,\n");
   Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buffer (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buffer
@@ -538,6 +564,26 @@ let write_record ~total_s =
         m.Engine_suite.events m.Engine_suite.wall_s
         m.Engine_suite.events_per_s m.Engine_suite.allocated_bytes
         m.Engine_suite.bytes_per_event);
+  Buffer.add_string buffer ",\n  \"sharded_events_per_s\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map
+       (fun m -> (Scale_suite.sharded_label m, m.Scale_suite.s_events_per_s))
+       !sharded_measurements)
+    (Printf.sprintf "%.0f");
+  Buffer.add_string buffer ",\n  \"sharded_points\": ";
+  json_object_of buffer ~indent:"    "
+    (List.map (fun m -> (Scale_suite.sharded_label m, m)) !sharded_measurements)
+    (fun m ->
+      Printf.sprintf
+        "{ \"flows\": %d, \"domains\": %d, \"cells\": %d, \"sim_s\": %.1f, \
+         \"wall_s\": %.3f, \"transfers_completed\": %d, \
+         \"goodput_mbps\": %.2f, \"events\": %d, \"messages\": %d, \
+         \"windows\": %d, \"events_per_s\": %.0f }"
+        m.Scale_suite.s_flows m.Scale_suite.s_domains m.Scale_suite.s_cells
+        m.Scale_suite.s_duration m.Scale_suite.s_wall_s
+        m.Scale_suite.s_transfers_completed m.Scale_suite.s_goodput_mbps
+        m.Scale_suite.s_events m.Scale_suite.s_messages
+        m.Scale_suite.s_windows m.Scale_suite.s_events_per_s);
   Buffer.add_string buffer ",\n  \"baseline_pre_pr\": ";
   json_object_of buffer ~indent:"    " baseline_pre_pr (Printf.sprintf "%.3f");
   Buffer.add_string buffer "\n}\n";
@@ -548,7 +594,7 @@ let write_record ~total_s =
       output_string oc contents;
       close_out oc;
       Printf.printf "Perf record written to %s\n" path)
-    [ "results/BENCH_PR6.json"; "BENCH_PR6.json" ]
+    [ "results/BENCH_PR7.json"; "BENCH_PR7.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate                                                     *)
@@ -615,26 +661,39 @@ let engine_gate_floor = 0.7
 
 let gate () =
   heading "Bench gate: bytes per simulated packet vs recorded baseline";
-  (* Prefer the newest record: PR6's was measured with the per-scenario
-     warmup in [Alloc_suite] (construction and first-use costs excluded
-     from the quotient), so its numbers are the comparable ones. Older
-     records are fallbacks for trees that predate it. *)
-  let path =
-    if Sys.file_exists "BENCH_PR6.json" then "BENCH_PR6.json"
-    else if Sys.file_exists "BENCH_PR5.json" then "BENCH_PR5.json"
-    else "BENCH_PR3.json"
+  (* Prefer the newest record carrying the block being checked: a
+     partial record (e.g. written by a single-suite mode) must not
+     shadow an older complete one, so each block falls back
+     independently through the record lineage. PR6 onward measures
+     alloc with the per-scenario warmup in [Alloc_suite], so those
+     numbers are the comparable ones; older records cover trees that
+     predate it. *)
+  let record_paths =
+    List.filter Sys.file_exists
+      [ "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json";
+        "BENCH_PR3.json" ]
   in
-  if not (Sys.file_exists path) then begin
+  if record_paths = [] then begin
     Printf.printf
-      "  no %s found; record one with `dune exec bench/main.exe -- alloc`\n"
-      path;
+      "  no BENCH_PR*.json found; record one with `dune exec bench/main.exe \
+       -- quick`\n";
     exit 1
   end;
-  let baseline = record_block path "alloc_bytes_per_packet" in
-  if baseline = [] then begin
-    Printf.printf "  %s has no alloc_bytes_per_packet block\n" path;
-    exit 1
-  end;
+  let block key =
+    List.find_map
+      (fun path ->
+        match record_block path key with
+        | [] -> None
+        | entries -> Some (path, entries))
+      record_paths
+  in
+  let path, baseline =
+    match block "alloc_bytes_per_packet" with
+    | Some found -> found
+    | None ->
+      Printf.printf "  no record has an alloc_bytes_per_packet block\n";
+      exit 1
+  in
   let measurements = Alloc_suite.run_all () in
   List.iter Alloc_suite.pp_measurement measurements;
   let failed = ref false in
@@ -687,12 +746,12 @@ let gate () =
     Printf.printf "\nGate passed (scale floor %.2f).\n"
       Scale_suite.gate_scaling_floor;
   heading "Bench gate: raw engine events/sec vs recorded baseline";
-  match record_block path "engine_events_per_s" with
-  | [] ->
+  (match block "engine_events_per_s" with
+  | None ->
     (* Older records predate the engine suite; the alloc and scale
        gates above still ran, so pass rather than block a fresh tree. *)
-    Printf.printf "  %s has no engine_events_per_s block; skipping\n" path
-  | recorded ->
+    Printf.printf "  no record has an engine_events_per_s block; skipping\n"
+  | Some (engine_path, recorded) ->
     let measurements = Engine_suite.run_all () in
     List.iter Engine_suite.pp_measurement measurements;
     let failed = ref false in
@@ -716,12 +775,42 @@ let gate () =
       Printf.printf
         "\nGate FAILED: raw engine events/sec fell below %.0f%% of the\n\
          %s record. If the slowdown is intended, re-record the baseline.\n"
-        (100. *. engine_gate_floor) path;
+        (100. *. engine_gate_floor) engine_path;
       exit 1
     end
     else
       Printf.printf "\nGate passed (engine floor %.2f of %s).\n"
-        engine_gate_floor path
+        engine_gate_floor engine_path);
+  heading "Bench gate: sharded events/sec scaling floor at 4 domains";
+  let cores = Domain.recommended_domain_count () in
+  if cores < Scale_suite.sharded_gate_min_cores then
+    Printf.printf
+      "  only %d core(s) recommended (< %d): shards cannot run \
+       concurrently here; skipping the parallel-speedup floor\n"
+      cores Scale_suite.sharded_gate_min_cores
+  else begin
+    let base, wide, ok = Scale_suite.sharded_gate_check () in
+    Scale_suite.pp_sharded base;
+    Scale_suite.pp_sharded wide;
+    let ratio =
+      wide.Scale_suite.s_events_per_s
+      /. Float.max base.Scale_suite.s_events_per_s 1e-9
+    in
+    Printf.printf
+      "  events/sec at %d domains is %.2fx of 1 domain (floor %.2f)  %s\n"
+      wide.Scale_suite.s_domains ratio Scale_suite.sharded_gate_floor
+      (if ok then "ok" else "REGRESSION");
+    if not ok then begin
+      Printf.printf
+        "\nGate FAILED: the sharded engine no longer buys %.1fx at %d\n\
+         domains (or its simulated counts diverged from 1 domain).\n"
+        Scale_suite.sharded_gate_floor Scale_suite.sharded_gate_domains;
+      exit 1
+    end
+    else
+      Printf.printf "\nGate passed (sharded floor %.2f).\n"
+        Scale_suite.sharded_gate_floor
+  end
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -737,6 +826,7 @@ let () =
   | "alloc" -> alloc_suite ()
   | "scale" -> scale_suite ()
   | "engine" -> engine_suite ()
+  | "sharded" -> sharded_suite ()
   | "quick" ->
     timed "fig2" fig2;
     timed "fig3" fig3;
@@ -744,7 +834,8 @@ let () =
     microbenchmarks ();
     alloc_suite ();
     scale_suite ();
-    engine_suite ()
+    engine_suite ();
+    sharded_suite ()
   | _ ->
     timed "fig2" fig2;
     timed "fig3" fig3;
@@ -755,7 +846,8 @@ let () =
     microbenchmarks ();
     alloc_suite ();
     scale_suite ();
-    engine_suite ());
+    engine_suite ();
+    sharded_suite ());
   if mode <> "gate" then begin
     let total_s = Unix.gettimeofday () -. t0 in
     write_record ~total_s;

@@ -14,9 +14,17 @@ type scenario = {
   total_segments : int;
   bandwidth_scale : float;
   time_limit : float;
+  domains : int;
 }
 
-let generate ~seed =
+(* [domains] is carried as placement metadata only: every random draw
+   below happens before it is even looked at, so the realisation a seed
+   produces — topology, loss, jitter, routing — is byte-identical at
+   any domain count. A sharded sweep re-running a seed under several
+   --domains values therefore replays the exact same environment.
+   Pinned by the generate_domain_independent test. *)
+let generate ?(domains = 1) ~seed () =
+  if domains < 1 then invalid_arg "Oracle.generate: domains must be >= 1";
   let rng = Sim.Rng.split (Sim.Rng.create seed) "oracle-scenario" in
   let topology =
     match Sim.Rng.int rng 3 with
@@ -50,7 +58,8 @@ let generate ~seed =
     delayed_ack;
     total_segments;
     bandwidth_scale;
-    time_limit = 600. }
+    time_limit = 600.;
+    domains }
 
 let describe s =
   let topology =
@@ -61,9 +70,10 @@ let describe s =
   in
   Printf.sprintf
     "seed=%d %s loss=%.3f jitter=%.3fs eps=%.1f flap=%b delack=%b segs=%d \
-     bw-scale=%.3f"
+     bw-scale=%.3f%s"
     s.seed topology s.loss s.jitter s.epsilon s.route_flap s.delayed_ack
     s.total_segments s.bandwidth_scale
+    (if s.domains = 1 then "" else Printf.sprintf " domains=%d" s.domains)
 
 let config s =
   { Tcp.Config.default with

@@ -25,10 +25,17 @@ type scenario = {
   total_segments : int;
   bandwidth_scale : float;  (** scales the scenario's base bandwidths *)
   time_limit : float;  (** simulated-seconds budget for the transfer *)
+  domains : int;  (** intended shard count; placement metadata only *)
 }
 
-(** [generate ~seed] derives a scenario deterministically. *)
-val generate : seed:int -> scenario
+(** [generate ?domains ~seed ()] derives a scenario deterministically.
+    [domains] (default 1) is recorded in the scenario but consulted
+    after every random draw, so the network realisation — topology,
+    loss, jitter, routing, sizes — is byte-identical at any domain
+    count: a sharded sweep replaying a seed under several [--domains]
+    values faces the exact same environment. Raises [Invalid_argument]
+    when [domains < 1]. *)
+val generate : ?domains:int -> seed:int -> unit -> scenario
 
 val describe : scenario -> string
 

@@ -47,5 +47,14 @@ val names : t -> string list
 val merge_into : into:t -> t -> unit
 
 (** [merge_all shards] merges per-domain shards (in list order) into a
-    fresh registry. *)
+    fresh registry.
+
+    Shard contract: a registry is plain mutable state with no internal
+    synchronisation, so concurrent shards (a {!Sim.Domain_pool} map, a
+    [Sim.Sharded_engine] run) must each record into their own registry
+    and merge only after the domains have been joined — the join is
+    the happens-before edge that makes every shard's writes visible to
+    the merging domain. Merging in a fixed order (input order, shard
+    index order) keeps the merged output byte-identical at any domain
+    count; never share one registry between live domains. *)
 val merge_all : t list -> t

@@ -16,5 +16,8 @@ val default_jobs : unit -> int
     [jobs] is clamped to [1 .. Array.length items]; with [jobs = 1] no
     domain is spawned and [f] runs sequentially in the calling domain.
     If any job raises, the first exception observed is re-raised after
-    all workers have stopped. *)
+    all workers have stopped. [map] is reentrant — a job may itself
+    call [map]; each call owns its work queue and domains — but nested
+    calls multiply live domains ([jobs] outer x [jobs] inner), so keep
+    nested [jobs] small. *)
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -120,6 +120,14 @@ val run_to_completion : t -> unit
     both substrates. *)
 val pending : t -> int
 
+(** [next_event_time t] is a conservative lower bound on the time of
+    the earliest pending event across both substrates ([infinity] when
+    idle): nothing will execute strictly before it. The heap side is
+    exact; the wheel side is its {!Timer_wheel.lower_bound}, so the
+    returned time may precede the actual next firing. Used by
+    {!Sharded_engine} to advance the global horizon over idle gaps. *)
+val next_event_time : t -> float
+
 (** {2 Scheduler counters} (monotone over the engine's lifetime) *)
 
 val events_executed : t -> int

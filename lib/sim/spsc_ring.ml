@@ -1,0 +1,65 @@
+(* Bounded single-producer single-consumer ring.
+
+   The producer owns [tail], the consumer owns [head]; each side reads
+   the other's index through an [Atomic] and publishes its own the same
+   way, so the slot write in [try_push] happens-before the consumer's
+   read of the new [tail] (OCaml atomics are sequentially consistent).
+   Slots hold ['a option] so a popped slot can be cleared without a
+   dummy element; a [Some] pointer store is a single word, safe to
+   publish across domains.
+
+   Capacity is rounded up to a power of two so the index-to-slot map is
+   a mask rather than a modulo. Indices increase monotonically and are
+   never wrapped — with 63-bit ints a simulation cannot overflow them —
+   which makes [length] a plain subtraction and distinguishes full
+   ([tail - head > mask]) from empty ([tail = head]) without a spare
+   slot. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next index to pop; written by the consumer *)
+  tail : int Atomic.t;  (* next index to push; written by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity must be >= 1";
+  let rec pow2 k = if k >= capacity then k else pow2 (k * 2) in
+  let cap = pow2 1 in
+  { buf = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t = 0
+
+(* Total elements ever pushed / popped. *)
+let pushed t = Atomic.get t.tail
+
+let popped t = Atomic.get t.head
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let i = head land t.mask in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end

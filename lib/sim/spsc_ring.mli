@@ -1,0 +1,43 @@
+(** Bounded lock-free single-producer single-consumer queue.
+
+    Exactly one domain may push and exactly one domain may pop at any
+    time (the two may be the same domain). Within that discipline the
+    ring is linearizable and FIFO: elements pop in push order, and a
+    push that returned [true] is visible to the consumer's next
+    [try_pop]. Both operations are wait-free — one atomic load of the
+    peer index, one slot access, one atomic store.
+
+    Used as the inter-shard mailbox of {!Sharded_engine}: the producing
+    shard pushes during its window, the conductor drains between
+    windows, so the ring never needs to block. *)
+
+type 'a t
+
+(** [create ~capacity] is an empty ring holding at least [capacity]
+    elements (rounded up to a power of two). Raises [Invalid_argument]
+    when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** Actual slot count (the rounded-up capacity). *)
+val capacity : 'a t -> int
+
+(** Elements currently queued. Exact from either endpoint's domain;
+    a racing observer sees a value that was true at some recent
+    instant. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Elements ever pushed (monotone; producer-exact). *)
+val pushed : 'a t -> int
+
+(** Elements ever popped (monotone; consumer-exact). *)
+val popped : 'a t -> int
+
+(** [try_push t x] enqueues [x] and returns [true], or returns [false]
+    if the ring is full. Producer side only. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [try_pop t] dequeues the oldest element, or [None] if the ring is
+    empty. Consumer side only. *)
+val try_pop : 'a t -> 'a option

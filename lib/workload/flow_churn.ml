@@ -24,8 +24,27 @@ let validate c =
   if c.size_alpha <= 0. then invalid_arg "Flow_churn: size_alpha must be > 0";
   if c.ramp_s < 0. then invalid_arg "Flow_churn: negative ramp"
 
+(* Where the slots' traffic lives: any set of source/sink pairs on one
+   network with per-pair routes. The dumbbell is the classic shape, but
+   a sharded scale scenario runs one churn instance per cell, each over
+   its own slice of a partitioned topology. *)
+type endpoints = {
+  network : Net.Network.t;
+  sources : Net.Node.t array;
+  sinks : Net.Node.t array;
+  route_data : int -> int array;
+  route_ack : int -> int array;
+}
+
+let endpoints_of_dumbbell d =
+  { network = d.Topo.Dumbbell.network;
+    sources = d.Topo.Dumbbell.sources;
+    sinks = d.Topo.Dumbbell.sinks;
+    route_data = (fun pair -> Topo.Dumbbell.route_forward d ~pair);
+    route_ack = (fun pair -> Topo.Dumbbell.route_reverse d ~pair) }
+
 type t = {
-  dumbbell : Topo.Dumbbell.t;
+  ep : endpoints;
   engine : Sim.Engine.t;
   sender : (module Tcp.Sender.S);
   base_config : Tcp.Config.t;
@@ -35,6 +54,7 @@ type t = {
      any other consumer of randomness) never perturbs the sequence a
      given slot sees. *)
   slot_rngs : Sim.Rng.t array;
+  probe : Tcp.Probe.t option;
   mutable next_flow : int;
   mutable started : int;
   mutable completed : int;
@@ -64,7 +84,7 @@ let bounded_pareto rng ~alpha ~lo ~hi =
    a finished flow still in flight strands harmlessly at its endpoint. *)
 let rec start_transfer t slot =
   let rng = t.slot_rngs.(slot) in
-  let pairs = Array.length t.dumbbell.Topo.Dumbbell.sources in
+  let pairs = Array.length t.ep.sources in
   let pair = slot mod pairs in
   let flow = t.next_flow in
   t.next_flow <- flow + 1;
@@ -76,8 +96,8 @@ let rec start_transfer t slot =
   let config =
     { t.base_config with Tcp.Config.total_segments = Some segments }
   in
-  let src = t.dumbbell.Topo.Dumbbell.sources.(pair) in
-  let dst = t.dumbbell.Topo.Dumbbell.sinks.(pair) in
+  let src = t.ep.sources.(pair) in
+  let dst = t.ep.sinks.(pair) in
   let born = Sim.Engine.now t.engine in
   let on_finish () =
     t.completed <- t.completed + 1;
@@ -92,10 +112,10 @@ let rec start_transfer t slot =
     think_then_restart t slot
   in
   let c =
-    Tcp.Connection.create ~on_finish t.dumbbell.Topo.Dumbbell.network ~flow
-      ~src ~dst ~sender:t.sender ~config
-      ~route_data:(fun () -> Topo.Dumbbell.route_forward t.dumbbell ~pair)
-      ~route_ack:(fun () -> Topo.Dumbbell.route_reverse t.dumbbell ~pair)
+    Tcp.Connection.create ~on_finish ?probe:t.probe t.ep.network ~flow ~src
+      ~dst ~sender:t.sender ~config
+      ~route_data:(fun () -> t.ep.route_data pair)
+      ~route_ack:(fun () -> t.ep.route_ack pair)
       ()
   in
   Tcp.Connection.start c ~at:born
@@ -108,21 +128,24 @@ and think_then_restart t slot =
   ignore
     (Sim.Engine.schedule_after t.engine ~delay (fun () -> start_transfer t slot))
 
-let spawn dumbbell ~sender ~config ~churn ~rng () =
+let spawn_endpoints ep ~sender ~config ~churn ~rngs ?(flow_base = 0) ?probe () =
   validate churn;
-  let engine = Net.Network.engine dumbbell.Topo.Dumbbell.network in
-  let slot_rngs =
-    Array.init churn.flows (fun slot ->
-        Sim.Rng.split rng (Printf.sprintf "churn-slot-%d" slot))
-  in
+  if Array.length ep.sources = 0 then
+    invalid_arg "Flow_churn: endpoints need at least one pair";
+  if Array.length ep.sources <> Array.length ep.sinks then
+    invalid_arg "Flow_churn: sources/sinks length mismatch";
+  if Array.length rngs <> churn.flows then
+    invalid_arg "Flow_churn: need exactly one rng per slot";
+  let engine = Net.Network.engine ep.network in
   let t =
-    { dumbbell;
+    { ep;
       engine;
       sender;
       base_config = config;
       churn;
-      slot_rngs;
-      next_flow = 0;
+      slot_rngs = rngs;
+      probe;
+      next_flow = flow_base;
       started = 0;
       completed = 0;
       segments_completed = 0;
@@ -141,6 +164,21 @@ let spawn dumbbell ~sender ~config ~churn ~rng () =
       (Sim.Engine.schedule_at engine ~time:at (fun () -> start_transfer t slot))
   done;
   t
+
+(* [slot_rngs rng ~flows] is the canonical per-slot stream derivation:
+   sequential splits of [rng] labelled by *global* slot index. Splits
+   advance the parent state, so the derivation must happen once, in
+   slot order, at the root — a partitioned workload hands each cell its
+   slice of the result rather than re-splitting per cell, which is what
+   keeps slot streams identical under any partitioning. *)
+let slot_rngs rng ~flows =
+  Array.init flows (fun slot ->
+      Sim.Rng.split rng (Printf.sprintf "churn-slot-%d" slot))
+
+let spawn dumbbell ~sender ~config ~churn ~rng () =
+  validate churn;
+  let rngs = slot_rngs rng ~flows:churn.flows in
+  spawn_endpoints (endpoints_of_dumbbell dumbbell) ~sender ~config ~churn ~rngs ()
 
 let transfers_started t = t.started
 

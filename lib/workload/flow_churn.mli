@@ -31,6 +31,20 @@ val default_config : config
 
 type t
 
+(** Where a churn instance's traffic lives: source/sink pairs on one
+    network with per-pair route samplers. Routes are indexed by pair
+    ([slot mod pairs]); the returned arrays must end at the
+    corresponding sink (data) / source (ack) node id. *)
+type endpoints = {
+  network : Net.Network.t;
+  sources : Net.Node.t array;
+  sinks : Net.Node.t array;
+  route_data : int -> int array;
+  route_ack : int -> int array;
+}
+
+val endpoints_of_dumbbell : Topo.Dumbbell.t -> endpoints
+
 (** [spawn dumbbell ~sender ~config ~churn ~rng ()] wires the slots and
     schedules their initial arrivals; run the engine afterwards. Slots
     cycle pairs round-robin ([slot mod pairs]). [config.total_segments]
@@ -44,6 +58,34 @@ val spawn :
   rng:Sim.Rng.t ->
   unit ->
   t
+
+(** [spawn_endpoints ep ~sender ~config ~churn ~rngs ()] is {!spawn}
+    over arbitrary endpoints, with the per-slot streams supplied by the
+    caller ([Array.length rngs] must equal [churn.flows]). A
+    partitioned workload derives all slot streams at the root with
+    {!slot_rngs} and hands each cell its slice, so the traffic a global
+    slot generates is independent of how slots are partitioned into
+    cells. [flow_base] (default 0) offsets the flow ids this instance
+    allocates — give cells disjoint ranges. [probe], when supplied, is
+    passed to every connection the instance creates (one tap per cell,
+    for monitors and trace digests). *)
+val spawn_endpoints :
+  endpoints ->
+  sender:(module Tcp.Sender.S) ->
+  config:Tcp.Config.t ->
+  churn:config ->
+  rngs:Sim.Rng.t array ->
+  ?flow_base:int ->
+  ?probe:Tcp.Probe.t ->
+  unit ->
+  t
+
+(** [slot_rngs rng ~flows] derives the canonical per-slot streams:
+    sequential splits of [rng] labelled ["churn-slot-<i>"] in global
+    slot order. {!Sim.Rng.split} advances the parent, so derive once at
+    the root and slice — never re-split per cell. [spawn] uses exactly
+    this derivation. *)
+val slot_rngs : Sim.Rng.t -> flows:int -> Sim.Rng.t array
 
 val flows : t -> int
 

@@ -371,6 +371,33 @@ let test_report_csv_shape () =
       && String.sub first 0 20 = "jitter-chain,TCP-PR,")
   | _ -> Alcotest.fail "empty csv"
 
+(* The Registry shard contract: concurrent shards each record into
+   their own registry, merge happens after the domains join, and the
+   merged snapshot is byte-identical to the sequential build. *)
+let test_registry_merge_across_domains () =
+  let build shard =
+    let r = Obs.Registry.create () in
+    let c = Obs.Registry.counter r "events" in
+    for _ = 1 to (shard + 1) * 10 do
+      Obs.Metrics.Counter.incr c
+    done;
+    let h = Obs.Registry.histogram r "depth" in
+    for v = 0 to shard + 4 do
+      Obs.Metrics.Histogram.record h v
+    done;
+    Obs.Metrics.Gauge.set (Obs.Registry.gauge r "pool") (shard * 3);
+    Obs.Registry.set_value r "level" (float_of_int shard);
+    r
+  in
+  let merged jobs =
+    Obs.Export.to_json
+      (Obs.Registry.merge_all
+         (Array.to_list
+            (Sim.Domain_pool.map ~jobs build [| 0; 1; 2; 3; 4; 5 |])))
+  in
+  Alcotest.(check string) "merged registry identical at any domain count"
+    (merged 1) (merged 4)
+
 let () =
   Alcotest.run "obs"
     [ ( "metrics",
@@ -386,7 +413,9 @@ let () =
             test_registry_find_or_create;
           Alcotest.test_case "kind clash" `Quick test_registry_kind_clash;
           Alcotest.test_case "names sorted" `Quick test_registry_names_sorted;
-          Alcotest.test_case "merge semantics" `Quick test_registry_merge ] );
+          Alcotest.test_case "merge semantics" `Quick test_registry_merge;
+          Alcotest.test_case "merge across domains" `Quick
+            test_registry_merge_across_domains ] );
       ( "flight-recorder",
         [ Alcotest.test_case "wraps" `Quick test_recorder_wraps;
           Alcotest.test_case "partial fill" `Quick test_recorder_partial;

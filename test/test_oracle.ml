@@ -340,7 +340,7 @@ let differential_case (name, sender) =
   Alcotest.test_case name `Quick (fun () ->
       List.iter
         (fun seed ->
-          let scenario = Check.Oracle.generate ~seed in
+          let scenario = Check.Oracle.generate ~seed () in
           let report = Check.Oracle.run scenario ~variant:(name, sender) in
           if not (Check.Oracle.passed report) then report_failure report)
         differential_seeds)
@@ -355,7 +355,7 @@ let differential_prop (name, sender) =
     QCheck.(int_range 1 5000)
     (fun seed ->
       Check.Oracle.passed
-        (Check.Oracle.run (Check.Oracle.generate ~seed) ~variant:(name, sender)))
+        (Check.Oracle.run (Check.Oracle.generate ~seed ()) ~variant:(name, sender)))
 
 (* Oracle harness sanity: an impossible network must be reported. *)
 let starvation_scenario =
@@ -368,7 +368,8 @@ let starvation_scenario =
     delayed_ack = false;
     total_segments = 20;
     bandwidth_scale = 1.;
-    time_limit = 60. }
+    time_limit = 60.;
+    domains = 1 }
 
 let test_oracle_detects_starvation () =
   let report =
@@ -417,7 +418,7 @@ let broken_scenario =
     delayed_ack = false;
     total_segments = 60;
     bandwidth_scale = 1.;
-    time_limit = 600. }
+    time_limit = 600.; domains = 1 }
 
 let test_oracle_catches_dupack_retransmit () =
   let report =

@@ -54,6 +54,21 @@ let test_fig2_deterministic_across_jobs () =
     (Stats.Table.to_csv (Experiments.Fig2_fairness.to_table sequential))
     (Stats.Table.to_csv (Experiments.Fig2_fairness.to_table parallel))
 
+(* Nested use: a pool job may itself run a pool map — every [map]
+   call owns its queue and domains, there is no global pool state to
+   re-enter. The outer map must still return results in input order. *)
+let test_pool_nested () =
+  let inner = [| 1; 2; 3 |] in
+  let outer =
+    Sim.Domain_pool.map ~jobs:2
+      (fun x ->
+        Array.fold_left ( + ) 0
+          (Sim.Domain_pool.map ~jobs:2 (fun y -> x * y) inner))
+      [| 1; 10; 100; 1000 |]
+  in
+  Alcotest.(check (array int))
+    "nested maps compose" [| 6; 60; 600; 6000 |] outer
+
 (* Same for a small Fig. 6 grid (multi-path lattice, two variants). *)
 let test_fig6_deterministic_across_jobs () =
   let grid jobs =
@@ -82,6 +97,7 @@ let () =
             test_pool_more_jobs_than_items;
           Alcotest.test_case "propagates exception" `Quick
             test_pool_propagates_exception;
+          Alcotest.test_case "nested use" `Quick test_pool_nested;
           Alcotest.test_case "parallel_map over lists" `Quick
             test_parallel_map_list ] );
       ( "determinism",
