@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-quick bench-gate scale-smoke \
 	scale-smoke-sharded figures golden ci doc coverage coverage-summary \
-	clean
+	lint-box clean
 
 all: build
 
@@ -21,24 +21,35 @@ bench-record:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
 # Quick perf snapshot: bench-scale Figs. 2/3/6, the bechamel
-# micro-benchmarks, the allocation suite, the many-flow scale suite
-# and the engine-only churn suite; records wall-clock, ns/run,
-# bytes/simulated-packet, events/sec and metrics snapshots in
-# BENCH_PR6.json (repo root and results/). BENCH_JOBS=N parallelises
-# the figure grids.
+# micro-benchmarks, the allocation suite (bytes/packet and the PR 8
+# bytes/ACK sweep across all sender variants), the many-flow scale
+# suite and the engine-only churn suite; records wall-clock, ns/run,
+# bytes/simulated-packet, bytes/ACK, events/sec and metrics snapshots
+# in BENCH_PR8.json (repo root and results/). BENCH_JOBS=N
+# parallelises the figure grids.
 bench-quick:
 	dune exec bench/main.exe -- quick
 
 # Perf gate only: re-measure bytes/simulated-packet (fail if any
 # scenario exceeds the recorded baseline by more than the 16 B/packet
-# budget), the events/sec scaling floor at 10k vs 1k flows, the raw
-# engine events/sec floor (each engine-churn scenario must hold
-# >= 0.7x its recorded rate), and the sharded scaling floor (4-domain
-# events/sec >= 1.8x 1-domain; skipped below 4 cores). Baselines come
-# from the newest BENCH_PR*.json carrying each block. Does not
-# rewrite the records.
+# budget), bytes/ACK per sender variant (fail if any variant exceeds
+# its recorded baseline by more than 16 B/ACK), the events/sec
+# scaling floor at 10k vs 1k flows, the raw engine events/sec floor
+# (each engine-churn scenario must hold >= 0.7x its recorded rate),
+# and the sharded scaling floor (4-domain events/sec >= 1.8x
+# 1-domain; skipped below 4 cores). Baselines come from the newest
+# BENCH_PR*.json carrying each block. Does not rewrite the records.
 bench-gate:
 	dune exec bench/main.exe -- gate
+
+# Float-boxing tripwire: recompile the integer-ns scheduling core
+# (time / event_queue / timer_wheel / engine) with ocamlopt -dcmm and
+# fail if any hot function boxes a float outside the documented
+# seconds boundary (DESIGN.md §15). Runs as a non-fatal ci stage: a
+# finding warrants investigation, not an automatic red build, since
+# the Cmm shapes it greps are compiler-version-sensitive.
+lint-box:
+	sh tools/lint_box.sh
 
 # One-point smoke of the many-flow scale scenario: 1k concurrent flow
 # slots for one simulated second on both timer substrates; the wheel
@@ -112,7 +123,8 @@ coverage-summary:
 # many-flow scale smoke, the sharded merge smoke, and the perf
 # regression gate (allocation budget + events/sec scaling floor + raw
 # engine events/sec floor + sharded scaling floor) against the
-# recorded BENCH_PR*.json lineage.
+# recorded BENCH_PR*.json lineage, then the non-fatal float-boxing
+# lint over the scheduling core.
 ci:
 	dune build @all
 	dune runtest
@@ -120,6 +132,7 @@ ci:
 	$(MAKE) --no-print-directory scale-smoke
 	$(MAKE) --no-print-directory scale-smoke-sharded
 	dune exec bench/main.exe -- gate
+	-$(MAKE) --no-print-directory lint-box
 	-@$(MAKE) --no-print-directory coverage
 
 doc:

@@ -203,3 +203,67 @@ let pp_measurement m =
     m.scenario m.wall_s
     (m.allocated_bytes /. 1024.)
     m.minor_collections m.packets m.bytes_per_packet
+
+(* ------------------------------------------------------------------ *)
+(* Allocation per ACK                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ack_measurement = {
+  variant : string;
+  acks : int;
+  ack_allocated_bytes : float;
+  bytes_per_ack : float;
+}
+
+(* Isolated [on_ack] churn per variant: an in-order ACK stream fed
+   straight into the packed sender, no network, one reusable
+   [Action_buffer] cleared per event — the exact shape [Connection]
+   drives. The measured loop constructs the ack record itself (the same
+   8-word record the receiver path builds), identical to the loop that
+   produced the frozen pre-PR baseline in bench/main.ml, so the two
+   quotients share the harness constant and their difference is the
+   handler's own allocation. 1000 warmup ACKs grow the buffer and any
+   lazy sender state before the measured window. *)
+let ack_churn = 50_000
+
+let measure_acks (name, (module M : Tcp.Sender.S)) =
+  let config =
+    { Tcp.Config.default with
+      Tcp.Config.initial_cwnd = 8.;
+      total_segments = None }
+  in
+  let sender = Tcp.Sender.pack (module M) config in
+  let buf = Tcp.Action_buffer.create () in
+  Tcp.Sender.start sender ~now:0. buf;
+  let feed i =
+    Tcp.Action_buffer.clear buf;
+    let ack =
+      { Tcp.Types.next = i + 1;
+        sacks = [];
+        dsack = None;
+        for_seq = i;
+        for_retx = false;
+        serial = i }
+    in
+    Tcp.Sender.on_ack sender ~now:(1e-4 *. float_of_int (i + 1)) ack buf
+  in
+  for i = 0 to 999 do
+    feed i
+  done;
+  Gc.full_major ();
+  let bytes0 = Gc.allocated_bytes () in
+  for i = 1000 to 1000 + ack_churn - 1 do
+    feed i
+  done;
+  (* flush the minor arena before reading the counter; see [measure] *)
+  Gc.minor ();
+  let delta = Gc.allocated_bytes () -. bytes0 in
+  { variant = name;
+    acks = ack_churn;
+    ack_allocated_bytes = delta;
+    bytes_per_ack = delta /. float_of_int ack_churn }
+
+let run_acks () = List.map measure_acks Experiments.Variants.all
+
+let pp_ack_measurement m =
+  Printf.printf "  %-12s %8.1f B/ack\n%!" m.variant m.bytes_per_ack

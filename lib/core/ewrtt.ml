@@ -2,9 +2,10 @@ type t = {
   alpha : float;
   beta : float;
   iterations : int;
-  (* One-slot [floatarray]: [on_sample] writes the envelope once per
-     ACK, and a [mutable float] field in this mixed record would box
-     every write. *)
+  (* Two-slot [floatarray]: slot 0 is the envelope ([on_sample] writes
+     it once per ACK, and a [mutable float] field in this mixed record
+     would box every write); slot 1 is the Newton iterate scratch ([ref]
+     cells and loop-carried floats heap-allocate per iteration). *)
   ewrtt : floatarray;
   mutable has_sample : bool;
 }
@@ -14,7 +15,7 @@ let create config =
   { alpha = config.Tcp.Config.pr_alpha;
     beta = config.Tcp.Config.pr_beta;
     iterations = config.Tcp.Config.pr_newton_iterations;
-    ewrtt = Float.Array.make 1 config.Tcp.Config.pr_initial_ewrtt;
+    ewrtt = Float.Array.make 2 config.Tcp.Config.pr_initial_ewrtt;
     has_sample = false }
 
 (* Newton's method on f(x) = x^cwnd - alpha, started at x = 1:
@@ -28,8 +29,21 @@ let newton ~alpha ~cwnd ~iterations =
   done;
   !x
 
+(* Same iteration as [newton] (identical float operations, in order),
+   but the iterate lives in the scratch slot instead of a [ref]: this
+   runs once per ACK, and the [ref] version allocates the cell plus a
+   box per iteration. *)
 let decay_factor t ~cwnd =
-  newton ~alpha:t.alpha ~cwnd:(Float.max cwnd 1.) ~iterations:t.iterations
+  let cwnd = if cwnd > 1. then cwnd else 1. in
+  let f = t.ewrtt in
+  Float.Array.unsafe_set f 1 1.;
+  for _ = 1 to t.iterations do
+    let x = Float.Array.unsafe_get f 1 in
+    Float.Array.unsafe_set f 1
+      ((((cwnd -. 1.) /. cwnd) *. x)
+      +. (t.alpha /. (cwnd *. (x ** (cwnd -. 1.)))))
+  done;
+  Float.Array.unsafe_get f 1
 
 let exact_decay_factor t ~cwnd = exp (log t.alpha /. Float.max cwnd 1.)
 
@@ -42,9 +56,11 @@ let on_sample t ~cwnd ~sample =
     t.has_sample <- true;
     Float.Array.unsafe_set t.ewrtt 0 sample
   end
-  else
+  else begin
+    let decayed = decay_factor t ~cwnd *. Float.Array.unsafe_get t.ewrtt 0 in
     Float.Array.unsafe_set t.ewrtt 0
-      (Float.max (decay_factor t ~cwnd *. Float.Array.unsafe_get t.ewrtt 0) sample)
+      (if decayed > sample then decayed else sample)
+  end
 
 let ewrtt t = Float.Array.unsafe_get t.ewrtt 0
 

@@ -209,10 +209,16 @@ let cwnd t = fget t cwnd_
 
 let acked t = t.snd_una
 
+(* Inline clamp ([Float.max] boxes operand and result per call): this
+   sits on the per-ACK drop-timer re-arm path. *)
 let mxrtt t =
   let ov = fget t mxrtt_override_ in
   if ov > 0. then ov
-  else Float.max (Ewrtt.mxrtt t.envelope) t.config.Tcp.Config.pr_min_mxrtt
+  else begin
+    let e = Ewrtt.mxrtt t.envelope in
+    let m = t.config.Tcp.Config.pr_min_mxrtt in
+    if e > m then e else m
+  end
 
 let ewrtt t = Ewrtt.ewrtt t.envelope
 
@@ -250,31 +256,36 @@ let metrics t =
 (* A [send_order] head is live if the packet is still outstanding with
    that exact send time (it may have been acknowledged, declared
    dropped, or re-sent since it was queued). *)
-let drop_stale_heads t =
-  let continue = ref true in
-  while !continue && t.so_len > 0 do
+let rec drop_stale_heads t =
+  if t.so_len > 0 then begin
     let seq = so_head_seq t in
     if
-      in_span t seq
-      && get_state t seq land outstanding_bit <> 0
-      && Float.Array.unsafe_get t.sent_at (slot t seq) = so_head_time t
-    then continue := false
-    else so_pop t
-  done
+      not
+        (in_span t seq
+        && get_state t seq land outstanding_bit <> 0
+        && Float.Array.unsafe_get t.sent_at (slot t seq) = so_head_time t)
+    then begin
+      so_pop t;
+      drop_stale_heads t
+    end
+  end
 
 (* Earliest drop deadline among outstanding packets. All entries share
    the same mxrtt and sends happen in time order, so it is the send
    time at the head of [send_order] plus mxrtt — O(1) amortised. *)
-let arm_drop_timer t ~now =
+let arm_drop_timer t ~now buf =
   drop_stale_heads t;
-  if t.so_len = 0 then [ Tcp.Action.Cancel_timer { key = drop_timer_key } ]
+  if t.so_len = 0 then
+    Tcp.Action_buffer.cancel_timer buf ~key:drop_timer_key
   else begin
     let deadline = so_head_time t +. mxrtt t in
-    [ Tcp.Action.Set_timer
-        { key = drop_timer_key; delay = Float.max (deadline -. now) 0. } ]
+    let delay = deadline -. now in
+    let delay = if delay > 0. then delay else 0. in
+    Tcp.Action_buffer.set_timer_ns buf ~key:drop_timer_key
+      ~delay:(Sim.Time.of_sec_delay delay)
   end
 
-let send t ~now ~seq ~retx =
+let send t ~now ~seq ~retx buf =
   t.n_sent <- t.n_sent + 1;
   if retx then t.n_retx <- t.n_retx + 1;
   let i = slot t seq in
@@ -293,29 +304,44 @@ let send t ~now ~seq ~retx =
   Float.Array.unsafe_set t.cwnd_send i (fget t cwnd_);
   t.out_count <- t.out_count + 1;
   so_push t ~seq ~time:now;
-  Tcp.Action.Send { seq; retx }
+  if retx then Tcp.Action_buffer.send_retx buf ~seq
+  else Tcp.Action_buffer.send buf ~seq
 
 (* Smallest to-be-sent seq, or -1: advance [pending_min] past
-   non-members (it is a lower bound on every member). *)
+   non-members (it is a lower bound on every member). Recursion over an
+   int argument, not a [ref] — the cell would be a per-call
+   allocation on the flush path. *)
+let rec pending_scan t seq =
+  if get_state t seq land pending_bit = 0 then pending_scan t (seq + 1)
+  else seq
+
 let pending_min_elt t =
   if t.pending_count = 0 then -1
   else begin
-    let seq = ref (max t.pending_min t.snd_una) in
-    while get_state t !seq land pending_bit = 0 do
-      incr seq
-    done;
-    t.pending_min <- !seq;
-    !seq
+    let lo = t.pending_min in
+    let una = t.snd_una in
+    let seq = pending_scan t (if lo > una then lo else una) in
+    t.pending_min <- seq;
+    seq
   end
 
 (* flush-cwnd (Table 1): send the smallest pending sequence number while
    the window exceeds the number of outstanding packets — unless the
-   extreme-loss state is delaying transmission. *)
-let flush t ~now =
-  let window = Float.min (fget t cwnd_) t.config.Tcp.Config.max_cwnd in
-  let rec loop acc =
-    if now < fget t backoff_until_ then List.rev acc
-    else if window <= float_of_int t.out_count then List.rev acc
+   extreme-loss state is delaying transmission.
+
+   Top-level recursion, not an inner [let rec loop]: the inner closure
+   would capture [t]/[now]/[buf] and be allocated on every ACK. The
+   window clamp is recomputed per iteration; it is two unboxed reads
+   and a compare. *)
+let rec flush t ~now buf =
+  if now < fget t backoff_until_ then ()
+  else begin
+    let window =
+      let c = fget t cwnd_ in
+      let m = t.config.Tcp.Config.max_cwnd in
+      if c < m then c else m
+    in
+    if window <= float_of_int t.out_count then ()
     else begin
       let pending = pending_min_elt t in
       if pending >= 0 then begin
@@ -323,27 +349,27 @@ let flush t ~now =
         set_state t pending
           (Char.code (Bytes.unsafe_get t.state i) land lnot pending_bit);
         t.pending_count <- t.pending_count - 1;
-        loop (send t ~now ~seq:pending ~retx:true :: acc)
+        send t ~now ~seq:pending ~retx:true buf;
+        flush t ~now buf
       end
-      else if all_new_data_sent t then List.rev acc
+      else if all_new_data_sent t then ()
       else begin
         let seq = t.next_new in
         ensure_span t ~span:(seq + 1 - t.snd_una);
         t.next_new <- seq + 1;
-        loop (send t ~now ~seq ~retx:false :: acc)
+        send t ~now ~seq ~retx:false buf;
+        flush t ~now buf
       end
     end
-  in
-  loop []
+  end
 
-(* The timer must be computed after flushing: argument evaluation order
-   would otherwise arm it against the pre-flush to-be-ack list. *)
-let flush_then_arm t ~now =
-  let sends = flush t ~now in
-  let timer = arm_drop_timer t ~now in
-  sends @ timer
+(* The timer is armed after flushing, against the post-flush to-be-ack
+   list (the buffer preserves emission order). *)
+let flush_then_arm t ~now buf =
+  flush t ~now buf;
+  arm_drop_timer t ~now buf
 
-let start t ~now = flush_then_arm t ~now
+let start t ~now buf = flush_then_arm t ~now buf
 
 (* Window update on an acknowledged packet (Table 1, lines 18-22). *)
 let grow_window t =
@@ -358,7 +384,8 @@ let grow_window t =
       end
     | Cong_avoid -> cwnd +. (1. /. cwnd)
   in
-  fset t cwnd_ (Float.min cwnd t.config.Tcp.Config.max_cwnd)
+  let m = t.config.Tcp.Config.max_cwnd in
+  fset t cwnd_ (if cwnd < m then cwnd else m)
 
 let remove_from_memorize t =
   t.memorize_size <- t.memorize_size - 1;
@@ -426,8 +453,8 @@ let sample_rtt t ~now (ack : Tcp.Types.ack) =
         ~sample:(now -. Float.Array.unsafe_get t.sent_at (slot t for_seq))
   end
 
-let on_ack t ~now (ack : Tcp.Types.ack) =
-  if finished t then []
+let on_ack t ~now (ack : Tcp.Types.ack) buf =
+  if finished t then ()
   else begin
     let advanced = ack.Tcp.Types.next > t.snd_una in
     let arrived_new =
@@ -450,15 +477,14 @@ let on_ack t ~now (ack : Tcp.Types.ack) =
         done;
         t.snd_una <- ack.Tcp.Types.next
       end;
-      if finished t then
-        [ Tcp.Action.Cancel_timer { key = drop_timer_key };
-          Tcp.Action.Cancel_timer { key = backoff_timer_key } ]
-      else flush_then_arm t ~now
+      if finished t then begin
+        Tcp.Action_buffer.cancel_timer buf ~key:drop_timer_key;
+        Tcp.Action_buffer.cancel_timer buf ~key:backoff_timer_key
+      end
+      else flush_then_arm t ~now buf
     end
-    else
-      (* A pure duplicate carrying no new per-packet information:
-         TCP-PR ignores it. *)
-      []
+    (* A pure duplicate carrying no new per-packet information: TCP-PR
+       ignores it. *)
   end
 
 (* Extreme-loss reaction (Section 3.2): collapse to one packet, make the
@@ -537,7 +563,7 @@ let declare_dropped t ~now seq =
     end
   end
 
-let check_drops t ~now =
+let check_drops t ~now buf =
   (* Walk [send_order] from the oldest outstanding send: everything past
      its deadline is declared dropped, and the first live entry inside
      the deadline stops the scan (later sends expire later; mxrtt is
@@ -553,17 +579,12 @@ let check_drops t ~now =
     end
     else continue := false
   done;
-  let backoff_timer =
-    if now < fget t backoff_until_ then
-      [ Tcp.Action.Set_timer
-          { key = backoff_timer_key; delay = fget t backoff_until_ -. now } ]
-    else []
-  in
-  let sends_and_timer = flush_then_arm t ~now in
-  backoff_timer @ sends_and_timer
+  if now < fget t backoff_until_ then
+    Tcp.Action_buffer.set_timer buf ~key:backoff_timer_key
+      ~delay:(fget t backoff_until_ -. now);
+  flush_then_arm t ~now buf
 
-let on_timer t ~now ~key =
-  if finished t then []
-  else if key = drop_timer_key then check_drops t ~now
-  else if key = backoff_timer_key then flush_then_arm t ~now
-  else []
+let on_timer t ~now ~key buf =
+  if finished t then ()
+  else if key = drop_timer_key then check_drops t ~now buf
+  else if key = backoff_timer_key then flush_then_arm t ~now buf

@@ -24,6 +24,9 @@ type t = {
   dst : int;
   mutable bandwidth_bps : float;
   delay_s : float;
+  (* [delay_s] converted once at creation: the propagation term added to
+     every arrival without a per-packet float conversion. *)
+  delay_ns : Sim.Time.t;
   queue : Qdisc.t;
   loss : Loss_model.t;
   engine : Sim.Engine.t;
@@ -43,9 +46,9 @@ type t = {
   mutable transmitted_packets : int;
   mutable transmitted_bytes : int;
   mutable injected_losses : int;
-  (* One-slot floatarray: a mutable float field of a mixed record would
-     box on every write, and this is written once per transmission. *)
-  busy_time : floatarray;
+  (* Cumulative wire time in integer nanoseconds: a plain mutable int
+     field never boxes, unlike the one-slot floatarray this replaces. *)
+  mutable busy_time_ns : int;
   (* The [Tx_done] completion event for this link, allocated once: the
      link serialises transmissions, so the same block can sit in the
      event queue for every one of them. *)
@@ -128,23 +131,26 @@ let release_arrive t cell =
 
 let rec transmit t packet =
   observe t Transmit_start packet;
-  let tx_time = float_of_int packet.Packet.size *. 8. /. t.bandwidth_bps in
-  t.busy <- true;
-  Float.Array.unsafe_set t.busy_time 0
-    (Float.Array.unsafe_get t.busy_time 0 +. tx_time);
-  t.tx_size <- packet.Packet.size;
-  let extra =
-    match t.jitter with
-    | Some (rng, j) when j > 0. -> Sim.Rng.float_range rng ~lo:0. ~hi:j
-    | Some _ | None -> 0.
+  let tx_ns =
+    Sim.Time.of_sec (float_of_int packet.Packet.size *. 8. /. t.bandwidth_bps)
   in
-  (* Tx_done is pushed first so that when [delay_s] and [extra] are both
-     zero it still runs before the arrival, as the seed's closures did. *)
+  t.busy <- true;
+  t.busy_time_ns <- t.busy_time_ns + tx_ns;
+  t.tx_size <- packet.Packet.size;
+  let extra_ns =
+    match t.jitter with
+    | Some (rng, j) when j > 0. ->
+      Sim.Time.of_sec (Sim.Rng.float_range rng ~lo:0. ~hi:j)
+    | Some _ | None -> 0
+  in
+  (* Tx_done is pushed first so that when [delay_ns] and [extra_ns] are
+     both zero it still runs before the arrival, as the seed's closures
+     did. *)
   ignore
-    (Sim.Engine.schedule_event_after t.engine ~delay:tx_time t.tx_done_event);
+    (Sim.Engine.schedule_event_after_ns t.engine ~delay:tx_ns t.tx_done_event);
   ignore
-    (Sim.Engine.schedule_event_after t.engine
-       ~delay:(tx_time +. t.delay_s +. extra)
+    (Sim.Engine.schedule_event_after_ns t.engine
+       ~delay:(tx_ns + t.delay_ns + extra_ns)
        (alloc_arrive t packet).ar_event)
 
 and finish_transmission t =
@@ -195,6 +201,7 @@ let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
       dst;
       bandwidth_bps;
       delay_s;
+      delay_ns = Sim.Time.of_sec delay_s;
       queue;
       loss;
       engine;
@@ -213,7 +220,7 @@ let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
       transmitted_packets = 0;
       transmitted_bytes = 0;
       injected_losses = 0;
-      busy_time = Float.Array.make 1 0.;
+      busy_time_ns = 0;
       tx_done_event = Sim.Engine.Closure ignore;
       arrive_cells = [||];
       arrive_free = 0 }
@@ -252,4 +259,4 @@ let transmitted_packets t = t.transmitted_packets
 
 let transmitted_bytes t = t.transmitted_bytes
 
-let busy_time t = Float.Array.get t.busy_time 0
+let busy_time t = Sim.Time.to_sec t.busy_time_ns

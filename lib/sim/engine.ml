@@ -23,11 +23,13 @@ type timer = {
 
 type event += Timer_fire of timer
 
+let nothing () = ()
+
 type t = {
-  (* One-slot [floatarray] rather than a [mutable float] field: writing
-     a float into a mixed record boxes it, and the clock is written
-     once per executed event. *)
-  clock : floatarray;
+  (* The clock is {!Time.t} integer nanoseconds in a plain mutable
+     field: int stores never box (the float-clock ancestor needed a
+     one-slot floatarray to avoid boxing per executed event). *)
+  mutable clock : Time.t;
   queue : event Event_queue.t;
   (* Second scheduling substrate: high-churn recurring timers. Both
      substrates draw ranks from [next_seq], so the merged pop order is
@@ -39,6 +41,12 @@ type t = {
      layer) by [add_dispatcher]. [Closure] never reaches it. *)
   mutable dispatch : event -> unit;
   dispatcher_keys : (string, unit) Hashtbl.t;
+  (* End-of-instant flush hooks (see [at_instant_end]): closures to run
+     after every event at the current instant has executed, before the
+     clock advances past it. Stored in a flat stack reused across
+     instants, so registering is two stores. *)
+  mutable flushes : (unit -> unit) array;
+  mutable flush_len : int;
   (* Scheduler counters, for the scale suite and telemetry. *)
   mutable events_executed : int;
   mutable timer_arms : int;
@@ -50,26 +58,34 @@ let unhandled _ =
   invalid_arg "Engine: typed event has no registered dispatcher"
 
 let create ?(use_wheel = true) ?(timer_granularity = 1e-3) () =
-  let granularity = if timer_granularity > 0. then timer_granularity else 1e-3 in
-  { clock = Float.Array.make 1 0.;
+  let granularity =
+    if timer_granularity > 0. then Time.of_sec timer_granularity
+    else Time.of_sec 1e-3
+  in
+  let granularity = if granularity > 0 then granularity else 1 in
+  { clock = 0;
     queue = Event_queue.create ();
     wheel = Timer_wheel.create ~granularity ();
     use_wheel;
     next_seq = 0;
     dispatch = unhandled;
     dispatcher_keys = Hashtbl.create 4;
+    flushes = [||];
+    flush_len = 0;
     events_executed = 0;
     timer_arms = 0;
     timer_cancels = 0;
     timer_fires = 0 }
 
-let now t = Float.Array.unsafe_get t.clock 0
+let[@inline] now_ns t = t.clock
 
-let set_clock t time = Float.Array.unsafe_set t.clock 0 time
+let now t = Time.to_sec t.clock
 
 let uses_wheel t = t.use_wheel
 
-let timer_granularity t = Timer_wheel.granularity t.wheel
+let timer_granularity_ns t = Timer_wheel.granularity t.wheel
+
+let timer_granularity t = Time.to_sec (Timer_wheel.granularity t.wheel)
 
 let events_executed t = t.events_executed
 
@@ -103,20 +119,27 @@ let next_seq t =
   t.next_seq <- seq + 1;
   seq
 
-let schedule_event_at t ~time ev =
-  if time < now t then
+let schedule_event_at_ns t ~time ev =
+  if time < t.clock then
     invalid_arg
-      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
-         (now t));
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g"
+         (Time.to_sec time) (now t));
   let seq = next_seq t in
   Event_queue.push_seq t.queue ~time ~seq ev;
   seq
 
+let schedule_event_after_ns t ~delay ev =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  let seq = next_seq t in
+  Event_queue.push_seq t.queue ~time:(Time.add t.clock delay) ~seq ev;
+  seq
+
+let schedule_event_at t ~time ev =
+  schedule_event_at_ns t ~time:(Time.of_sec time) ev
+
 let schedule_event_after t ~delay ev =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  let seq = next_seq t in
-  Event_queue.push_seq t.queue ~time:(now t +. delay) ~seq ev;
-  seq
+  schedule_event_after_ns t ~delay:(Time.of_sec_delay delay) ev
 
 let schedule_at t ~time f = schedule_event_at t ~time (Closure f)
 
@@ -126,10 +149,10 @@ let cancel t id = Event_queue.cancel t.queue id
 
 (* --- timer cells ----------------------------------------------------- *)
 
-let pass () = ()
-
 let make_timer _t payload =
-  let tm = { t_seq = -1; t_widx = -1; t_payload = payload; t_fire = Closure pass } in
+  let tm =
+    { t_seq = -1; t_widx = -1; t_payload = payload; t_fire = Closure nothing }
+  in
   tm.t_fire <- Timer_fire tm;
   tm
 
@@ -144,25 +167,62 @@ let cancel_timer t tm =
     tm.t_widx <- -1
   end
 
-let arm_timer t tm ~delay =
-  if delay < 0. then invalid_arg "Engine.arm_timer: negative delay";
+let arm_timer_ns t tm ~delay =
+  if delay < 0 then invalid_arg "Engine.arm_timer: negative delay";
   if tm.t_seq >= 0 then cancel_timer t tm;
   let seq = next_seq t in
   tm.t_seq <- seq;
   t.timer_arms <- t.timer_arms + 1;
-  let time = now t +. delay in
+  let time = Time.add t.clock delay in
   if t.use_wheel then tm.t_widx <- Timer_wheel.arm t.wheel ~time ~seq tm
   else begin
     tm.t_widx <- -1;
     Event_queue.push_seq t.queue ~time ~seq tm.t_fire
   end
 
+let arm_timer t tm ~delay =
+  if delay < 0. then invalid_arg "Engine.arm_timer: negative delay";
+  arm_timer_ns t tm ~delay:(Time.of_sec_delay delay)
+
+(* --- end-of-instant flush hooks -------------------------------------- *)
+
+let at_instant_end t f =
+  let n = t.flush_len in
+  if n = Array.length t.flushes then begin
+    let bigger = Array.make (if n = 0 then 8 else 2 * n) nothing in
+    Array.blit t.flushes 0 bigger 0 n;
+    t.flushes <- bigger
+  end;
+  t.flushes.(n) <- f;
+  t.flush_len <- n + 1
+
+(* Run the registered flushes in registration order. A flush may
+   schedule new events (at the current instant or later) and may
+   register further flushes; those run in the same pass. Slots are
+   cleared as they run so no closure is retained past its instant. *)
+let run_flushes t =
+  let i = ref 0 in
+  while !i < t.flush_len do
+    let f = t.flushes.(!i) in
+    t.flushes.(!i) <- nothing;
+    incr i;
+    f ()
+  done;
+  t.flush_len <- 0
+
+(* True iff some event is due exactly at the current clock — the
+   condition under which pending flushes must keep waiting. Only
+   evaluated when flushes are pending, which is rare relative to event
+   dispatch. *)
+let due_at_clock t =
+  (Event_queue.head t.queue && Event_queue.head_time t.queue = t.clock)
+  || (t.use_wheel && Timer_wheel.due t.wheel ~up_to:t.clock)
+
 (* --- run loop -------------------------------------------------------- *)
 
 (* Batched two-substrate dispatcher. The slow per-event shape — call
-   [Timer_wheel.due] (a float division in [tick_of] plus the cursor
-   check) and re-derive both substrate heads from scratch for every
-   event — is replaced by runs:
+   [Timer_wheel.due] and re-derive both substrate heads from scratch
+   for every event — is replaced by runs:
 
    - While the wheel's due head is covered ([head_ready]: provably the
      wheel's global minimum, a couple of integer loads), events from
@@ -179,10 +239,16 @@ let arm_timer t tm ~delay =
    would produce — the same invariant the per-event loop maintained,
    proven by the wheel-vs-heap differential tests and the goldens.
 
-   Event execution is spelled out inline rather than through helper
-   functions: a float passed to a non-inlined function is boxed (no
-   flambda), and head times flow through every iteration — helpers cost
-   two heap blocks per executed event, measurable at 10k-flow scale. *)
+   End-of-instant flushes thread through as fences: each run breaks
+   before popping an event later than the current clock while flushes
+   are pending, and the outer loop runs the flushes once nothing is due
+   at the current instant (flushes may schedule new work at the
+   instant, which the next iteration picks up). With no flushes pending
+   — the overwhelmingly common state — every fence is a single int
+   load.
+
+   All times are {!Time.t} integer nanoseconds, so the merge
+   comparisons, clock stores and until-checks below never box. *)
 let run_loop t ~until =
   let q = t.queue in
   if not t.use_wheel then begin
@@ -191,14 +257,16 @@ let run_loop t ~until =
     while !continue do
       if Event_queue.head q then begin
         let time = Event_queue.head_time q in
-        if time <= until then begin
+        if t.flush_len > 0 && time <> t.clock then run_flushes t
+        else if time <= until then begin
           let ev = Event_queue.pop_head q in
-          Float.Array.unsafe_set t.clock 0 time;
+          t.clock <- time;
           t.events_executed <- t.events_executed + 1;
           execute t ev
         end
         else continue := false
       end
+      else if t.flush_len > 0 then run_flushes t
       else continue := false
     done
   end
@@ -206,89 +274,103 @@ let run_loop t ~until =
     let w = t.wheel in
     let continue = ref true in
     while !continue do
-      let qh = Event_queue.head q in
-      let qt = if qh then Event_queue.head_time q else infinity in
-      let wlimit = if qt < until then qt else until in
-      if Timer_wheel.due w ~up_to:wlimit then begin
-        (* Wheel-covered run: merge on raw head keys until the due head
-           stops being provably minimal (bucket exhausted or cursor
-           coverage lost). *)
-        let wrun = ref true in
-        while !wrun do
-          (* Handlers may cancel the entry sitting at the due head
-             (dead entries keep intact keys but must never fire), so
-             re-establish head liveness and coverage before every pop —
-             [head_ready] is a skim plus two integer loads. *)
-          if not (Timer_wheel.head_ready w) then wrun := false
-          else begin
-            let wt = Timer_wheel.head_time w in
-            let qh = Event_queue.head q in
-            let queue_first =
-              qh
-              && (let time = Event_queue.head_time q in
-                  time < wt
-                  || (time = wt
-                      && Event_queue.head_seq q < Timer_wheel.head_seq w))
-            in
-            if queue_first then begin
-              let time = Event_queue.head_time q in
-              if time <= until then begin
-                let ev = Event_queue.pop_head q in
-                Float.Array.unsafe_set t.clock 0 time;
+      if t.flush_len > 0 && not (due_at_clock t) then run_flushes t
+      else begin
+        let qh = Event_queue.head q in
+        let qt = if qh then Event_queue.head_time q else Time.never in
+        let wlimit = if qt < until then qt else until in
+        if Timer_wheel.due w ~up_to:wlimit then begin
+          (* Wheel-covered run: merge on raw head keys until the due head
+             stops being provably minimal (bucket exhausted or cursor
+             coverage lost). *)
+          let wrun = ref true in
+          while !wrun do
+            (* Handlers may cancel the entry sitting at the due head
+               (dead entries keep intact keys but must never fire), so
+               re-establish head liveness and coverage before every pop —
+               [head_ready] is a skim plus two integer loads. *)
+            if not (Timer_wheel.head_ready w) then wrun := false
+            else begin
+              let wt = Timer_wheel.head_time w in
+              let qh = Event_queue.head q in
+              let queue_first =
+                qh
+                && (let time = Event_queue.head_time q in
+                    time < wt
+                    || (time = wt
+                        && Event_queue.head_seq q < Timer_wheel.head_seq w))
+              in
+              if queue_first then begin
+                let time = Event_queue.head_time q in
+                if t.flush_len > 0 && time <> t.clock then wrun := false
+                else if time <= until then begin
+                  let ev = Event_queue.pop_head q in
+                  t.clock <- time;
+                  t.events_executed <- t.events_executed + 1;
+                  execute t ev
+                end
+                else wrun := false
+              end
+              else if t.flush_len > 0 && wt <> t.clock then wrun := false
+              else if wt <= until then begin
+                let tm = Timer_wheel.pop_due w in
+                t.clock <- wt;
                 t.events_executed <- t.events_executed + 1;
-                execute t ev
+                tm.t_seq <- -1;
+                t.timer_fires <- t.timer_fires + 1;
+                execute t tm.t_payload
               end
               else wrun := false
             end
-            else if wt <= until then begin
-              let tm = Timer_wheel.pop_due w in
-              Float.Array.unsafe_set t.clock 0 wt;
-              t.events_executed <- t.events_executed + 1;
-              tm.t_seq <- -1;
-              t.timer_fires <- t.timer_fires + 1;
-              execute t tm.t_payload
-            end
-            else wrun := false
+          done
+        end
+        else if qh && qt <= until then begin
+          if t.flush_len > 0 && qt <> t.clock then
+            (* Pending flushes and the next event is later: fall through
+               to the outer loop, whose fence runs them. *)
+            ()
+          else begin
+            (* Heap run: the wheel has nothing due by [wlimit], so heap
+               events strictly below its lower bound are safe to drain
+               without re-polling it. The first event is known due; arms
+               during any handler invalidate the bound, so fence on the
+               arm counter. *)
+            let arms0 = t.timer_arms in
+            let ev = Event_queue.pop_head q in
+            t.clock <- qt;
+            t.events_executed <- t.events_executed + 1;
+            execute t ev;
+            let bound = Timer_wheel.lower_bound w in
+            let qrun = ref true in
+            while !qrun do
+              if t.timer_arms <> arms0 then qrun := false
+              else if Event_queue.head q then begin
+                let time = Event_queue.head_time q in
+                if t.flush_len > 0 && time <> t.clock then qrun := false
+                else if time < bound && time <= until then begin
+                  let ev = Event_queue.pop_head q in
+                  t.clock <- time;
+                  t.events_executed <- t.events_executed + 1;
+                  execute t ev
+                end
+                else qrun := false
+              end
+              else qrun := false
+            done
           end
-        done
+        end
+        else continue := false
       end
-      else if qh && qt <= until then begin
-        (* Heap run: the wheel has nothing due by [wlimit], so heap
-           events strictly below its lower bound are safe to drain
-           without re-polling it. The first event is known due; arms
-           during any handler invalidate the bound, so fence on the arm
-           counter. *)
-        let arms0 = t.timer_arms in
-        let ev = Event_queue.pop_head q in
-        Float.Array.unsafe_set t.clock 0 qt;
-        t.events_executed <- t.events_executed + 1;
-        execute t ev;
-        let bound = Timer_wheel.lower_bound w in
-        let qrun = ref true in
-        while !qrun do
-          if t.timer_arms <> arms0 then qrun := false
-          else if Event_queue.head q then begin
-            let time = Event_queue.head_time q in
-            if time < bound && time <= until then begin
-              let ev = Event_queue.pop_head q in
-              Float.Array.unsafe_set t.clock 0 time;
-              t.events_executed <- t.events_executed + 1;
-              execute t ev
-            end
-            else qrun := false
-          end
-          else qrun := false
-        done
-      end
-      else continue := false
     done
   end
 
-let run t ~until =
+let run_ns t ~until =
   run_loop t ~until;
-  if until > now t then set_clock t until
+  if until < Time.never && until > t.clock then t.clock <- until
 
-let run_to_completion t = run_loop t ~until:infinity
+let run t ~until = run_ns t ~until:(Time.of_sec until)
+
+let run_to_completion t = run_loop t ~until:Time.never
 
 let pending t = Event_queue.length t.queue + Timer_wheel.live t.wheel
 
@@ -296,7 +378,11 @@ let pending t = Event_queue.length t.queue + Timer_wheel.live t.wheel
    heap's head is exact, the wheel contributes its [lower_bound]. Used
    by the sharded conductor to skip idle stretches — safe because no
    event can execute strictly before this time. *)
-let next_event_time t =
-  let q = if Event_queue.head t.queue then Event_queue.head_time t.queue else infinity in
-  if not t.use_wheel then q
-  else Float.min q (Timer_wheel.lower_bound t.wheel)
+let next_event_time_ns t =
+  let q =
+    if Event_queue.head t.queue then Event_queue.head_time t.queue
+    else Time.never
+  in
+  if not t.use_wheel then q else Time.min q (Timer_wheel.lower_bound t.wheel)
+
+let next_event_time t = Time.to_sec (next_event_time_ns t)

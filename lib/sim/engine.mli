@@ -23,7 +23,14 @@
     Recurring timers use {!timer} cells: allocate once with
     [make_timer], then [arm_timer] / [cancel_timer] freely — rearming
     from the timer's own handler is safe because the cell is cleared
-    before the handler runs. *)
+    before the handler runs.
+
+    Time is {!Time.t} integer nanoseconds internally. Every scheduling
+    entry point exists in two forms: a [_ns] function taking {!Time.t}
+    (the allocation-free hot path) and a float-seconds wrapper that
+    converts at the boundary. Mixing the two is safe — the float forms
+    are definitionally [Time.of_sec]/[Time.to_sec] compositions of the
+    ns forms. *)
 
 type t
 
@@ -48,11 +55,18 @@ val create : ?use_wheel:bool -> ?timer_granularity:float -> unit -> t
 (** [now t] is the current simulated time, in seconds. *)
 val now : t -> float
 
+(** [now_ns t] is the current simulated time in nanoseconds. The
+    boxing-free clock read for hot paths. *)
+val now_ns : t -> Time.t
+
 (** Which substrate timer cells ride (see [create]). *)
 val uses_wheel : t -> bool
 
 (** The wheel's slot width, in seconds. *)
 val timer_granularity : t -> float
+
+(** The wheel's slot width, in nanoseconds. *)
+val timer_granularity_ns : t -> Time.t
 
 (** [add_dispatcher t ~key f] installs [f] to execute typed events.
     [f ev] must return [true] if it handled [ev], [false] to pass it to
@@ -69,6 +83,11 @@ val schedule_event_at : t -> time:float -> event -> event_id
 (** [schedule_event_after t ~delay ev] executes [ev] after [delay]
     seconds. Requires [delay >= 0.]. *)
 val schedule_event_after : t -> delay:float -> event -> event_id
+
+(** ns-native forms of the two above — no float crosses the call. *)
+val schedule_event_at_ns : t -> time:Time.t -> event -> event_id
+
+val schedule_event_after_ns : t -> delay:Time.t -> event -> event_id
 
 (** [schedule_at t ~time f] runs [f ()] when the clock reaches [time].
     Scheduling in the past raises [Invalid_argument]. *)
@@ -98,6 +117,10 @@ val make_timer : t -> event -> timer
     Requires [delay >= 0.]. *)
 val arm_timer : t -> timer -> delay:float -> unit
 
+(** ns-native [arm_timer]: the allocation-free rearm path (RTO and
+    delayed-ACK churn). Requires [delay >= 0]. *)
+val arm_timer_ns : t -> timer -> delay:Time.t -> unit
+
 (** [cancel_timer t tm] disarms [tm]; a no-op if unarmed. *)
 val cancel_timer : t -> timer -> unit
 
@@ -106,11 +129,26 @@ val cancel_timer : t -> timer -> unit
     rearm unconditionally. *)
 val timer_armed : timer -> bool
 
+(** {2 End-of-instant hooks} *)
+
+(** [at_instant_end t f] runs [f ()] after every event due at the
+    current instant has executed, before the clock advances past it —
+    the batching hook: a connection receiving several same-instant ACKs
+    registers one flush and drains its action buffer once. [f] may
+    schedule events (at the instant or later) and may re-register
+    itself or other hooks; hooks run in registration order and each
+    registration fires exactly once. Outside [run], pending hooks fire
+    before the clock first advances. *)
+val at_instant_end : t -> (unit -> unit) -> unit
+
 (** {2 Running} *)
 
 (** [run t ~until] executes events until both substrates are out of
     events due by [until], then sets the clock to [until]. *)
 val run : t -> until:float -> unit
+
+(** ns-native [run]. *)
+val run_ns : t -> until:Time.t -> unit
 
 (** [run_to_completion t] executes events until both substrates are
     empty. *)
@@ -127,6 +165,9 @@ val pending : t -> int
     returned time may precede the actual next firing. Used by
     {!Sharded_engine} to advance the global horizon over idle gaps. *)
 val next_event_time : t -> float
+
+(** ns-native [next_event_time] ([Time.never] when idle). *)
+val next_event_time_ns : t -> Time.t
 
 (** {2 Scheduler counters} (monotone over the engine's lifetime) *)
 

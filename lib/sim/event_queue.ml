@@ -17,7 +17,7 @@
 type id = int
 
 type 'a t = {
-  mutable times : float array;
+  mutable times : int array;  (* Time.t nanoseconds *)
   mutable seqs : int array;
   mutable payloads : 'a array;
   mutable size : int;  (* physical entries in the heap, live + cancelled *)
@@ -96,12 +96,13 @@ let ensure_bit_capacity t seq =
 (* --- heap ----------------------------------------------------------- *)
 
 (* Hole-based sifts: slot [i] is a hole; move entries across it until
-   (time, seq, payload) finds its position, then write once. Spelled as
-   loops whose moves copy [times] slot-to-slot directly: a float array
-   to float array move stays unboxed, whereas routing the parent's time
-   through a helper call boxed it — one 16-byte block per heap level on
-   every push and pop (no flambda), which dominated the per-event cost
-   once enough packets were in flight to give the heap real depth. *)
+   (time, seq, payload) finds its position, then write once. Times are
+   integer nanoseconds ({!Time.t}), so both the sift comparisons and
+   the slot-to-slot moves are plain int operations — no representation
+   change on any path can box. (The float-keyed ancestor of this heap
+   boxed one 16-byte block per heap level per push/pop whenever a time
+   crossed a non-inlined helper; keep helpers off the sift path all the
+   same, so a future key change cannot reintroduce that.) *)
 let sift_up t i time seq payload =
   let i = ref i in
   let walking = ref true in
@@ -151,7 +152,7 @@ let sift_down t i time seq payload =
   t.payloads.(!i) <- payload
 
 let resize_heap t ncap filler =
-  let times = Array.make ncap 0. in
+  let times = Array.make ncap 0 in
   let seqs = Array.make ncap 0 in
   let payloads = Array.make ncap filler in
   Array.blit t.times 0 times 0 t.size;
@@ -199,9 +200,8 @@ let remove_top t =
   let n = t.size - 1 in
   t.size <- n;
   if n > 0 then begin
-    (* Inline [sift_down t 0 t.times.(n) ...]: calling it would box the
-       float argument once per pop. The hole's key lives in slot [n]
-       (dead, beyond [size]) and moves only slot-to-slot. *)
+    (* Inline [sift_down t 0 t.times.(n) ...]; the hole's key lives in
+       slot [n] (dead, beyond [size]) and moves only slot-to-slot. *)
     let seq = t.seqs.(n) in
     let i = ref 0 in
     let walking = ref true in

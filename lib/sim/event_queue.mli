@@ -3,7 +3,8 @@
     Events are ordered by time; ties are broken by insertion order, so
     the simulation is deterministic. Implemented as a struct-of-arrays
     binary heap with a pending bitmap — push/pop/peek never allocate
-    per entry and never hash. Cancellation is O(1): cancelled entries
+    per entry and never hash. Times are {!Time.t} integer nanoseconds,
+    so heap keys compare and move without boxing. Cancellation is O(1): cancelled entries
     are skipped lazily when popped, and the heap is compacted whenever
     more than half of it is cancelled, so memory stays proportional to
     the number of live events. *)
@@ -21,14 +22,14 @@ val create : unit -> 'a t
 
 (** [push t ~time payload] inserts an event, returning an id usable with
     {!cancel}. *)
-val push : 'a t -> time:float -> 'a -> id
+val push : 'a t -> time:Time.t -> 'a -> id
 
 (** [push_seq t ~time ~seq payload] inserts an event with an externally
     drawn rank. [seq] must be at least the internal counter (which
     advances to [seq + 1]); ranks must be globally monotone across both
     entry points or the pending bitmap would alias.
     @raise Invalid_argument on a stale [seq]. *)
-val push_seq : 'a t -> time:float -> seq:int -> 'a -> unit
+val push_seq : 'a t -> time:Time.t -> seq:int -> 'a -> unit
 
 (** [cancel t id] marks an event as cancelled; popping skips it.
     Cancelling an already-popped or already-cancelled event is a no-op. *)
@@ -36,24 +37,24 @@ val cancel : 'a t -> id -> unit
 
 (** [pop t] removes and returns the earliest live event as
     [Some (time, payload)], or [None] if the queue is empty. *)
-val pop : 'a t -> (float * 'a) option
+val pop : 'a t -> (Time.t * 'a) option
 
 (** [peek_time t] returns the time of the earliest live event without
     removing it. *)
-val peek_time : 'a t -> float option
+val peek_time : 'a t -> Time.t option
 
 (** [pop_until t ~until] pops the earliest live event if its time is
     [<= until]; otherwise returns [None] and leaves the queue intact.
     Equivalent to [peek_time] followed by [pop] when the peeked time is
     due, but inspects the heap only once. *)
-val pop_until : 'a t -> until:float -> (float * 'a) option
+val pop_until : 'a t -> until:Time.t -> (Time.t * 'a) option
 
 (** [drain t ~until f] pops every live event with time [<= until], in
     order, calling [f time payload] on each — equivalent to looping on
     {!pop_until} but without allocating a result per event. [f] may
     push further events; ones due by [until] are drained in the same
     call. *)
-val drain : 'a t -> until:float -> (float -> 'a -> unit) -> unit
+val drain : 'a t -> until:Time.t -> (Time.t -> 'a -> unit) -> unit
 
 (** Allocation-free head primitives, for a caller that merges this
     queue against another substrate and wants to read the head key
@@ -66,7 +67,7 @@ val head : 'a t -> bool
 
 (** Time of the live head. Only meaningful after {!head} returned
     [true]. *)
-val head_time : 'a t -> float
+val head_time : 'a t -> Time.t
 
 (** Rank of the live head. Only meaningful after {!head} returned
     [true]. *)

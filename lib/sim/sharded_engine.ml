@@ -27,7 +27,7 @@
    than shards — correctness never depends on real parallelism. *)
 
 type msg = {
-  m_time : float;
+  m_time : Time.t;
   m_stamp : int;
   m_run : unit -> unit;
 }
@@ -36,7 +36,7 @@ type channel = {
   ch_index : int;
   ch_src : int;
   ch_dst : int;
-  ch_latency : float;
+  ch_latency : Time.t;
   ch_ring : msg Spsc_ring.t;
   (* Messages ever sent; producer-side. Doubles as the FIFO stamp. *)
   mutable ch_stamp : int;
@@ -46,7 +46,7 @@ type worker = {
   w_mutex : Mutex.t;
   w_cond : Condition.t;
   mutable w_epoch : int;  (* conductor bumps with each new target *)
-  mutable w_target : float;
+  mutable w_target : Time.t;
   mutable w_done : int;  (* last epoch the worker completed *)
   mutable w_stop : bool;
   mutable w_error : exn option;
@@ -88,11 +88,16 @@ let channel t ~src ~dst ~latency ?(capacity = 16384) () =
        shard's own engine)";
   if not (latency > 0.) then
     invalid_arg "Sharded_engine.channel: latency must be > 0 (it is the lookahead)";
+  let latency_ns = Time.of_sec latency in
+  if latency_ns <= 0 then
+    invalid_arg
+      "Sharded_engine.channel: latency rounds to zero nanoseconds (below the \
+       time core's resolution)";
   let ch =
     { ch_index = t.channel_count;
       ch_src = src;
       ch_dst = dst;
-      ch_latency = latency;
+      ch_latency = latency_ns;
       ch_ring = Spsc_ring.create ~capacity;
       ch_stamp = 0 }
   in
@@ -100,7 +105,7 @@ let channel t ~src ~dst ~latency ?(capacity = 16384) () =
   t.channels_rev <- ch :: t.channels_rev;
   ch
 
-let channel_latency ch = ch.ch_latency
+let channel_latency ch = Time.to_sec ch.ch_latency
 
 let overflow ch =
   failwith
@@ -110,35 +115,38 @@ let overflow ch =
        ch.ch_index ch.ch_src ch.ch_dst
        (Spsc_ring.capacity ch.ch_ring))
 
-(* Arrival time is [now(src) +. latency] — the same float expression a
-   local hand-off uses ([Engine.schedule_after ~delay:latency]), so a
-   topology built with channels is bit-identical in time to one built
-   with local hand-offs. Must be called from code running on the source
-   shard (its engine's clock is read without synchronization). *)
+(* Arrival time is [now_ns(src) + latency_ns] — the same integer sum a
+   local hand-off computes ([Engine.schedule_after ~delay:latency] adds
+   [Time.of_sec latency], which is exactly [ch_latency]), so a topology
+   built with channels is bit-identical in time to one built with local
+   hand-offs. Must be called from code running on the source shard (its
+   engine's clock is read without synchronization). *)
 let send t ch f =
-  let time = Engine.now t.engines.(ch.ch_src) +. ch.ch_latency in
+  let time = Time.add (Engine.now_ns t.engines.(ch.ch_src)) ch.ch_latency in
   let stamp = ch.ch_stamp in
   ch.ch_stamp <- stamp + 1;
   if not (Spsc_ring.try_push ch.ch_ring { m_time = time; m_stamp = stamp; m_run = f })
   then overflow ch
 
 let send_at t ch ~time f =
-  let now = Engine.now t.engines.(ch.ch_src) in
-  if time < now +. ch.ch_latency then
+  let now = Engine.now_ns t.engines.(ch.ch_src) in
+  let time = Time.of_sec time in
+  if time < Time.add now ch.ch_latency then
     invalid_arg
       (Printf.sprintf
          "Sharded_engine.send_at: time %g violates the channel's lookahead \
           (now %g + latency %g)"
-         time now ch.ch_latency);
+         (Time.to_sec time) (Time.to_sec now) (Time.to_sec ch.ch_latency));
   let stamp = ch.ch_stamp in
   ch.ch_stamp <- stamp + 1;
   if not (Spsc_ring.try_push ch.ch_ring { m_time = time; m_stamp = stamp; m_run = f })
   then overflow ch
 
-let lookahead t =
-  List.fold_left
-    (fun acc ch -> Float.min acc ch.ch_latency)
-    infinity t.channels_rev
+let lookahead_ns t =
+  List.fold_left (fun acc ch -> Time.min acc ch.ch_latency) Time.never
+    t.channels_rev
+
+let lookahead t = Time.to_sec (lookahead_ns t)
 
 let messages_sent t =
   List.fold_left (fun acc ch -> acc + ch.ch_stamp) 0 t.channels_rev
@@ -187,7 +195,7 @@ let drain t =
   let sorted =
     List.sort
       (fun (a, ca) (b, cb) ->
-        let c = Float.compare a.m_time b.m_time in
+        let c = compare (a.m_time : int) b.m_time in
         if c <> 0 then c
         else
           let c = compare ca.ch_index cb.ch_index in
@@ -198,16 +206,18 @@ let drain t =
     (fun (m, ch) ->
       t.messages <- t.messages + 1;
       ignore
-        (Engine.schedule_at t.engines.(ch.ch_dst) ~time:m.m_time m.m_run))
+        (Engine.schedule_event_at_ns t.engines.(ch.ch_dst) ~time:m.m_time
+           (Engine.Closure m.m_run)))
     sorted
 
 let earliest t =
   Array.fold_left
-    (fun acc e -> Float.min acc (Engine.next_event_time e))
-    infinity t.engines
+    (fun acc e -> Time.min acc (Engine.next_event_time_ns e))
+    Time.never t.engines
 
 let run t ~until =
   if t.running then invalid_arg "Sharded_engine.run: already running";
+  let until = Time.of_sec until in
   let n = Array.length t.engines in
   if n = 1 then begin
     (* Single domain: the plain engine, verbatim. [channel] refuses
@@ -215,17 +225,17 @@ let run t ~until =
     t.running <- true;
     Fun.protect
       ~finally:(fun () -> t.running <- false)
-      (fun () -> Engine.run t.engines.(0) ~until)
+      (fun () -> Engine.run_ns t.engines.(0) ~until)
   end
   else begin
     t.running <- true;
-    let window = lookahead t in
+    let window = lookahead_ns t in
     let workers =
       Array.init (n - 1) (fun _ ->
           { w_mutex = Mutex.create ();
             w_cond = Condition.create ();
             w_epoch = 0;
-            w_target = 0.;
+            w_target = 0;
             w_done = 0;
             w_stop = false;
             w_error = None })
@@ -243,7 +253,7 @@ let run t ~until =
         let target = w.w_target in
         Mutex.unlock w.w_mutex;
         if not stop then begin
-          (try Engine.run eng ~until:target
+          (try Engine.run_ns eng ~until:target
            with e -> w.w_error <- Some e);
           Mutex.lock w.w_mutex;
           w.w_done <- epoch;
@@ -271,7 +281,7 @@ let run t ~until =
         t.running <- false)
       (fun () ->
         let error = ref None in
-        let horizon = ref (Engine.now t.engines.(0)) in
+        let horizon = ref (Engine.now_ns t.engines.(0)) in
         let finished = ref false in
         (* Messages pushed before [run] (no worker is live yet) must be
            in the engines before the first target is computed, or an
@@ -281,11 +291,11 @@ let run t ~until =
           (* Window target: at least one lookahead past the earliest
              pending work (skipping idle gaps), capped at [until]. *)
           let target =
-            if window = infinity then until
+            if window = Time.never then until
             else
-              Float.min until (Float.max !horizon (earliest t) +. window)
+              Time.min until (Time.add (Time.max !horizon (earliest t)) window)
           in
-          let target = Float.max target !horizon in
+          let target = Time.max target !horizon in
           t.windows <- t.windows + 1;
           Array.iter
             (fun w ->
@@ -295,7 +305,7 @@ let run t ~until =
               Condition.broadcast w.w_cond;
               Mutex.unlock w.w_mutex)
             workers;
-          (try Engine.run t.engines.(0) ~until:target
+          (try Engine.run_ns t.engines.(0) ~until:target
            with e -> if !error = None then error := Some e);
           (* Barrier: wait for every worker's epoch, then collect any
              worker failure (published before [w_done]). *)

@@ -5,7 +5,7 @@
    [nexts] into a free list, so steady-state arm/cancel churn performs
    zero allocation. Each wheel level is an array of slot heads chaining
    entries through [nexts]; level-0 slots are one tick (granularity
-   seconds) wide, level 1 covers 256 ticks per slot, level 2 covers
+   integer nanoseconds, {!Time.t}) wide, level 1 covers 256 ticks per slot, level 2 covers
    256*64. Arming picks the coarsest level whose window contains the
    deadline — O(1) — and cascading re-files a slot's chain one level
    down when the cursor enters its window.
@@ -42,10 +42,13 @@ let l2_mask = l2_slots - 1
 let span01 = l0_slots * l1_slots (* ticks covered by levels 0+1 *)
 
 type 'a t = {
-  granularity : float;
+  granularity : int;  (* Time.t nanoseconds per tick *)
+  (* Largest cursor value whose slot start [tick * granularity] fits in
+     an int; beyond it the lower bound saturates to [Time.never]. *)
+  max_tick : int;
   (* Entry storage. [seqs.(i)] is the entry's tie-break rank; [nexts]
      doubles as the slot-chain link and the free-list link. *)
-  mutable times : float array;
+  mutable times : int array;  (* Time.t nanoseconds *)
   mutable seqs : int array;
   mutable ticks : int array; (* tick_of times.(i), fixed at arm time *)
   mutable payloads : 'a array;
@@ -65,9 +68,10 @@ type 'a t = {
 }
 
 let create ~granularity () =
-  if not (granularity > 0.) then
+  if granularity <= 0 then
     invalid_arg "Timer_wheel.create: granularity must be positive";
   { granularity;
+    max_tick = max_int / granularity;
     times = [||];
     seqs = [||];
     ticks = [||];
@@ -119,7 +123,7 @@ let clear_alive t i =
 let grow t filler =
   let cap = Array.length t.times in
   let ncap = if cap = 0 then 64 else 2 * cap in
-  let times = Array.make ncap 0. in
+  let times = Array.make ncap 0 in
   let seqs = Array.make ncap (-1) in
   let ticks = Array.make ncap 0 in
   let payloads = Array.make ncap filler in
@@ -224,12 +228,11 @@ let rec due_skim t =
 
 (* --- tick geometry --------------------------------------------------- *)
 
-(* Largest k with [k * granularity <= time], robust to the float
-   product over/undershooting the quotient by an ulp. *)
-let tick_of t time =
-  let k = int_of_float (time /. t.granularity) in
-  let k = if float_of_int k *. t.granularity > time then k - 1 else k in
-  if float_of_int (k + 1) *. t.granularity <= time then k + 1 else k
+(* Largest k with [k * granularity <= time] — with integer times this
+   is plain flooring division, exact at every granularity boundary (the
+   float predecessor needed two correction steps to absorb ulp error,
+   and an explicit infinity clamp in [due]). Times are >= 0. *)
+let[@inline] tick_of t time = time / t.granularity
 
 (* File entry [i] by its deadline relative to the cursor: overdue
    entries go straight to the due heap, others to the coarsest level
@@ -396,14 +399,10 @@ let due t ~up_to =
          tick, at which point nothing <= up_to can remain in the slots.
          The loop body is all-integer: per-tick float arithmetic would
          cost a boxed float per empty tick traversed. *)
-      (* [tick_of] on an infinite or astronomically large bound would
-         hit undefined [int_of_float] behaviour (run-to-completion
-         passes [infinity]); an unreachable tick is equivalent, and the
-         [live = 0] guard still bounds the scan. *)
-      let limit =
-        if up_to /. t.granularity >= float_of_int max_int then max_int
-        else tick_of t up_to
-      in
+      (* Integer division is total: run-to-completion's [Time.never]
+         bound just yields an unreachable tick, and the [live = 0]
+         guard still bounds the scan. *)
+      let limit = tick_of t up_to in
       let continue = ref true in
       while !continue do
         if t.due_size > 0 && t.ticks.(t.due.(0)) < t.tick then
@@ -444,18 +443,19 @@ let head_ready t =
   t.due_size > 0 && t.ticks.(t.due.(0)) < t.tick
 
 (* Conservative lower bound on the key time of every pending entry:
-   slotted entries lie at or beyond the cursor's slot start (see
-   [tick_of]'s invariant: an entry's stored tick k satisfies
-   [float_of_int k *. granularity <= time], and float multiplication by
-   a positive constant is monotone), and due-heap entries speak for
-   themselves. Cancelled-but-linked entries only make the bound lower,
-   never wrong. While the heap substrate's head time is strictly below
-   this bound, the engine can drain heap events without touching the
-   wheel at all. *)
+   slotted entries lie at or beyond the cursor's slot start (an entry's
+   stored tick k satisfies [k * granularity <= time] exactly, by
+   flooring division), and due-heap entries speak for themselves.
+   Cancelled-but-linked entries only make the bound lower, never wrong.
+   While the heap substrate's head time is strictly below this bound,
+   the engine can drain heap events without touching the wheel at
+   all. *)
 let lower_bound t =
-  if t.live = 0 then infinity
+  if t.live = 0 then Time.never
   else begin
-    let slot_lb = float_of_int t.tick *. t.granularity in
+    let slot_lb =
+      if t.tick > t.max_tick then Time.never else t.tick * t.granularity
+    in
     if t.due_size > 0 && t.times.(t.due.(0)) < slot_lb then
       t.times.(t.due.(0))
     else slot_lb

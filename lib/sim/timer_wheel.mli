@@ -1,7 +1,8 @@
 (** Hierarchical timing wheel (Varghese–Lauck) for high-churn timers.
 
     Three levels of power-of-two slot arrays (256 / 64 / 64 slots, so
-    the wheel spans [2^20] ticks of [granularity] seconds each) give
+    the wheel spans [2^20] ticks of [granularity] nanoseconds each)
+    give
     O(1) arm and cancel regardless of how many timers are outstanding —
     the operation the retransmission path performs per packet. Entries
     beyond the top level's horizon wrap modulo the top level and are
@@ -24,16 +25,17 @@
 type 'a t
 
 (** [create ~granularity ()] returns an empty wheel whose level-0 slots
-    are [granularity] seconds wide. Requires [granularity > 0.]. *)
-val create : granularity:float -> unit -> 'a t
+    are [granularity] integer nanoseconds ({!Time.t}) wide. Requires
+    [granularity > 0]. *)
+val create : granularity:Time.t -> unit -> 'a t
 
-val granularity : 'a t -> float
+val granularity : 'a t -> Time.t
 
 (** [arm t ~time ~seq payload] files a timer with exact key
     [(time, seq)] and returns its entry index. [seq] must be unique
     (the engine's global event rank); [time] may lie below the wheel's
     cursor, in which case the entry is immediately due. *)
-val arm : 'a t -> time:float -> seq:int -> 'a -> int
+val arm : 'a t -> time:Time.t -> seq:int -> 'a -> int
 
 (** [cancel t idx ~seq] cancels the entry at [idx] if it still holds
     armament [seq]; a stale [(idx, seq)] pair (already fired, already
@@ -46,11 +48,11 @@ val cancel : 'a t -> int -> seq:int -> unit
     the earliest live entry's exact key and {!pop_due} removes it.
     The cursor never advances past the first due entry, so later calls
     with larger [up_to] see everything in order. *)
-val due : 'a t -> up_to:float -> bool
+val due : 'a t -> up_to:Time.t -> bool
 
 (** Key of the earliest due entry; meaningful only after {!due}
     returned [true]. *)
-val head_time : 'a t -> float
+val head_time : 'a t -> Time.t
 
 val head_seq : 'a t -> int
 
@@ -67,12 +69,12 @@ val pop_due : 'a t -> 'a
 val head_ready : 'a t -> bool
 
 (** [lower_bound t] is a conservative lower bound on the key time of
-    every pending entry ([infinity] when none are live): no entry can
+    every pending entry ({!Time.never} when none are live): no entry can
     fire strictly before it. Another event source whose head lies
     strictly below the bound may be drained without touching the wheel
     — but arming a new entry can lower the bound, so it must be
     re-read after any arm. *)
-val lower_bound : 'a t -> float
+val lower_bound : 'a t -> Time.t
 
 (** [drain_due t ~up_to f] pops every entry with [time <= up_to] in
     exact [(time, seq)] order and calls [f time payload] on each — the
@@ -83,7 +85,8 @@ val lower_bound : 'a t -> float
     polled between entries; when it returns [true] the drain ends
     immediately, leaving the remaining entries pending. *)
 val drain_due :
-  'a t -> up_to:float -> ?stop:(unit -> bool) -> (float -> 'a -> unit) -> unit
+  'a t ->
+  up_to:Time.t -> ?stop:(unit -> bool) -> (Time.t -> 'a -> unit) -> unit
 
 (** Live (armed, uncancelled) entries. *)
 val live : 'a t -> int

@@ -29,6 +29,14 @@ type t = {
   (* Delayed-ACK machinery: the deferred acknowledgement (refreshed on
      each arrival) and its flush deadline. *)
   mutable pending_ack : Types.ack option;
+  (* Sender action buffer: handlers append, {!drain_actions} executes.
+     Accumulates across every sender event of one simulated instant and
+     drains once at the instant's end (see {!arm_flush}), so N same-tick
+     ACKs cost one timer rearm instead of N. *)
+  buf : Action_buffer.t;
+  mutable flush_armed : bool;
+  (* The end-of-instant drain closure, allocated once. *)
+  mutable flush_fn : unit -> unit;
   probe : Probe.t option;
   on_finish : (unit -> unit) option;
   (* Keyed timer slots, one {!Sim.Engine.timer} cell per sender timer
@@ -120,50 +128,114 @@ let note_finished t =
     match t.on_finish with Some f -> f () | None -> ()
   end
 
+(* Execute everything the sender buffered during the current instant.
+   Sends go out in emission order. Timer operations coalesce last-wins
+   per key: arming replaces any pending armament of the same cell, so
+   only the final [Set_timer]/[Cancel_timer] per key needs to touch the
+   wheel — this is where batching N same-tick ACKs saves N-1 rearm
+   round-trips. Executing timers after sends is equivalent: both happen
+   at the same instant and a timer's delay is relative to the (shared)
+   current clock. *)
+let drain_actions t =
+  let buf = t.buf in
+  let n = Action_buffer.length buf in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      let op = Action_buffer.op buf i in
+      if op = Action_buffer.op_send then
+        send_data t ~seq:(Action_buffer.arg buf i) ~retx:false
+      else if op = Action_buffer.op_send_retx then
+        send_data t ~seq:(Action_buffer.arg buf i) ~retx:true
+    done;
+    let seen = ref 0 in
+    for i = n - 1 downto 0 do
+      let op = Action_buffer.op buf i in
+      if op >= Action_buffer.op_set_timer then begin
+        let key = Action_buffer.arg buf i in
+        let bit = 1 lsl key in
+        if !seen land bit = 0 then begin
+          seen := !seen lor bit;
+          if op = Action_buffer.op_set_timer then
+            (* [arm_timer_ns] rearms in place, cancelling any pending
+               armament of the same cell. *)
+            Sim.Engine.arm_timer_ns t.engine (timer_cell t key)
+              ~delay:(Action_buffer.delay_ns buf i)
+          else if key < Array.length t.timer_cells then (
+            match t.timer_cells.(key) with
+            | Some tm -> Sim.Engine.cancel_timer t.engine tm
+            | None -> ())
+        end
+      end
+    done;
+    Action_buffer.clear buf
+  end;
+  note_finished t
+
+(* Defer the drain to the end of the current instant, so further
+   same-instant sender events append to the same batch — unless the
+   sender just finished, in which case drain now so [finished_at] and
+   the timer cancellations land immediately. *)
+let arm_flush t =
+  if Sender.finished t.sender then drain_actions t
+  else if not t.flush_armed then begin
+    t.flush_armed <- true;
+    Sim.Engine.at_instant_end t.engine t.flush_fn
+  end
+
 (* [instrumented t make run] runs a sender handler and, when probing,
    publishes its envelope event — snapshots from either side of the
-   handler plus the actions it returned — BEFORE executing the actions,
+   handler plus the actions it appended — BEFORE any action executes,
    so that [Sent] events land after the envelope that authorised them
    (see {!Probe}). Sender state does not change during action execution,
    so the post-handler snapshot is already final. *)
-let rec apply t actions =
-  let execute = function
-    | Action.Send { seq; retx } -> send_data t ~seq ~retx
-    | Action.Set_timer { key; delay } ->
-      (* [arm_timer] rearms in place, cancelling any pending armament
-         of the same cell. *)
-      Sim.Engine.arm_timer t.engine (timer_cell t key) ~delay
-    | Action.Cancel_timer { key } ->
-      if key < Array.length t.timer_cells then (
-        match t.timer_cells.(key) with
-        | Some tm -> Sim.Engine.cancel_timer t.engine tm
-        | None -> ())
-  in
-  List.iter execute actions;
-  note_finished t
-
-and instrumented t make run =
+let instrumented t make run =
   if probing t then begin
+    let mark = Action_buffer.length t.buf in
     let before = sender_view t in
-    let actions = run () in
+    run t.buf;
     let after = sender_view t in
-    emit_event t (make ~before ~after ~actions);
-    apply t actions
+    let actions = Action_buffer.to_list_from t.buf mark in
+    emit_event t (make ~before ~after ~actions)
   end
-  else apply t (run ())
+  else run t.buf;
+  arm_flush t
+
+(* True if the undrained batch contains a [Set_timer]/[Cancel_timer]
+   for [key]. Any such entry was emitted by an event the engine
+   processed before this one (same instant, earlier rank), so under the
+   old execute-immediately semantics it would already have replaced or
+   cancelled the armament that is firing now — the fire must be
+   suppressed to keep batching invisible to the sender. *)
+let batch_touches_key t key =
+  let buf = t.buf in
+  let n = Action_buffer.length buf in
+  let touched = ref false in
+  for i = 0 to n - 1 do
+    if
+      Action_buffer.op buf i >= Action_buffer.op_set_timer
+      && Action_buffer.arg buf i = key
+    then touched := true
+  done;
+  !touched
 
 (* The engine has already cleared the cell when this runs, so a handler
    issuing [Set_timer] for its own key rearms a clean slot. *)
 let fire_timer t key =
-  t.timer_fires <- t.timer_fires + 1;
-  let now = Sim.Engine.now t.engine in
-  if probing t then
-    instrumented t
-      (fun ~before ~after ~actions ->
-        Probe.Timer_fired
-          { time = now; flow = t.flow; key; before; after; actions })
-      (fun () -> Sender.on_timer t.sender ~now ~key)
-  else apply t (Sender.on_timer t.sender ~now ~key)
+  if Action_buffer.length t.buf > 0 && batch_touches_key t key then ()
+  else begin
+    t.timer_fires <- t.timer_fires + 1;
+    let now = Sim.Engine.now t.engine in
+    if probing t then
+      instrumented t
+        (fun ~before ~after ~actions ->
+          Probe.Timer_fired
+            { time = now; flow = t.flow; key; before; after; actions })
+        (fun buf -> Sender.on_timer t.sender ~now ~key buf)
+    else begin
+      Sender.on_timer t.sender ~now ~key t.buf;
+      arm_flush t
+    end
+  end
 
 let delack_cell t =
   match t.delack_cell with
@@ -235,8 +307,11 @@ let on_ack_arrival t packet =
         (fun ~before ~after ~actions ->
           Probe.Ack_at_source
             { time = now; flow = t.flow; ack; before; after; actions })
-        (fun () -> Sender.on_ack t.sender ~now ack)
-    else apply t (Sender.on_ack t.sender ~now ack)
+        (fun buf -> Sender.on_ack t.sender ~now ack buf)
+    else begin
+      Sender.on_ack t.sender ~now ack t.buf;
+      arm_flush t
+    end
   | _ -> ());
   Net.Network.release_packet t.network packet
 
@@ -272,11 +347,18 @@ let create ?probe ?on_finish network ~flow ~src ~dst ~sender ~config
       delack_timeouts = 0;
       finished_at = None;
       pending_ack = None;
+      buf = Action_buffer.create ();
+      flush_armed = false;
+      flush_fn = ignore;
       probe;
       on_finish;
       timer_cells = Array.make 4 None;
       delack_cell = None }
   in
+  t.flush_fn <-
+    (fun () ->
+      t.flush_armed <- false;
+      drain_actions t);
   Net.Node.attach dst ~flow (on_data_arrival t);
   Net.Node.attach src ~flow (on_ack_arrival t);
   t
@@ -287,7 +369,8 @@ let start t ~at =
   ignore
     (Sim.Engine.schedule_at t.engine ~time:at (fun () ->
          let now = Sim.Engine.now t.engine in
-         apply t (Sender.start t.sender ~now)))
+         Sender.start t.sender ~now t.buf;
+         arm_flush t))
 
 let sender_name t = Sender.name t.sender
 

@@ -112,22 +112,28 @@ let metrics t =
        the check monitors watch this for Karn-rule violations. *)
     ("srtt", Option.value (Rto.srtt t.rto) ~default:(-1.)) ]
 
-let arm_rto t = Action.Set_timer { key = rto_key; delay = Rto.current t.rto }
+let arm_rto t buf =
+  Action_buffer.set_timer_ns buf ~key:rto_key ~delay:(Rto.current_ns t.rto)
 
-let send t ~now ~seq ~retx =
+let send t ~now ~seq ~retx buf =
   t.n_sent <- t.n_sent + 1;
   if retx then begin
     t.n_retx <- t.n_retx + 1;
     Hashtbl.replace t.retransmitted seq ()
   end;
   Hashtbl.replace t.send_times seq now;
-  Action.Send { seq; retx }
+  if retx then Action_buffer.send_retx buf ~seq
+  else Action_buffer.send buf ~seq
 
-(* Effective window: cwnd, plus one segment per duplicate ACK under
-   limited transmit (capped by the strategy) while not yet in
-   recovery. Inside recovery, cwnd itself is inflated per duplicate. *)
+(* Effective window (in whole segments): cwnd, plus one segment per
+   duplicate ACK under limited transmit (capped by the strategy) while
+   not yet in recovery. Inside recovery, cwnd itself is inflated per
+   duplicate. Returns an int so the per-ACK send loop never boxes a
+   float return. *)
 let effective_window t =
-  let base = Float.min t.cwnd t.config.Config.max_cwnd in
+  let c = t.cwnd in
+  let m = t.config.Config.max_cwnd in
+  let base = if c < m then c else m in
   let allowance =
     if
       t.config.Config.limited_transmit
@@ -139,30 +145,35 @@ let effective_window t =
       | None -> t.dup_count
     else 0
   in
-  base +. float_of_int allowance
+  int_of_float base + allowance
 
-let send_new_data t ~now =
-  let rec loop acc =
-    let window = int_of_float (effective_window t) in
-    if flight t >= window || all_data_sent t then List.rev acc
-    else begin
-      let seq = t.snd_next in
-      t.snd_next <- seq + 1;
-      loop (send t ~now ~seq ~retx:false :: acc)
-    end
-  in
-  loop []
+(* Top-level recursion, not an inner [let rec loop]: the inner closure
+   would capture [t]/[now]/[buf] and be allocated on every ACK. *)
+let rec send_new_data t ~now buf =
+  let window = effective_window t in
+  if flight t >= window || all_data_sent t then ()
+  else begin
+    let seq = t.snd_next in
+    t.snd_next <- seq + 1;
+    send t ~now ~seq ~retx:false buf;
+    send_new_data t ~now buf
+  end
 
-let start t ~now =
-  let sends = send_new_data t ~now in
-  if sends = [] then [] else sends @ [ arm_rto t ]
+let start t ~now buf =
+  let mark = Action_buffer.length buf in
+  send_new_data t ~now buf;
+  if Action_buffer.length buf > mark then arm_rto t buf
 
+(* One store per call: [cwnd] is a mutable float field of a mixed
+   record, so every assignment boxes — growing then clamping in two
+   stores costs two boxes per in-order ACK. *)
 let grow_window t =
-  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
-  else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
-  t.cwnd <- Float.min t.cwnd t.config.Config.max_cwnd
+  let c = t.cwnd in
+  let c = if c < t.ssthresh then c +. 1. else c +. (1. /. c) in
+  let m = t.config.Config.max_cwnd in
+  t.cwnd <- (if c < m then c else m)
 
-let enter_recovery t ~now =
+let enter_recovery t ~now buf =
   t.n_fast_retx <- t.n_fast_retx + 1;
   let effective_flight = Float.min (float_of_int (flight t)) t.cwnd in
   t.ssthresh <- Float.max (effective_flight /. 2.) 2.;
@@ -176,55 +187,49 @@ let enter_recovery t ~now =
   | Reno | Newreno ->
     t.in_recovery <- true;
     t.cwnd <- t.ssthresh +. float_of_int t.dup_count);
-  let retx = send t ~now ~seq:t.snd_una ~retx:true in
-  [ retx; arm_rto t ]
+  send t ~now ~seq:t.snd_una ~retx:true buf;
+  arm_rto t buf
 
-let cancel_td t =
+let cancel_td t buf =
   if t.td_armed then begin
     t.td_armed <- false;
-    [ Action.Cancel_timer { key = td_key } ]
+    Action_buffer.cancel_timer buf ~key:td_key
   end
-  else []
 
 (* Duplicate-ACK handling under the [Time_delayed] trigger: arm the
    delay timer on the first duplicate; once the third arrives, re-arm it
    so it expires [max(srtt / 2, DT)] after the first duplicate. *)
-let td_on_dup t ~now =
+let td_on_dup t ~now buf =
   let half_srtt =
-    match Rto.srtt t.rto with
-    | Some srtt -> srtt /. 2.
-    | None -> t.config.Config.initial_rto /. 2.
+    Rto.srtt_or t.rto ~default:t.config.Config.initial_rto /. 2.
   in
   if t.dup_count = 1 then begin
     t.first_dup_at <- now;
     t.td_armed <- true;
-    [ Action.Set_timer { key = td_key; delay = half_srtt } ]
+    Action_buffer.set_timer buf ~key:td_key ~delay:half_srtt
   end
   else if t.dup_count = 3 then begin
     let dt = now -. t.first_dup_at in
     let expires_at = t.first_dup_at +. Float.max half_srtt dt in
     t.td_armed <- true;
-    [ Action.Set_timer { key = td_key; delay = Float.max (expires_at -. now) 0. } ]
+    Action_buffer.set_timer buf ~key:td_key
+      ~delay:(Float.max (expires_at -. now) 0.)
   end
-  else []
 
-let on_dup_ack t ~now =
+let on_dup_ack t ~now buf =
   t.dup_count <- t.dup_count + 1;
   if t.in_recovery then begin
     (* Window inflation: each duplicate signals a departure. *)
     t.cwnd <- Float.min (t.cwnd +. 1.) t.config.Config.max_cwnd;
-    send_new_data t ~now
+    send_new_data t ~now buf
   end
   else begin
-    let trigger_actions =
-      match t.strategy.trigger with
-      | Dupthresh ->
-        if t.dup_count = t.config.Config.dupthresh && t.snd_una > t.recover
-        then enter_recovery t ~now
-        else []
-      | Time_delayed -> if t.snd_una > t.recover then td_on_dup t ~now else []
-    in
-    trigger_actions @ send_new_data t ~now
+    (match t.strategy.trigger with
+    | Dupthresh ->
+      if t.dup_count = t.config.Config.dupthresh && t.snd_una > t.recover
+      then enter_recovery t ~now buf
+    | Time_delayed -> if t.snd_una > t.recover then td_on_dup t ~now buf);
+    send_new_data t ~now buf
   end
 
 (* Karn: sample only if the newly covered leading segment was never
@@ -232,9 +237,12 @@ let on_dup_ack t ~now =
 let maybe_sample_rtt t ~now ~ack_next =
   let seq = ack_next - 1 in
   if not (Hashtbl.mem t.retransmitted seq) then begin
-    match Hashtbl.find_opt t.send_times seq with
-    | Some sent_at -> Rto.sample t.rto (now -. sent_at)
-    | None -> ()
+    (* [find] + exception, not [find_opt]: the key is present on every
+       in-order ACK and the [Some] wrapper would be a per-ACK
+       allocation; [Not_found] is a constant constructor. *)
+    match Hashtbl.find t.send_times seq with
+    | sent_at -> Rto.sample_between t.rto ~sent_at ~now
+    | exception Not_found -> ()
   end
 
 let forget_below t bound =
@@ -243,59 +251,52 @@ let forget_below t bound =
     Hashtbl.remove t.retransmitted seq
   done
 
-let on_new_ack t ~now ~ack_next =
+let on_new_ack t ~now ~ack_next buf =
   maybe_sample_rtt t ~now ~ack_next;
   Rto.reset_backoff t.rto;
   let newly = ack_next - t.snd_una in
-  let recovery_actions =
-    if t.in_recovery then begin
-      if ack_next > t.recover then begin
-        (* Full acknowledgement: deflate and leave recovery. *)
-        t.in_recovery <- false;
-        t.cwnd <- t.ssthresh;
-        t.dup_count <- 0;
-        []
-      end
-      else begin
-        match t.strategy.style with
-        | Newreno ->
-          (* Partial acknowledgement: retransmit the next hole, deflate
-             by the amount acknowledged, stay in recovery. *)
-          t.cwnd <- Float.max (t.cwnd -. float_of_int newly +. 1.) 1.;
-          [ send t ~now ~seq:ack_next ~retx:true ]
-        | Reno | Tahoe ->
-          (* Classic Reno: the first new ACK ends recovery; remaining
-             holes must re-trigger fast retransmit or time out. *)
-          t.in_recovery <- false;
-          t.cwnd <- t.ssthresh;
-          t.dup_count <- 0;
-          []
-      end
+  if t.in_recovery then begin
+    if ack_next > t.recover then begin
+      (* Full acknowledgement: deflate and leave recovery. *)
+      t.in_recovery <- false;
+      t.cwnd <- t.ssthresh;
+      t.dup_count <- 0
     end
     else begin
-      t.dup_count <- 0;
-      grow_window t;
-      []
+      match t.strategy.style with
+      | Newreno ->
+        (* Partial acknowledgement: retransmit the next hole, deflate
+           by the amount acknowledged, stay in recovery. *)
+        t.cwnd <- Float.max (t.cwnd -. float_of_int newly +. 1.) 1.;
+        send t ~now ~seq:ack_next ~retx:true buf
+      | Reno | Tahoe ->
+        (* Classic Reno: the first new ACK ends recovery; remaining
+           holes must re-trigger fast retransmit or time out. *)
+        t.in_recovery <- false;
+        t.cwnd <- t.ssthresh;
+        t.dup_count <- 0
     end
-  in
+  end
+  else begin
+    t.dup_count <- 0;
+    grow_window t
+  end;
   forget_below t ack_next;
   t.snd_una <- ack_next;
-  let td_cancel = cancel_td t in
-  let sends = send_new_data t ~now in
-  let timer =
-    if flight t > 0 || not (all_data_sent t) then [ arm_rto t ]
-    else [ Action.Cancel_timer { key = rto_key } ]
-  in
-  recovery_actions @ td_cancel @ sends @ timer
+  cancel_td t buf;
+  send_new_data t ~now buf;
+  if flight t > 0 || not (all_data_sent t) then arm_rto t buf
+  else Action_buffer.cancel_timer buf ~key:rto_key
 
-let on_ack t ~now (ack : Types.ack) =
-  if finished t then []
-  else if ack.Types.next > t.snd_una then on_new_ack t ~now ~ack_next:ack.Types.next
-  else if ack.Types.next = t.snd_una && flight t > 0 then on_dup_ack t ~now
-  else [] (* stale reordered ACK *)
+let on_ack t ~now (ack : Types.ack) buf =
+  if finished t then ()
+  else if ack.Types.next > t.snd_una then
+    on_new_ack t ~now ~ack_next:ack.Types.next buf
+  else if ack.Types.next = t.snd_una && flight t > 0 then on_dup_ack t ~now buf
+  (* else: stale reordered ACK *)
 
-let on_rto t ~now =
-  if flight t = 0 && all_data_sent t then []
+let on_rto t ~now buf =
+  if flight t = 0 && all_data_sent t then ()
   else begin
     t.n_timeouts <- t.n_timeouts + 1;
     (* FlightSize is bounded by cwnd so a frozen cumulative ACK cannot
@@ -307,28 +308,23 @@ let on_rto t ~now =
     t.in_recovery <- false;
     t.recover <- t.snd_next - 1;
     Rto.backoff t.rto;
-    let retx =
-      if flight t > 0 then begin
-        (* Go-back-N (ns-2 Reno): rewind transmission to the first
-           unacknowledged segment. Without a scoreboard the sender has
-           no other way to locate holes once nothing is in flight. *)
-        let first = [ send t ~now ~seq:t.snd_una ~retx:true ] in
-        t.snd_next <- t.snd_una + 1;
-        first
-      end
-      else send_new_data t ~now
-    in
-    let td = cancel_td t in
-    td @ retx @ [ arm_rto t ]
+    cancel_td t buf;
+    if flight t > 0 then begin
+      (* Go-back-N (ns-2 Reno): rewind transmission to the first
+         unacknowledged segment. Without a scoreboard the sender has
+         no other way to locate holes once nothing is in flight. *)
+      send t ~now ~seq:t.snd_una ~retx:true buf;
+      t.snd_next <- t.snd_una + 1
+    end
+    else send_new_data t ~now buf;
+    arm_rto t buf
   end
 
-let on_td_timer t ~now =
+let on_td_timer t ~now buf =
   t.td_armed <- false;
   if (not t.in_recovery) && t.dup_count > 0 && flight t > 0 then
-    enter_recovery t ~now
-  else []
+    enter_recovery t ~now buf
 
-let on_timer t ~now ~key =
-  if key = rto_key then on_rto t ~now
-  else if key = td_key then on_td_timer t ~now
-  else []
+let on_timer t ~now ~key buf =
+  if key = rto_key then on_rto t ~now buf
+  else if key = td_key then on_td_timer t ~now buf

@@ -35,16 +35,40 @@ let sample t rtt =
     set t srtt_ ((0.875 *. srtt) +. (0.125 *. rtt))
   end
 
-let base t =
-  if not t.has_sample then t.config.Config.initial_rto
-  else
-    let g = t.config.Config.timer_granularity in
-    get t srtt_ +. Float.max g (4. *. get t rttvar_)
+(* [sample] with the subtraction pushed inside: both operands are
+   already boxed at every call site (an event timestamp and a stored
+   send time), so taking them as arguments avoids the fresh float box
+   a caller-side [now -. sent_at] would allocate per ACK. *)
+let sample_between t ~sent_at ~now = sample t (now -. sent_at)
 
-let current t =
+(* Comparisons are written out as [if]s rather than [Float.min]/
+   [Float.max]: those are ordinary functions, and without flambda each
+   call boxes its unboxed operand and its result — this runs once per
+   ACK on the RTO re-arm path. *)
+let[@inline] base t =
+  if not t.has_sample then t.config.Config.initial_rto
+  else begin
+    let g = t.config.Config.timer_granularity in
+    let v4 = 4. *. get t rttvar_ in
+    get t srtt_ +. (if g > v4 then g else v4)
+  end
+
+let[@inline] current t =
   let rto = base t *. get t multiplier_ in
-  let rto = Float.max rto t.config.Config.min_rto in
-  Float.min rto t.config.Config.max_rto
+  let lo = t.config.Config.min_rto in
+  let rto = if rto < lo then lo else rto in
+  let hi = t.config.Config.max_rto in
+  if rto > hi then hi else rto
+
+(* The RTO as an integer-nanosecond delay, for [Action_buffer.
+   set_timer_ns]: the float never escapes this function, so the per-ACK
+   re-arm allocates nothing. The conversion replicates
+   [Sim.Time.of_sec_delay] (same horizon, same ceiling) instead of
+   calling it — the cross-module float argument would box per call. *)
+let current_ns t =
+  let s = current t in
+  if s >= Sim.Time.horizon_sec then Sim.Time.never
+  else int_of_float (Float.ceil (s *. 1e9))
 
 (* Back off by doubling the *clamped* RTO, not the raw multiplier.
    Doubling the multiplier alone misbehaves at both clamps: while the
@@ -64,5 +88,9 @@ let backoff t =
 let reset_backoff t = set t multiplier_ 1.
 
 let srtt t = if t.has_sample then Some (get t srtt_) else None
+
+(* Option-free variant for per-ACK paths (RACK's reordering window,
+   TCP-DOOR's freeze horizon): [srtt] allocates a [Some] per call. *)
+let srtt_or t ~default = if t.has_sample then get t srtt_ else default
 
 let rttvar t = if t.has_sample then Some (get t rttvar_) else None

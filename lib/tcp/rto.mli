@@ -14,8 +14,19 @@ val create : Config.t -> t
 (** [sample t rtt] folds a round-trip-time measurement in. *)
 val sample : t -> float -> unit
 
+(** [sample_between t ~sent_at ~now] folds in the measurement
+    [now - sent_at]. Equivalent to [sample t (now -. sent_at)], but the
+    subtraction happens inside the call so the per-ACK hot path passes
+    two already-boxed floats instead of allocating a fresh one. *)
+val sample_between : t -> sent_at:float -> now:float -> unit
+
 (** [current t] is the RTO in seconds, back-off included. *)
 val current : t -> float
+
+(** [current_ns t] is [current t] as an integer-nanosecond delay
+    (ceiling conversion, see {!Sim.Time.of_sec_delay}), allocation-free
+    for use on the per-ACK timer re-arm path. *)
+val current_ns : t -> Sim.Time.t
 
 (** [backoff t] doubles the effective (clamped) RTO, saturating at
     [max_rto]: after the call, [current t = min (2 * rto, max_rto)]
@@ -29,6 +40,11 @@ val reset_backoff : t -> unit
 
 (** [srtt t] is the smoothed RTT, or [None] before the first sample. *)
 val srtt : t -> float option
+
+(** [srtt_or t ~default] is the smoothed RTT, or [default] before the
+    first sample — [srtt] without the per-call [Some] box, for per-ACK
+    paths. *)
+val srtt_or : t -> default:float -> float
 
 (** [rttvar t] is the RTT variation estimate, [None] before the first
     sample. *)

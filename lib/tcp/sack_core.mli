@@ -83,11 +83,11 @@ type t
 val create :
   ?response:response -> ?trigger:trigger -> ?door:bool -> Config.t -> t
 
-val start : t -> now:float -> Action.t list
+val start : t -> now:float -> Action_buffer.t -> unit
 
-val on_ack : t -> now:float -> Types.ack -> Action.t list
+val on_ack : t -> now:float -> Types.ack -> Action_buffer.t -> unit
 
-val on_timer : t -> now:float -> key:int -> Action.t list
+val on_timer : t -> now:float -> key:int -> Action_buffer.t -> unit
 
 val cwnd : t -> float
 

@@ -5,11 +5,11 @@ module type S = sig
 
   val create : Config.t -> t
 
-  val start : t -> now:float -> Action.t list
+  val start : t -> now:float -> Action_buffer.t -> unit
 
-  val on_ack : t -> now:float -> Types.ack -> Action.t list
+  val on_ack : t -> now:float -> Types.ack -> Action_buffer.t -> unit
 
-  val on_timer : t -> now:float -> key:int -> Action.t list
+  val on_timer : t -> now:float -> key:int -> Action_buffer.t -> unit
 
   val cwnd : t -> float
 
@@ -26,11 +26,13 @@ let pack (module M : S) config = Packed ((module M), M.create config)
 
 let name (Packed ((module M), _)) = M.name
 
-let start (Packed ((module M), state)) ~now = M.start state ~now
+let start (Packed ((module M), state)) ~now buf = M.start state ~now buf
 
-let on_ack (Packed ((module M), state)) ~now ack = M.on_ack state ~now ack
+let on_ack (Packed ((module M), state)) ~now ack buf =
+  M.on_ack state ~now ack buf
 
-let on_timer (Packed ((module M), state)) ~now ~key = M.on_timer state ~now ~key
+let on_timer (Packed ((module M), state)) ~now ~key buf =
+  M.on_timer state ~now ~key buf
 
 let cwnd (Packed ((module M), state)) = M.cwnd state
 

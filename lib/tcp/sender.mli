@@ -1,9 +1,15 @@
 (** Uniform interface implemented by every TCP sender variant.
 
     A sender is a state machine driven by three events — connection
-    start, ACK arrival, timer expiry — each returning the {!Action.t}
-    list to execute. Time is passed in by the caller so variants stay
-    engine-agnostic. *)
+    start, ACK arrival, timer expiry — each writing the {!Action.t}s to
+    execute into the {!Action_buffer.t} passed by the caller (appending
+    in execution order; handlers never read or clear the buffer). Time
+    is passed in by the caller so variants stay engine-agnostic.
+
+    The buffer-writing shape keeps the per-event hot path
+    allocation-free: the connection owns one buffer, clears it per
+    event, and drains it in place. Unit tests use
+    {!Action_buffer.collect} to get the familiar list back. *)
 
 module type S = sig
   (** Human-readable variant name (appears in experiment tables). *)
@@ -13,16 +19,17 @@ module type S = sig
 
   val create : Config.t -> t
 
-  (** [start t ~now] opens the connection: typically sends the initial
-      window and arms the retransmission timer. *)
-  val start : t -> now:float -> Action.t list
+  (** [start t ~now buf] opens the connection: typically sends the
+      initial window and arms the retransmission timer. *)
+  val start : t -> now:float -> Action_buffer.t -> unit
 
-  (** [on_ack t ~now ack] processes an arriving acknowledgement. *)
-  val on_ack : t -> now:float -> Types.ack -> Action.t list
+  (** [on_ack t ~now ack buf] processes an arriving acknowledgement. *)
+  val on_ack : t -> now:float -> Types.ack -> Action_buffer.t -> unit
 
-  (** [on_timer t ~now ~key] handles expiry of the timer armed under
-      [key]. Spurious keys (already superseded) must be ignored. *)
-  val on_timer : t -> now:float -> key:int -> Action.t list
+  (** [on_timer t ~now ~key buf] handles expiry of the timer armed
+      under [key]. Spurious keys (already superseded) must be
+      ignored. *)
+  val on_timer : t -> now:float -> key:int -> Action_buffer.t -> unit
 
   (** Current congestion window, in segments. *)
   val cwnd : t -> float
@@ -50,11 +57,11 @@ val pack : (module S) -> Config.t -> packed
 
 val name : packed -> string
 
-val start : packed -> now:float -> Action.t list
+val start : packed -> now:float -> Action_buffer.t -> unit
 
-val on_ack : packed -> now:float -> Types.ack -> Action.t list
+val on_ack : packed -> now:float -> Types.ack -> Action_buffer.t -> unit
 
-val on_timer : packed -> now:float -> key:int -> Action.t list
+val on_timer : packed -> now:float -> key:int -> Action_buffer.t -> unit
 
 val cwnd : packed -> float
 

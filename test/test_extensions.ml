@@ -2,6 +2,51 @@
    the RED queue discipline, the Eifel algorithm and RACK-style
    time-based loss detection. *)
 
+
+(* The handlers now write into an {!Tcp.Action_buffer.t} instead of
+   returning a list; shadow them with list-returning adapters so the
+   assertions below keep their original shape. The originals stay
+   available under [_sender] aliases for first-class-module use. *)
+module Tahoe_sender = Tcp.Tahoe
+module Reno_sender = Tcp.Reno
+
+module Tcp = struct
+  include Tcp
+
+  module Sack_core = struct
+    include Sack_core
+
+    let start t ~now = Action_buffer.collect (Sack_core.start t ~now)
+
+    let on_ack t ~now ack = Action_buffer.collect (Sack_core.on_ack t ~now ack)
+
+    let on_timer t ~now ~key =
+      Action_buffer.collect (Sack_core.on_timer t ~now ~key)
+  end
+
+  module Tahoe = struct
+    include Tahoe
+
+    let start t ~now = Action_buffer.collect (Tahoe.start t ~now)
+
+    let on_ack t ~now ack = Action_buffer.collect (Tahoe.on_ack t ~now ack)
+
+    let[@warning "-32"] on_timer t ~now ~key =
+      Action_buffer.collect (Tahoe.on_timer t ~now ~key)
+  end
+
+  module Reno = struct
+    include Reno
+
+    let start t ~now = Action_buffer.collect (Reno.start t ~now)
+
+    let on_ack t ~now ack = Action_buffer.collect (Reno.on_ack t ~now ack)
+
+    let[@warning "-32"] on_timer t ~now ~key =
+      Action_buffer.collect (Reno.on_timer t ~now ~key)
+  end
+end
+
 let check_float = Alcotest.(check (float 1e-9))
 
 let retransmissions actions =
@@ -556,8 +601,8 @@ let test_tahoe_reno_complete_end_to_end () =
     Sim.Engine.run engine ~until:300.;
     Tcp.Connection.finished c
   in
-  Alcotest.(check bool) "tahoe finishes" true (run (module Tcp.Tahoe));
-  Alcotest.(check bool) "reno finishes" true (run (module Tcp.Reno))
+  Alcotest.(check bool) "tahoe finishes" true (run (module Tahoe_sender));
+  Alcotest.(check bool) "reno finishes" true (run (module Reno_sender))
 
 (* ------------------------------------------------------------------ *)
 (* Link jitter                                                         *)

@@ -289,7 +289,7 @@ let run_torture ~seed ~loss ~jitter (module M : Tcp.Sender.S) =
   let sender = M.create config in
   let receiver = Tcp.Receiver.create config in
   let net = Chaos.create ~seed ~loss ~jitter in
-  Chaos.perform net (M.start sender ~now:0.);
+  Chaos.perform net (Tcp.Action_buffer.collect (M.start sender ~now:0.));
   let steps = ref 0 in
   let max_steps = 100_000 in
   while (not (M.finished sender)) && !steps < max_steps do
@@ -303,9 +303,9 @@ let run_torture ~seed ~loss ~jitter (module M : Tcp.Sender.S) =
       let ack = Tcp.Receiver.on_data receiver ~retx ~seq () in
       Chaos.send_ack net ack
     | Some (now, Some (Ack_arrives ack)) ->
-      Chaos.perform net (M.on_ack sender ~now ack)
+      Chaos.perform net (Tcp.Action_buffer.collect (M.on_ack sender ~now ack))
     | Some (now, Some (Timer_fires key)) ->
-      Chaos.perform net (M.on_timer sender ~now ~key)
+      Chaos.perform net (Tcp.Action_buffer.collect (M.on_timer sender ~now ~key))
   done;
   M.finished sender && Tcp.Receiver.in_order_segments receiver = total
 
@@ -400,11 +400,10 @@ let test_oracle_clean_scenario () =
 module Broken_pr = struct
   include Core.Tcp_pr
 
-  let on_ack t ~now (ack : Tcp.Types.ack) =
-    let actions = on_ack t ~now ack in
+  let on_ack t ~now (ack : Tcp.Types.ack) buf =
+    on_ack t ~now ack buf;
     if ack.Tcp.Types.sacks <> [] then
-      actions @ [ Tcp.Action.Send { seq = ack.Tcp.Types.next; retx = true } ]
-    else actions
+      Tcp.Action_buffer.send_retx buf ~seq:ack.Tcp.Types.next
 end
 
 let broken_scenario =

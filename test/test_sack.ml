@@ -2,6 +2,25 @@
    transmission, DSACK spurious-retransmission responses (the
    Blanton-Allman policies), and the TD-FR delayed trigger. *)
 
+
+(* The handlers now write into an {!Tcp.Action_buffer.t} instead of
+   returning a list; shadow them with list-returning adapters so the
+   assertions below keep their original shape. *)
+module Tcp = struct
+  include Tcp
+
+  module Sack_core = struct
+    include Sack_core
+
+    let start t ~now = Action_buffer.collect (Sack_core.start t ~now)
+
+    let on_ack t ~now ack = Action_buffer.collect (Sack_core.on_ack t ~now ack)
+
+    let on_timer t ~now ~key =
+      Action_buffer.collect (Sack_core.on_timer t ~now ~key)
+  end
+end
+
 let check_float = Alcotest.(check (float 1e-9))
 
 let sends actions =

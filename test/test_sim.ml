@@ -119,26 +119,26 @@ let drain queue =
 
 let test_queue_orders_by_time () =
   let q = Sim.Event_queue.create () in
-  ignore (Sim.Event_queue.push q ~time:3. "c");
-  ignore (Sim.Event_queue.push q ~time:1. "a");
-  ignore (Sim.Event_queue.push q ~time:2. "b");
-  Alcotest.(check (list (pair (float 0.) string)))
-    "sorted" [ (1., "a"); (2., "b"); (3., "c") ] (drain q)
+  ignore (Sim.Event_queue.push q ~time:3 "c");
+  ignore (Sim.Event_queue.push q ~time:1 "a");
+  ignore (Sim.Event_queue.push q ~time:2 "b");
+  Alcotest.(check (list (pair int string)))
+    "sorted" [ (1, "a"); (2, "b"); (3, "c") ] (drain q)
 
 let test_queue_fifo_on_ties () =
   let q = Sim.Event_queue.create () in
-  ignore (Sim.Event_queue.push q ~time:1. "first");
-  ignore (Sim.Event_queue.push q ~time:1. "second");
-  ignore (Sim.Event_queue.push q ~time:1. "third");
+  ignore (Sim.Event_queue.push q ~time:1 "first");
+  ignore (Sim.Event_queue.push q ~time:1 "second");
+  ignore (Sim.Event_queue.push q ~time:1 "third");
   Alcotest.(check (list string))
     "insertion order" [ "first"; "second"; "third" ]
     (List.map snd (drain q))
 
 let test_queue_cancel () =
   let q = Sim.Event_queue.create () in
-  ignore (Sim.Event_queue.push q ~time:1. "keep1");
-  let id = Sim.Event_queue.push q ~time:2. "drop" in
-  ignore (Sim.Event_queue.push q ~time:3. "keep2");
+  ignore (Sim.Event_queue.push q ~time:1 "keep1");
+  let id = Sim.Event_queue.push q ~time:2 "drop" in
+  ignore (Sim.Event_queue.push q ~time:3 "keep2");
   Sim.Event_queue.cancel q id;
   Alcotest.(check int) "length excludes cancelled" 2 (Sim.Event_queue.length q);
   Alcotest.(check (list string))
@@ -147,22 +147,22 @@ let test_queue_cancel () =
 
 let test_queue_cancel_after_pop_is_noop () =
   let q = Sim.Event_queue.create () in
-  let id = Sim.Event_queue.push q ~time:1. "x" in
+  let id = Sim.Event_queue.push q ~time:1 "x" in
   ignore (Sim.Event_queue.pop q);
   Sim.Event_queue.cancel q id;
-  ignore (Sim.Event_queue.push q ~time:2. "y");
+  ignore (Sim.Event_queue.push q ~time:2 "y");
   Alcotest.(check int) "length intact" 1 (Sim.Event_queue.length q)
 
 let test_queue_peek () =
   let q = Sim.Event_queue.create () in
-  Alcotest.(check (option (float 0.))) "empty" None (Sim.Event_queue.peek_time q);
-  let id = Sim.Event_queue.push q ~time:5. "x" in
-  ignore (Sim.Event_queue.push q ~time:7. "y");
-  Alcotest.(check (option (float 0.)))
-    "earliest" (Some 5.) (Sim.Event_queue.peek_time q);
+  Alcotest.(check (option int)) "empty" None (Sim.Event_queue.peek_time q);
+  let id = Sim.Event_queue.push q ~time:5 "x" in
+  ignore (Sim.Event_queue.push q ~time:7 "y");
+  Alcotest.(check (option int))
+    "earliest" (Some 5) (Sim.Event_queue.peek_time q);
   Sim.Event_queue.cancel q id;
-  Alcotest.(check (option (float 0.)))
-    "skips cancelled" (Some 7.) (Sim.Event_queue.peek_time q)
+  Alcotest.(check (option int))
+    "skips cancelled" (Some 7) (Sim.Event_queue.peek_time q)
 
 (* Compaction keeps the physical heap proportional to the live count:
    cancelled entries must not linger until they surface at the top. *)
@@ -170,7 +170,7 @@ let test_queue_compaction_bounds_size () =
   let q = Sim.Event_queue.create () in
   let ids =
     Array.init 10_000 (fun i ->
-        Sim.Event_queue.push q ~time:(float_of_int i) i)
+        Sim.Event_queue.push q ~time:i i)
   in
   for i = 0 to 9_899 do
     Sim.Event_queue.cancel q ids.(i)
@@ -192,7 +192,7 @@ let test_queue_compaction_bounds_size () =
    FIFO tie-break) are exercised constantly. *)
 
 type queue_op =
-  | Push of float
+  | Push of Sim.Time.t
   | Pop
   | Cancel of int  (* cancel the id of the k-th push so far, mod count *)
   | Peek
@@ -200,13 +200,13 @@ type queue_op =
 let op_gen =
   QCheck.Gen.(
     frequency
-      [ (5, map (fun t -> Push (float_of_int t)) (int_bound 7));
+      [ (5, map (fun t -> Push t) (int_bound 7));
         (3, return Pop);
         (2, map (fun k -> Cancel k) (int_bound 50));
         (1, return Peek) ])
 
 let op_print = function
-  | Push t -> Printf.sprintf "Push %g" t
+  | Push t -> Printf.sprintf "Push %d" t
   | Pop -> "Pop"
   | Cancel k -> Printf.sprintf "Cancel %d" k
   | Peek -> "Peek"
@@ -292,9 +292,7 @@ let rec collect acc pop =
 
 let horizon_arbitrary =
   QCheck.(
-    pair
-      (list (pair (float_bound_exclusive 100.) small_nat))
-      (list (float_bound_exclusive 120.)))
+    pair (list (pair (int_bound 100) small_nat)) (list (int_bound 120)))
 
 let pop_until_props =
   [ QCheck.Test.make ~name:"pop_until agrees with peek-then-pop" ~count:300
@@ -340,14 +338,14 @@ let queue_props =
   [ QCheck.Test.make ~name:"heap agrees with naive sorted-list model"
       ~count:500 ops_arbitrary model_agrees;
     QCheck.Test.make ~name:"pop returns times sorted" ~count:300
-      QCheck.(list (float_bound_exclusive 1000.))
+      QCheck.(list (int_bound 1000))
       (fun times ->
         let q = Sim.Event_queue.create () in
         List.iter (fun t -> ignore (Sim.Event_queue.push q ~time:t ())) times;
         let popped = List.map fst (drain q) in
         popped = List.sort compare popped);
     QCheck.Test.make ~name:"length = pushes - pops - cancels" ~count:300
-      QCheck.(list (pair (float_bound_exclusive 100.) bool))
+      QCheck.(list (pair (int_bound 100) bool))
       (fun entries ->
         let q = Sim.Event_queue.create () in
         let cancelled = ref 0 in
@@ -441,6 +439,8 @@ let test_engine_pending () =
 (* Timer_wheel                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let ns = Sim.Time.of_sec
+
 let wheel_drain w ~up_to =
   let acc = ref [] in
   while Sim.Timer_wheel.due w ~up_to do
@@ -452,34 +452,35 @@ let wheel_drain w ~up_to =
   List.rev !acc
 
 let test_wheel_orders_by_key () =
-  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  let w = Sim.Timer_wheel.create ~granularity:(ns 1e-3) () in
   (* Two entries land in the same level-0 slot (same millisecond tick):
      the mini-heap must still surface them in exact (time, seq) order. *)
-  ignore (Sim.Timer_wheel.arm w ~time:0.5 ~seq:3 "d");
-  ignore (Sim.Timer_wheel.arm w ~time:0.0102 ~seq:2 "c");
-  ignore (Sim.Timer_wheel.arm w ~time:0.0101 ~seq:1 "b");
-  ignore (Sim.Timer_wheel.arm w ~time:0.0101 ~seq:0 "a");
-  Alcotest.(check (list (triple (float 1e-12) int string)))
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.5) ~seq:3 "d");
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.0102) ~seq:2 "c");
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.0101) ~seq:1 "b");
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.0101) ~seq:0 "a");
+  Alcotest.(check (list (triple int int string)))
     "exact key order"
-    [ (0.0101, 0, "a"); (0.0101, 1, "b"); (0.0102, 2, "c"); (0.5, 3, "d") ]
-    (wheel_drain w ~up_to:1.)
+    [ (ns 0.0101, 0, "a"); (ns 0.0101, 1, "b"); (ns 0.0102, 2, "c");
+      (ns 0.5, 3, "d") ]
+    (wheel_drain w ~up_to:(ns 1.))
 
 let test_wheel_due_respects_horizon () =
-  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
-  ignore (Sim.Timer_wheel.arm w ~time:0.25 ~seq:0 "x");
+  let w = Sim.Timer_wheel.create ~granularity:(ns 1e-3) () in
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.25) ~seq:0 "x");
   Alcotest.(check bool) "not due early" false
-    (Sim.Timer_wheel.due w ~up_to:0.2);
+    (Sim.Timer_wheel.due w ~up_to:(ns 0.2));
   Alcotest.(check bool) "due at its time" true
-    (Sim.Timer_wheel.due w ~up_to:0.25);
+    (Sim.Timer_wheel.due w ~up_to:(ns 0.25));
   Alcotest.(check string) "payload" "x" (Sim.Timer_wheel.pop_due w);
   Alcotest.(check bool) "empty after pop" false
-    (Sim.Timer_wheel.due w ~up_to:10.)
+    (Sim.Timer_wheel.due w ~up_to:(ns 10.))
 
 let test_wheel_cancel () =
-  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
-  ignore (Sim.Timer_wheel.arm w ~time:0.1 ~seq:0 "keep1");
-  let idx = Sim.Timer_wheel.arm w ~time:0.2 ~seq:1 "drop" in
-  ignore (Sim.Timer_wheel.arm w ~time:0.3 ~seq:2 "keep2");
+  let w = Sim.Timer_wheel.create ~granularity:(ns 1e-3) () in
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.1) ~seq:0 "keep1");
+  let idx = Sim.Timer_wheel.arm w ~time:(ns 0.2) ~seq:1 "drop" in
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.3) ~seq:2 "keep2");
   Sim.Timer_wheel.cancel w idx ~seq:1;
   (* A stale (idx, seq) pair must be a no-op, not a wild cancel. *)
   Sim.Timer_wheel.cancel w idx ~seq:1;
@@ -487,48 +488,48 @@ let test_wheel_cancel () =
   Alcotest.(check int) "live excludes cancelled" 2 (Sim.Timer_wheel.live w);
   Alcotest.(check (list string))
     "cancelled skipped" [ "keep1"; "keep2" ]
-    (List.map (fun (_, _, p) -> p) (wheel_drain w ~up_to:1.))
+    (List.map (fun (_, _, p) -> p) (wheel_drain w ~up_to:(ns 1.)))
 
 let test_wheel_arm_below_cursor () =
-  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
-  ignore (Sim.Timer_wheel.arm w ~time:1.0 ~seq:0 "later");
+  let w = Sim.Timer_wheel.create ~granularity:(ns 1e-3) () in
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 1.0) ~seq:0 "later");
   Alcotest.(check bool) "cursor advanced" false
-    (Sim.Timer_wheel.due w ~up_to:0.5);
+    (Sim.Timer_wheel.due w ~up_to:(ns 0.5));
   (* Arming below the cursor is legal and immediately due. *)
-  ignore (Sim.Timer_wheel.arm w ~time:0.25 ~seq:1 "past");
-  Alcotest.(check (list (triple (float 1e-12) int string)))
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 0.25) ~seq:1 "past");
+  Alcotest.(check (list (triple int int string)))
     "past entry surfaces first"
-    [ (0.25, 1, "past"); (1.0, 0, "later") ]
-    (wheel_drain w ~up_to:2.)
+    [ (ns 0.25, 1, "past"); (ns 1.0, 0, "later") ]
+    (wheel_drain w ~up_to:(ns 2.))
 
 let test_wheel_distant_deadline () =
   (* Beyond the top level's span (2^20 ms ≈ 1048.6 s) entries wrap and
      are re-filed each revolution; they must still fire exactly once at
      the right time. *)
-  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
-  ignore (Sim.Timer_wheel.arm w ~time:5000. ~seq:0 "far");
+  let w = Sim.Timer_wheel.create ~granularity:(ns 1e-3) () in
+  ignore (Sim.Timer_wheel.arm w ~time:(ns 5000.) ~seq:0 "far");
   Alcotest.(check bool) "not due after one span" false
-    (Sim.Timer_wheel.due w ~up_to:2000.);
+    (Sim.Timer_wheel.due w ~up_to:(ns 2000.));
   Alcotest.(check bool) "not due just before" false
-    (Sim.Timer_wheel.due w ~up_to:4999.);
-  Alcotest.(check (list (triple (float 1e-12) int string)))
+    (Sim.Timer_wheel.due w ~up_to:(ns 4999.));
+  Alcotest.(check (list (triple int int string)))
     "fires once at its time"
-    [ (5000., 0, "far") ]
-    (wheel_drain w ~up_to:6000.)
+    [ (ns 5000., 0, "far") ]
+    (wheel_drain w ~up_to:(ns 6000.))
 
 let test_wheel_physical_bound () =
   (* The lattice RTO pattern: every packet arms a timer ~1 s out and
      cancels it moments later. Lazy sweeping must keep physical usage
      O(live), not O(churn). *)
-  let w = Sim.Timer_wheel.create ~granularity:1e-3 () in
+  let w = Sim.Timer_wheel.create ~granularity:(ns 1e-3) () in
   let live_target = 100 in
   for i = 0 to live_target - 1 do
-    ignore (Sim.Timer_wheel.arm w ~time:(100. +. float_of_int i) ~seq:i "live")
+    ignore (Sim.Timer_wheel.arm w ~time:(ns (100. +. float_of_int i)) ~seq:i "live")
   done;
   for k = 0 to 9_999 do
     let seq = live_target + k in
     let now = 0.001 *. float_of_int k in
-    let idx = Sim.Timer_wheel.arm w ~time:(now +. 1.) ~seq "churn" in
+    let idx = Sim.Timer_wheel.arm w ~time:(ns (now +. 1.)) ~seq "churn" in
     Sim.Timer_wheel.cancel w idx ~seq
   done;
   Alcotest.(check int) "live survivors" live_target (Sim.Timer_wheel.live w);
@@ -566,14 +567,14 @@ let wheel_ops_arbitrary =
     QCheck.Gen.(list_size (int_bound 200) wheel_op_gen)
 
 let wheel_model_agrees ops =
-  let granularity = 1e-3 in
-  let half_tick = granularity /. 2. in
+  let granularity = ns 1e-3 in
+  let half_tick = granularity / 2 in
   let w = Sim.Timer_wheel.create ~granularity () in
   (* Reference: (time, seq) sorted assoc list, seq = arm index. *)
   let model = ref [] in
   let armed = ref [||] in
   let arm_count = ref 0 in
-  let now = ref 0. in
+  let now = ref 0 in
   let ok = ref true in
   let check b = if not b then ok := false in
   let insert (t, s) =
@@ -607,7 +608,7 @@ let wheel_model_agrees ops =
       (match op with
       | Warm k ->
         let seq = !arm_count in
-        let time = !now +. (half_tick *. float_of_int k) in
+        let time = !now + (half_tick * k) in
         let idx = Sim.Timer_wheel.arm w ~time ~seq seq in
         armed := Array.append !armed [| (idx, seq) |];
         insert (time, seq);
@@ -619,7 +620,7 @@ let wheel_model_agrees ops =
           model := List.filter (fun (_, s) -> s <> seq) !model
         end
       | Wadvance k ->
-        now := !now +. (half_tick *. float_of_int k);
+        now := !now + (half_tick * k);
         drain_due !now);
       check (Sim.Timer_wheel.live w = List.length !model);
       (* The physical-usage invariant from the interface. *)
@@ -628,7 +629,7 @@ let wheel_model_agrees ops =
     ops;
   (* Entries are armed at most 32 ticks past [now], so a finite final
      horizon well past that drains everything. *)
-  drain_due (!now +. 10.);
+  drain_due (!now + ns 10.);
   check (!model = []);
   !ok
 
@@ -767,6 +768,86 @@ let engine_substrate_props =
         = run_mixed_program ~use_wheel:false ~oneshots ~timers) ]
 
 (* ------------------------------------------------------------------ *)
+(* Integer-nanosecond time core                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every time the engine can produce is an integer nanosecond below
+   2^50 (see DESIGN.md §15): the float boundary must round-trip
+   exactly, or a handler that reads the clock in seconds and schedules
+   an event at that same time would land on a different nanosecond. *)
+let ns_roundtrip_prop =
+  QCheck.Test.make ~name:"of_sec (to_sec ns) = ns below 2^50" ~count:10_000
+    QCheck.(
+      map
+        (fun (hi, lo) -> (hi lsl 25) lor lo)
+        (pair (int_bound ((1 lsl 25) - 1)) (int_bound ((1 lsl 25) - 1))))
+    (fun ns -> Sim.Time.of_sec (Sim.Time.to_sec ns) = ns)
+
+(* The int-keyed heap must pop in exactly the order the float-keyed
+   heap it replaced would have: sort by (seconds, push serial). Exact
+   conversion makes float comparison of engine-producible times agree
+   with int comparison; small times force constant tie-breaking. *)
+let heap_float_order_prop =
+  QCheck.Test.make ~name:"int heap pops in frozen float-heap order"
+    ~count:300
+    QCheck.(
+      list (oneof [ int_bound 50; int_bound 1_000_000_000 ]))
+    (fun times_ns ->
+      let q = Sim.Event_queue.create () in
+      List.iteri
+        (fun i t -> ignore (Sim.Event_queue.push q ~time:t i))
+        times_ns;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, p) -> drain ((t, p) :: acc)
+      in
+      let popped = drain [] in
+      let model =
+        List.mapi (fun i t -> (Sim.Time.to_sec t, i, t)) times_ns
+        |> List.stable_sort (fun (a, i, _) (b, j, _) ->
+               if a < b then -1 else if a > b then 1 else compare i j)
+        |> List.map (fun (_, i, t) -> (t, i))
+      in
+      popped = model)
+
+(* The float-era tick computation the wheel replaced, frozen verbatim:
+   truncate, then nudge down if float rounding overshot the slot start,
+   then nudge up if it undershot. *)
+let float_tick_of ~granularity time =
+  let k = int_of_float (time /. granularity) in
+  let k = if float_of_int k *. granularity > time then k - 1 else k in
+  if float_of_int (k + 1) *. granularity <= time then k + 1 else k
+
+(* Off a granularity boundary the integer tick [t / g] agrees with the
+   float-era computation everywhere. *At* an exact boundary [k * g] the
+   int tick is exactly [k], while the float version can round
+   [float k *. g] above [time] and settle on [k - 1] — the one-ulp
+   skew the integer core removes. The property pins both behaviours. *)
+let wheel_tick_prop =
+  QCheck.Test.make
+    ~name:"wheel tick vs float-era tick at granularity boundaries"
+    ~count:5_000
+    QCheck.(
+      triple
+        (oneofl [ 1e-3; 1e-4; 2.5e-4; 1e-2; 7e-3; 1.25e-5 ])
+        (int_bound 1_100_000)
+        (oneofl [ -1; 0; 1 ]))
+    (fun (g_sec, k, delta) ->
+      let g_ns = Sim.Time.of_sec g_sec in
+      let t_ns = (k * g_ns) + delta in
+      QCheck.assume (t_ns >= 0);
+      let int_tick = t_ns / g_ns in
+      let float_tick =
+        float_tick_of ~granularity:g_sec (Sim.Time.to_sec t_ns)
+      in
+      if t_ns mod g_ns = 0 then
+        float_tick = int_tick || float_tick = int_tick - 1
+      else float_tick = int_tick)
+
+let ns_time_props = [ ns_roundtrip_prop; heap_float_order_prop; wheel_tick_prop ]
+
+(* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -854,6 +935,8 @@ let () =
           Alcotest.test_case "physical O(live)" `Quick
             test_wheel_physical_bound ]
         @ List.map (QCheck_alcotest.to_alcotest ~long:false) wheel_props );
+      ( "ns-time",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) ns_time_props );
       ( "engine-timers",
         [ Alcotest.test_case "cell lifecycle" `Quick test_timer_cell_lifecycle;
           Alcotest.test_case "rearm from own handler" `Quick
