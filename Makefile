@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-quick bench-gate scale-smoke \
-	scale-smoke-sharded figures golden ci doc coverage coverage-summary \
-	lint-box clean
+	scale-smoke-sharded hoststack-smoke figures golden ci doc coverage \
+	coverage-summary lint-box clean
 
 all: build
 
@@ -25,7 +25,7 @@ bench-record:
 # bytes/ACK sweep across all sender variants), the many-flow scale
 # suite and the engine-only churn suite; records wall-clock, ns/run,
 # bytes/simulated-packet, bytes/ACK, events/sec and metrics snapshots
-# in BENCH_PR8.json (repo root and results/). BENCH_JOBS=N
+# in BENCH_PR9.json (repo root and results/). BENCH_JOBS=N
 # parallelises the figure grids.
 bench-quick:
 	dune exec bench/main.exe -- quick
@@ -66,6 +66,12 @@ scale-smoke-sharded:
 	dune exec -- bin/tcp_pr_sim.exe scale --flows 1000 --duration 1 \
 	  --domains 2 --check-merge
 
+# Host-stack layer smoke: the buffer-pressure sweep (finite receive
+# buffer, rwnd autotuning, GRO coalescing) at quick scale — exercises
+# zero-window persistence and window reopening across three variants.
+hoststack-smoke:
+	dune exec -- bin/tcp_pr_sim.exe hoststack --quick
+
 # FIGURE_JOBS=N sets the domain count for the experiment grids
 # (default: the machine's cores; output is identical at any N).
 FIGURE_JOBS ?=
@@ -83,6 +89,7 @@ figures:
 	dune exec -- bin/tcp_pr_sim.exe flaps $(FIGURE_FLAGS) > results/flaps.txt
 	dune exec -- bin/tcp_pr_sim.exe jitter $(FIGURE_FLAGS) > results/jitter.txt
 	dune exec -- bin/tcp_pr_sim.exe manet $(FIGURE_FLAGS) > results/manet.txt
+	dune exec -- bin/tcp_pr_sim.exe hoststack $(FIGURE_FLAGS) > results/hoststack.txt
 	dune exec -- bin/tcp_pr_sim.exe ablate all $(FIGURE_FLAGS) > results/ablations.txt
 
 # Regenerate the golden conformance traces and the report snapshot
@@ -131,6 +138,7 @@ ci:
 	dune exec -- bin/tcp_pr_sim.exe check --seeds 30 --golden test/golden
 	$(MAKE) --no-print-directory scale-smoke
 	$(MAKE) --no-print-directory scale-smoke-sharded
+	$(MAKE) --no-print-directory hoststack-smoke
 	dune exec bench/main.exe -- gate
 	-$(MAKE) --no-print-directory lint-box
 	-@$(MAKE) --no-print-directory coverage

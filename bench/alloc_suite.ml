@@ -190,10 +190,55 @@ let jitter_scenario () =
   Sim.Engine.run engine ~until:3.;
   { network; measured = (fun () -> Sim.Engine.run engine ~until:15.) }
 
+(* The PR9 host-stack layer at full tilt: the dumbbell pair with a
+   finite autotuned receive buffer, a paced application reader (which
+   keeps the app-drain timer and the window-reopen path hot) and GRO
+   coalescing on the sink's ingress links. Charges the whole enabled
+   path — admission accounting, rwnd clamping, coalesced burst
+   delivery, persist re-arms — per packet-hop, under the same 16
+   B/packet gate budget as the idealised scenarios. *)
+let hoststack_scenario () =
+  let engine = Sim.Engine.create () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  let sink = Net.Node.id topo.Topo.Dumbbell.sinks.(0) in
+  List.iter
+    (fun link ->
+      if Net.Link.dst link = sink then
+        Net.Link.set_coalescing link ~timer_s:0.001 ~max_burst:4)
+    (Net.Network.links network);
+  let config =
+    { (bounded_config 600) with
+      Tcp.Config.rcv_buf_segments = Some 32;
+      rcv_buf_max_segments = 64;
+      rcv_autotune = true;
+      rcv_app_rate = Some 100. }
+  in
+  let start ~at flow sender =
+    let c =
+      Tcp.Connection.create network ~flow ~src:topo.Topo.Dumbbell.sources.(0)
+        ~dst:topo.Topo.Dumbbell.sinks.(0) ~sender ~config
+        ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+        ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+        ()
+    in
+    Tcp.Connection.start c ~at
+  in
+  start ~at:0. 0 (snd Experiments.Variants.tcp_pr);
+  start ~at:0.05 1 (snd Experiments.Variants.tcp_sack);
+  Sim.Engine.run engine ~until:120.;
+  start ~at:120. 2 (snd Experiments.Variants.tcp_pr);
+  start ~at:120.05 3 (snd Experiments.Variants.tcp_sack);
+  { network; measured = (fun () -> Sim.Engine.run engine ~until:240.) }
+
 let scenarios =
   [ ("dumbbell", dumbbell_scenario);
     ("lattice", lattice_scenario);
-    ("jitter-chain", jitter_scenario) ]
+    ("jitter-chain", jitter_scenario);
+    ("hoststack", hoststack_scenario) ]
 
 let run_all () = List.map (fun (name, f) -> measure name f) scenarios
 
@@ -243,7 +288,8 @@ let measure_acks (name, (module M : Tcp.Sender.S)) =
         dsack = None;
         for_seq = i;
         for_retx = false;
-        serial = i }
+        serial = i;
+        rwnd = Tcp.Types.rwnd_unbounded }
     in
     Tcp.Sender.on_ack sender ~now:(1e-4 *. float_of_int (i + 1)) ack buf
   in

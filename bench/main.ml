@@ -37,7 +37,7 @@
               (the `make bench-quick` target)
      gate     FAIL (exit 1) if any of
                 - bytes per simulated packet exceeds the recorded
-                  baseline (newest of BENCH_PR8/PR7/PR6/PR5/PR3.json
+                  baseline (newest of BENCH_PR9/PR8/PR7/PR6/PR5/PR3.json
                   with the block) by more than the budget
                   (16 B/packet),
                 - bytes per ACK for any sender variant exceeds the
@@ -66,7 +66,7 @@
    per alloc scenario, events/sec plus a metrics snapshot per scale
    point, events/sec per engine-churn scenario, bytes/ACK per sender
    variant, and events/sec per sharded domain count to
-   results/BENCH_PR8.json and the repo-root BENCH_PR8.json so later
+   results/BENCH_PR9.json and the repo-root BENCH_PR9.json so later
    PRs can track the perf trajectory. *)
 
 open Bechamel
@@ -285,7 +285,7 @@ let bench_pr_ack_processing =
          for i = 0 to 63 do
            Tcp.Action_buffer.clear buf;
            let ack =
-             { Tcp.Types.next = i + 1; sacks = []; dsack = None; for_seq = i; for_retx = false; serial = i }
+             { Tcp.Types.next = i + 1; sacks = []; dsack = None; for_seq = i; for_retx = false; serial = i; rwnd = Tcp.Types.rwnd_unbounded }
            in
            Core.Tcp_pr.on_ack t ~now:(0.01 *. float_of_int (i + 1)) ack buf
          done))
@@ -302,7 +302,7 @@ let bench_sack_ack_processing =
          for i = 0 to 63 do
            Tcp.Action_buffer.clear buf;
            let ack =
-             { Tcp.Types.next = i + 1; sacks = []; dsack = None; for_seq = i; for_retx = false; serial = i }
+             { Tcp.Types.next = i + 1; sacks = []; dsack = None; for_seq = i; for_retx = false; serial = i; rwnd = Tcp.Types.rwnd_unbounded }
            in
            Tcp.Sack_core.on_ack t ~now:(0.01 *. float_of_int (i + 1)) ack buf
          done))
@@ -638,7 +638,7 @@ let write_record ~total_s =
       output_string oc contents;
       close_out oc;
       Printf.printf "Perf record written to %s\n" path)
-    [ "results/BENCH_PR8.json"; "BENCH_PR8.json" ]
+    [ "results/BENCH_PR9.json"; "BENCH_PR9.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate                                                     *)
@@ -720,8 +720,8 @@ let gate () =
      predate it. *)
   let record_paths =
     List.filter Sys.file_exists
-      [ "BENCH_PR8.json"; "BENCH_PR7.json"; "BENCH_PR6.json";
-        "BENCH_PR5.json"; "BENCH_PR3.json" ]
+      [ "BENCH_PR9.json"; "BENCH_PR8.json"; "BENCH_PR7.json";
+        "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR3.json" ]
   in
   if record_paths = [] then begin
     Printf.printf

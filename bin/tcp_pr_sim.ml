@@ -161,6 +161,32 @@ let jitter seed quick jobs =
   Experiments.Jitter.sweep ~seed ~duration ~jobs ()
   |> Experiments.Jitter.to_table |> Stats.Table.print
 
+let hoststack seed quick jobs =
+  ignore seed;
+  let jobs = max 1 jobs in
+  let total_segments = if quick then 40 else 80 in
+  print_endline
+    "Host-stack buffer pressure: completion time (s) of a bounded transfer";
+  print_endline
+    "over the Fig. 2 dumbbell with a 16-segment autotuned receive buffer,";
+  print_endline
+    "GRO coalescing (1 ms / 4) and a paced application reader.";
+  let points = Experiments.Hoststack.sweep ~total_segments ~jobs () in
+  Experiments.Hoststack.to_table points |> Stats.Table.print;
+  let pressured =
+    List.filter (fun p -> p.Experiments.Hoststack.zero_windows > 0) points
+  in
+  Printf.printf
+    "\n%d/%d cells hit a zero window; %d window-reopen announcements, %d \
+     socket drops in total.\n"
+    (List.length pressured) (List.length points)
+    (List.fold_left
+       (fun acc p -> acc + p.Experiments.Hoststack.window_updates)
+       0 points)
+    (List.fold_left
+       (fun acc p -> acc + p.Experiments.Hoststack.buf_drops)
+       0 points)
+
 let manet seed quick jobs =
   let duration = if quick then 20. else 60. in
   let jobs = max 1 jobs in
@@ -569,6 +595,13 @@ let jitter_cmd =
   cmd_of "jitter" ~doc:"Delay-jitter reordering sweep (extension)."
     Term.(const jitter $ seed_term $ quick_term $ jobs_term)
 
+let hoststack_cmd =
+  cmd_of "hoststack"
+    ~doc:
+      "Host-stack realism sweep: finite receive buffer, rwnd autotuning, \
+       GRO coalescing (extension)."
+    Term.(const hoststack $ seed_term $ quick_term $ jobs_term)
+
 let manet_cmd =
   cmd_of "manet" ~doc:"Mobile ad-hoc network scenario (paper future work)."
     Term.(const manet $ seed_term $ quick_term $ jobs_term)
@@ -755,5 +788,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig4_cmd; fig6_cmd; flaps_cmd; jitter_cmd;
-            manet_cmd; ablate_cmd; check_cmd; report_cmd; scale_cmd;
-            demo_cmd ]))
+            hoststack_cmd; manet_cmd; ablate_cmd; check_cmd; report_cmd;
+            scale_cmd; demo_cmd ]))

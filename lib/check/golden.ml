@@ -1,6 +1,7 @@
 type kind =
   | Fig_dumbbell of { bottleneck_bps : float }
   | Fig_lattice
+  | Fig_hoststack  (** dumbbell with the host-stack realism layer on *)
 
 type case = {
   figure : string;
@@ -87,11 +88,53 @@ let run_lattice (module M : Tcp.Sender.S) =
   Sim.Engine.run engine ~until:60.;
   Buffer.contents buffer
 
+(* Host-stack golden: single flow over the Fig. 2 dumbbell with a
+   finite, autotuned receive buffer, a paced application reader slower
+   than the bottleneck, and GRO coalescing on the sink's ingress — the
+   full PR9 layer exercised in one deterministic trace (rwnd clamping,
+   buffer pressure, zero-window persist/reopen, coalesced bursts). *)
+let hoststack_config =
+  { golden_config with
+    Tcp.Config.rcv_buf_segments = Some 16;
+    rcv_buf_max_segments = 24;
+    rcv_autotune = true;
+    rcv_app_rate = Some 10. }
+
+let run_hoststack (module M : Tcp.Sender.S) =
+  let engine = Sim.Engine.create () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  let sink = Net.Node.id topo.Topo.Dumbbell.sinks.(0) in
+  List.iter
+    (fun link ->
+      if Net.Link.dst link = sink then
+        Net.Link.set_coalescing link ~timer_s:0.001 ~max_burst:4)
+    (Net.Network.links network);
+  let probe = Tcp.Probe.create () in
+  let buffer = collect_lines probe in
+  let connection =
+    Tcp.Connection.create ~probe network ~flow:0
+      ~src:topo.Topo.Dumbbell.sources.(0)
+      ~dst:topo.Topo.Dumbbell.sinks.(0)
+      ~sender:(module M : Tcp.Sender.S)
+      ~config:hoststack_config
+      ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+      ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:60.;
+  Buffer.contents buffer
+
 let compute case =
   let _, sender = case.variant in
   match case.kind with
   | Fig_dumbbell { bottleneck_bps } -> run_dumbbell ~bottleneck_bps sender
   | Fig_lattice -> run_lattice sender
+  | Fig_hoststack -> run_hoststack sender
 
 let cases =
   let dumbbell figure bottleneck_bps variant =
@@ -103,6 +146,10 @@ let cases =
   @ List.map
       (fun variant -> { figure = "fig6"; variant; kind = Fig_lattice })
       Experiments.Variants.fig6
+  @ [ { figure = "hoststack";
+        variant = Experiments.Variants.tcp_pr;
+        kind = Fig_hoststack }
+    ]
 
 let digest_of_trace trace = Digest.to_hex (Digest.string trace)
 

@@ -81,7 +81,14 @@ let delivery () =
   let flows = Hashtbl.create 4 in
   let on_event = function
     | Tcp.Probe.Data_at_sink
-        { time; flow; seq; retx = _; dup; rcv_next_before; rcv_next_after } ->
+        { time;
+          flow;
+          seq;
+          retx = _;
+          dup;
+          buf_drop;
+          rcv_next_before;
+          rcv_next_after } ->
       let state =
         flow_state flows flow (fun () ->
             { received = Hashtbl.create 256; next = 0 })
@@ -91,26 +98,37 @@ let delivery () =
           "receiver rcv_next=%d disagrees with delivery oracle %d before \
            seq=%d arrives"
           rcv_next_before state.next seq;
-      let was_received = Hashtbl.mem state.received seq in
-      if dup && not was_received then
-        report ~time ~flow
-          "seq=%d reported as duplicate but the oracle never saw it \
-           (phantom DSACK)"
-          seq;
-      if was_received && not dup then
-        report ~time ~flow
-          "seq=%d delivered twice without a duplicate report (exactly-once \
-           violated)"
-          seq;
-      Hashtbl.replace state.received seq ();
-      while Hashtbl.mem state.received state.next do
-        state.next <- state.next + 1
-      done;
-      if rcv_next_after <> state.next then
-        report ~time ~flow
-          "after seq=%d: receiver advanced rcv_next to %d, oracle expects %d \
-           (in-order delivery violated)"
-          seq rcv_next_after state.next
+      if buf_drop then begin
+        (* Refused at the socket: the segment was never delivered, so
+           the oracle must not record it — only check that the receiver
+           did not advance past the drop. *)
+        if rcv_next_after <> state.next then
+          report ~time ~flow
+            "seq=%d dropped at the socket yet rcv_next moved %d -> %d"
+            seq rcv_next_before rcv_next_after
+      end
+      else begin
+        let was_received = Hashtbl.mem state.received seq in
+        if dup && not was_received then
+          report ~time ~flow
+            "seq=%d reported as duplicate but the oracle never saw it \
+             (phantom DSACK)"
+            seq;
+        if was_received && not dup then
+          report ~time ~flow
+            "seq=%d delivered twice without a duplicate report (exactly-once \
+             violated)"
+            seq;
+        Hashtbl.replace state.received seq ();
+        while Hashtbl.mem state.received state.next do
+          state.next <- state.next + 1
+        done;
+        if rcv_next_after <> state.next then
+          report ~time ~flow
+            "after seq=%d: receiver advanced rcv_next to %d, oracle expects \
+             %d (in-order delivery violated)"
+            seq rcv_next_after state.next
+      end
     | Tcp.Probe.Sent _ | Tcp.Probe.Ack_at_sink _ | Tcp.Probe.Ack_at_source _
     | Tcp.Probe.Timer_fired _ -> ()
   in
@@ -393,14 +411,122 @@ let tcp_pr ~config =
   { name; on_event; violations; violation_count }
 
 (* ------------------------------------------------------------------ *)
+(* Advertised-window conservation (finite receive buffer)              *)
+(* ------------------------------------------------------------------ *)
+
+(* The sink's advertised window is authoritative: the right edge
+   [next + rwnd] is monotone over emitted acknowledgements (the sender
+   clamps by max), every advertised window fits the configured buffer,
+   and no data segment is ever put on the wire at or beyond the highest
+   right edge ever advertised. Sink emission precedes source arrival,
+   so the monitor's right edge always dominates the sender's view —
+   a send beyond it is a genuine window violation, never a race. *)
+type rwnd_state = { mutable right_edge : int }
+
+let rwnd_conservation ~config =
+  let name = "rwnd-conservation" in
+  let add, violations, violation_count = collector () in
+  let report ~time ~flow fmt =
+    Printf.ksprintf
+      (fun message -> add { monitor = name; time; flow; message })
+      fmt
+  in
+  let initial =
+    match config.Tcp.Config.rcv_buf_segments with
+    | Some n -> n
+    | None -> max_int
+  in
+  let max_rwnd = config.Tcp.Config.rcv_buf_max_segments in
+  let flows = Hashtbl.create 4 in
+  let state flow =
+    flow_state flows flow (fun () -> { right_edge = initial })
+  in
+  let on_event = function
+    | Tcp.Probe.Ack_at_sink { time; flow; ack } ->
+      if ack.Tcp.Types.rwnd <> Tcp.Types.rwnd_unbounded then begin
+        let s = state flow in
+        if ack.Tcp.Types.rwnd < 0 then
+          report ~time ~flow "negative advertised window rwnd=%d"
+            ack.Tcp.Types.rwnd;
+        if ack.Tcp.Types.rwnd > max_rwnd then
+          report ~time ~flow
+            "advertised rwnd=%d exceeds the configured buffer cap %d"
+            ack.Tcp.Types.rwnd max_rwnd;
+        let edge = ack.Tcp.Types.next + ack.Tcp.Types.rwnd in
+        if edge > s.right_edge then s.right_edge <- edge
+      end
+    | Tcp.Probe.Sent { time; flow; seq; _ } ->
+      let s = state flow in
+      if seq >= s.right_edge then
+        report ~time ~flow
+          "seq=%d sent at or beyond the advertised right edge %d (receiver \
+           window overrun)"
+          seq s.right_edge
+    | Tcp.Probe.Data_at_sink _ | Tcp.Probe.Ack_at_source _
+    | Tcp.Probe.Timer_fired _ -> ()
+  in
+  { name; on_event; violations; violation_count }
+
+(* ------------------------------------------------------------------ *)
+(* Zero-window liveness                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Once the sink advertises a zero window, some later acknowledgement
+   must reopen it (rwnd > 0) — otherwise the flow deadlocks. Checked at
+   the end of the run: a flow whose last finite advertisement was zero
+   is stuck. Only meaningful with an application reader configured;
+   without one a final zero window is the expected terminal state. *)
+let zero_window_liveness ~config =
+  let name = "zero-window-liveness" in
+  (* flow -> time of the standing zero window; negative = window open *)
+  let flows : (int, float) Hashtbl.t = Hashtbl.create 4 in
+  let on_event = function
+    | Tcp.Probe.Ack_at_sink { time; flow; ack } ->
+      if ack.Tcp.Types.rwnd = 0 then Hashtbl.replace flows flow time
+      else if ack.Tcp.Types.rwnd <> Tcp.Types.rwnd_unbounded then
+        Hashtbl.replace flows flow (-1.)
+    | Tcp.Probe.Sent _ | Tcp.Probe.Data_at_sink _ | Tcp.Probe.Ack_at_source _
+    | Tcp.Probe.Timer_fired _ -> ()
+  in
+  let drained = config.Tcp.Config.rcv_app_rate <> None in
+  let violations () =
+    if not drained then []
+    else
+      Hashtbl.fold
+        (fun flow since acc ->
+          if since >= 0. then
+            { monitor = name;
+              time = since;
+              flow;
+              message =
+                Printf.sprintf
+                  "zero window advertised at t=%.6f was never reopened \
+                   (liveness lost despite application drain)"
+                  since }
+            :: acc
+          else acc)
+        flows []
+      |> List.sort compare
+  in
+  { name;
+    on_event;
+    violations;
+    violation_count = (fun () -> List.length (violations ())) }
+
+(* ------------------------------------------------------------------ *)
 (* Suites                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let for_variant ~variant ~config =
   let base = [ delivery (); conservation (); cwnd_sanity ~config ] in
-  if Experiments.Variants.canonical variant = "tcp-pr" then
-    base @ [ tcp_pr ~config ]
-  else base @ [ rto_sanity ~config ]
+  let base =
+    if Experiments.Variants.canonical variant = "tcp-pr" then
+      base @ [ tcp_pr ~config ]
+    else base @ [ rto_sanity ~config ]
+  in
+  if Tcp.Config.hoststack_enabled config then
+    base @ [ rwnd_conservation ~config; zero_window_liveness ~config ]
+  else base
 
 let arm probe monitors =
   Sim.Trace.on probe (fun event ->

@@ -84,10 +84,28 @@ val rto_sanity : config:Tcp.Config.t -> t
       at-send snapshot, where the pre-event window is not the basis). *)
 val tcp_pr : config:Tcp.Config.t -> t
 
+(** Advertised-window conservation (finite receive buffer): the right
+    edge [next + rwnd] of sink-emitted acknowledgements is tracked
+    monotonically; no data segment may ever be sent at or beyond the
+    highest right edge advertised, every advertised window must fit the
+    configured buffer cap ([rcv_buf_max_segments]), and no window is
+    negative. Vacuous while every acknowledgement carries
+    {!Tcp.Types.rwnd_unbounded}. *)
+val rwnd_conservation : config:Tcp.Config.t -> t
+
+(** Zero-window liveness: a flow whose last finite advertisement was a
+    zero window — never reopened by a later acknowledgement — is
+    reported at the end of the run. Applies only when an application
+    reader ([rcv_app_rate]) is configured; without one, a terminal zero
+    window is legitimate. *)
+val zero_window_liveness : config:Tcp.Config.t -> t
+
 (** [for_variant ~variant ~config] selects the monitor suite for a
     sender variant by name: {!delivery}, {!conservation} and
     {!cwnd_sanity} always; {!tcp_pr} for TCP-PR; {!rto_sanity} for
-    everyone else. *)
+    everyone else; {!rwnd_conservation} and {!zero_window_liveness}
+    additionally when the host-stack layer is enabled
+    ({!Tcp.Config.hoststack_enabled}). *)
 val for_variant : variant:string -> config:Tcp.Config.t -> t list
 
 (** [arm probe monitors] subscribes every monitor to the tap. *)

@@ -13,6 +13,12 @@ type scenario = {
   delayed_ack : bool;
   total_segments : int;
   bandwidth_scale : float;
+  (* Host-stack realism axis (PR9). [coalesce] = (timer_s, max_burst)
+     enables GRO/interrupt coalescing on every link into the sink;
+     [rcv_buf] bounds the receive socket buffer in segments. Both
+     [None] reproduce the pre-PR9 scenario space exactly. *)
+  coalesce : (float * int) option;
+  rcv_buf : int option;
   time_limit : float;
   domains : int;
 }
@@ -49,6 +55,23 @@ let generate ?(domains = 1) ~seed () =
     | Parking_lot -> Sim.Rng.float_range rng ~lo:0.02 ~hi:0.08
     | Lattice -> 1.
   in
+  (* Host-stack draws come LAST: every draw above is positionally
+     identical to the pre-PR9 generator, so seeds keep producing the
+     same base environment (pinned by generate_domain_independent and
+     the sweep goldens). *)
+  let coalesce =
+    if Sim.Rng.bool rng ~p:0.35 then
+      Some
+        ( Sim.Rng.float_range rng ~lo:0.0005 ~hi:0.002,
+          2 + Sim.Rng.int rng 4 )
+    else None
+  in
+  let rcv_buf =
+    (* Floor of 24 segments: an instantly-reading application keeps
+       >= 1/4 of the buffer free (out-of-order data stops at the 3/4
+       pressure threshold), so transfers always complete. *)
+    if Sim.Rng.bool rng ~p:0.35 then Some (24 + Sim.Rng.int rng 40) else None
+  in
   { seed;
     topology;
     loss;
@@ -58,6 +81,8 @@ let generate ?(domains = 1) ~seed () =
     delayed_ack;
     total_segments;
     bandwidth_scale;
+    coalesce;
+    rcv_buf;
     time_limit = 600.;
     domains }
 
@@ -70,9 +95,16 @@ let describe s =
   in
   Printf.sprintf
     "seed=%d %s loss=%.3f jitter=%.3fs eps=%.1f flap=%b delack=%b segs=%d \
-     bw-scale=%.3f%s"
+     bw-scale=%.3f%s%s%s"
     s.seed topology s.loss s.jitter s.epsilon s.route_flap s.delayed_ack
     s.total_segments s.bandwidth_scale
+    (match s.coalesce with
+    | Some (timer_s, burst) ->
+      Printf.sprintf " co=%.1fms/%d" (timer_s *. 1e3) burst
+    | None -> "")
+    (match s.rcv_buf with
+    | Some segs -> Printf.sprintf " rbuf=%d" segs
+    | None -> "")
     (if s.domains = 1 then "" else Printf.sprintf " domains=%d" s.domains)
 
 let config s =
@@ -81,7 +113,12 @@ let config s =
     delayed_ack = s.delayed_ack;
     min_rto = 0.2;
     initial_rto = 1.;
-    max_rto = 16. }
+    max_rto = 16.;
+    rcv_buf_segments = s.rcv_buf;
+    rcv_buf_max_segments =
+      (match s.rcv_buf with
+      | Some segs -> max segs Tcp.Config.default.Tcp.Config.rcv_buf_max_segments
+      | None -> Tcp.Config.default.Tcp.Config.rcv_buf_max_segments) }
 
 type report = {
   scenario : scenario;
@@ -177,6 +214,17 @@ let run s ~variant:(variant_name, sender) =
   let engine = Sim.Engine.create () in
   let rng = Sim.Rng.split (Sim.Rng.create s.seed) "oracle-network" in
   let network, src, dst, route_data, route_ack = build s engine rng in
+  (* The GRO model sits on the sink's ingress: every link whose
+     downstream endpoint is the destination node coalesces. *)
+  (match s.coalesce with
+  | Some (timer_s, max_burst) ->
+    let sink = Net.Node.id dst in
+    List.iter
+      (fun link ->
+        if Net.Link.dst link = sink then
+          Net.Link.set_coalescing link ~timer_s ~max_burst)
+      (Net.Network.links network)
+  | None -> ());
   let probe = Tcp.Probe.create () in
   let monitors = Monitor.for_variant ~variant:variant_name ~config in
   Monitor.arm probe monitors;

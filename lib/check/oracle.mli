@@ -24,6 +24,12 @@ type scenario = {
   delayed_ack : bool;
   total_segments : int;
   bandwidth_scale : float;  (** scales the scenario's base bandwidths *)
+  coalesce : (float * int) option;
+      (** host-stack axis: GRO coalesce timer (s) and max burst on the
+          sink's ingress links; [None] = no coalescing *)
+  rcv_buf : int option;
+      (** host-stack axis: finite receive buffer, segments; [None] =
+          unbounded (the pre-PR9 idealised sink) *)
   time_limit : float;  (** simulated-seconds budget for the transfer *)
   domains : int;  (** intended shard count; placement metadata only *)
 }

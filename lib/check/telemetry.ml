@@ -49,6 +49,15 @@ let network ?(prefix = "net") registry net ~now =
     stranded := !stranded + Net.Node.stranded (Net.Network.node net id)
   done;
   add_counter ".stranded" !stranded;
+  (* GRO rows appear only when some link actually coalesces, so default
+     runs produce a byte-identical report. *)
+  List.iter
+    (fun link ->
+      if Net.Link.coalescing_enabled link then
+        Obs.Metrics.Histogram.merge_into
+          ~into:(Obs.Registry.histogram registry (prefix ^ ".gro.bursts"))
+          (Net.Link.coalesced_bursts link))
+    links;
   Obs.Registry.set_value registry (prefix ^ ".util.max") !util_max;
   Obs.Registry.set_value registry
     (prefix ^ ".util.mean")
@@ -109,6 +118,22 @@ let connection ?(prefix = "conn") registry c =
   Obs.Metrics.Histogram.merge_into
     ~into:(Obs.Registry.histogram registry (prefix ^ ".reorder_depth"))
     (Tcp.Connection.receiver_reorder_depth c);
+  (* Host-stack rows appear only when the finite receive buffer is
+     configured, keeping default-run reports byte-identical. *)
+  (match Tcp.Connection.receiver_buffer c with
+  | None -> ()
+  | Some buf ->
+    set_counter ".rcvbuf.drops" (Tcp.Rcv_buffer.drops buf);
+    set_counter ".rcvbuf.zero_windows" (Tcp.Rcv_buffer.zero_windows buf);
+    set_counter ".rcvbuf.autotune_grows" (Tcp.Rcv_buffer.autotune_grows buf);
+    set_counter ".rcvbuf.window_updates"
+      (Tcp.Connection.window_updates_sent c);
+    Obs.Registry.set_value registry
+      (prefix ^ ".rcvbuf.capacity_segments")
+      (float_of_int (Tcp.Rcv_buffer.capacity_segments buf));
+    Obs.Metrics.Histogram.merge_into
+      ~into:(Obs.Registry.histogram registry (prefix ^ ".rcvbuf.occupancy"))
+      (Tcp.Rcv_buffer.occupancy buf));
   Obs.Registry.set_value registry (prefix ^ ".sender.cwnd")
     (Tcp.Connection.cwnd c);
   List.iter

@@ -76,6 +76,10 @@ type t = {
   mutable so_len : int;
   mutable next_new : int; (* next never-sent sequence number *)
   mutable snd_una : int; (* cumulative acknowledgement *)
+  (* Right edge of the receiver's advertised window: new data may be
+     sent only below this. [max_int] while the peer advertises an
+     unbounded window (finite receive buffer disabled). *)
+  mutable rwnd_limit : int;
   mutable memorize_size : int;
   mutable cburst : int;
   (* The extreme reset fires at most once per memorized burst: set on
@@ -123,6 +127,12 @@ let create config =
     so_len = 0;
     next_new = 0;
     snd_una = 0;
+    (* The sender shares [Config.t] with the receiver, so it knows the
+       initial window without a handshake. *)
+    rwnd_limit =
+      (match config.Tcp.Config.rcv_buf_segments with
+      | Some n -> n
+      | None -> max_int);
     memorize_size = 0;
     cburst = 0;
     burst_reacted = false;
@@ -352,7 +362,7 @@ let rec flush t ~now buf =
         send t ~now ~seq:pending ~retx:true buf;
         flush t ~now buf
       end
-      else if all_new_data_sent t then ()
+      else if all_new_data_sent t || t.next_new >= t.rwnd_limit then ()
       else begin
         let seq = t.next_new in
         ensure_span t ~span:(seq + 1 - t.snd_una);
@@ -456,6 +466,13 @@ let sample_rtt t ~now (ack : Tcp.Types.ack) =
 let on_ack t ~now (ack : Tcp.Types.ack) buf =
   if finished t then ()
   else begin
+    let lim =
+      if ack.Tcp.Types.rwnd = Tcp.Types.rwnd_unbounded then max_int
+      else ack.Tcp.Types.next + ack.Tcp.Types.rwnd
+    in
+    (* Monotone: a reordered ACK must not shrink the window. *)
+    let win_update = lim > t.rwnd_limit in
+    if win_update then t.rwnd_limit <- lim;
     let advanced = ack.Tcp.Types.next > t.snd_una in
     let arrived_new =
       in_span t ack.Tcp.Types.for_seq
@@ -483,6 +500,10 @@ let on_ack t ~now (ack : Tcp.Types.ack) buf =
       end
       else flush_then_arm t ~now buf
     end
+    else if win_update then
+      (* Window reopened without acknowledging anything new (receiver
+         window update): resume sending. *)
+      flush_then_arm t ~now buf
     (* A pure duplicate carrying no new per-packet information: TCP-PR
        ignores it. *)
   end

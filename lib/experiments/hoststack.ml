@@ -1,0 +1,129 @@
+type point = {
+  variant : string;
+  app_rate : float;
+  completion_s : float;
+  zero_windows : int;
+  window_updates : int;
+  buf_drops : int;
+  autotune_grows : int;
+  retransmissions : int;
+}
+
+(* One bounded transfer over the Fig. 2 dumbbell with the host-stack
+   layer on: a finite (optionally autotuned) receive buffer, a paced
+   application reader, and GRO coalescing on the sink's ingress links.
+   The application rate is the independent variable: as it drops below
+   the path rate the buffer fills, the advertised window — not cwnd —
+   becomes the binding constraint, and the run exercises zero-window
+   persistence and reopening. *)
+let run ?(total_segments = 80) ?(rcv_buf = 16) ?(max_buf = 24)
+    ?(autotune = true) ?(coalesce = Some (0.001, 4)) ~app_rate ~sender () =
+  let config =
+    { Tcp.Config.default with
+      Tcp.Config.total_segments = Some total_segments;
+      min_rto = 0.2;
+      initial_rto = 1.;
+      max_rto = 16.;
+      rcv_buf_segments = Some rcv_buf;
+      rcv_buf_max_segments = max max_buf rcv_buf;
+      rcv_autotune = autotune;
+      rcv_app_rate = (if app_rate > 0. then Some app_rate else None) }
+  in
+  let engine = Sim.Engine.create () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  (match coalesce with
+  | Some (timer_s, max_burst) ->
+    let sink = Net.Node.id topo.Topo.Dumbbell.sinks.(0) in
+    List.iter
+      (fun link ->
+        if Net.Link.dst link = sink then
+          Net.Link.set_coalescing link ~timer_s ~max_burst)
+      (Net.Network.links network)
+  | None -> ());
+  let connection =
+    Tcp.Connection.create network ~flow:0
+      ~src:topo.Topo.Dumbbell.sources.(0)
+      ~dst:topo.Topo.Dumbbell.sinks.(0)
+      ~sender ~config
+      ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+      ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+      ()
+  in
+  Tcp.Connection.start connection ~at:0.;
+  Sim.Engine.run engine ~until:600.;
+  connection
+
+let default_variants =
+  [ Variants.tcp_pr;
+    Variants.tcp_sack;
+    ("NewReno", (module Tcp.Newreno : Tcp.Sender.S)) ]
+
+let default_rates = [ 0.; 120.; 60.; 30.; 10. ]
+
+let sweep ?(total_segments = 80) ?(rcv_buf = 16)
+    ?(variants = default_variants) ?(rates = default_rates) ?(jobs = 1) () =
+  let cells =
+    List.concat_map
+      (fun (variant, sender) ->
+        List.map (fun app_rate -> (variant, sender, app_rate)) rates)
+      variants
+  in
+  Runner.parallel_map ~jobs
+    (fun (variant, sender, app_rate) ->
+      let c = run ~total_segments ~rcv_buf ~app_rate ~sender () in
+      { variant;
+        app_rate;
+        completion_s =
+          (match Tcp.Connection.finished_at c with
+          | Some t -> t
+          | None -> nan);
+        zero_windows = Tcp.Connection.receiver_zero_windows c;
+        window_updates = Tcp.Connection.window_updates_sent c;
+        buf_drops = Tcp.Connection.receiver_buf_drops c;
+        autotune_grows =
+          (match Tcp.Connection.receiver_buffer c with
+          | Some buf -> Tcp.Rcv_buffer.autotune_grows buf
+          | None -> 0);
+        retransmissions =
+          Tcp.Connection.data_packets_sent c - total_segments })
+    cells
+
+(* Completion time (s) per variant x application rate; rate 0 denotes
+   an instant reader (drain keeps pace with delivery). *)
+let to_table points =
+  let rates = List.sort_uniq compare (List.map (fun p -> p.app_rate) points) in
+  let variants =
+    List.fold_left
+      (fun acc p -> if List.mem p.variant acc then acc else acc @ [ p.variant ])
+      [] points
+  in
+  let table =
+    Stats.Table.create
+      ~columns:
+        ("variant"
+        :: List.map
+             (fun r ->
+               if r = 0. then "app=inst" else Printf.sprintf "app=%g/s" r)
+             rates)
+  in
+  List.iter
+    (fun variant ->
+      let row =
+        List.map
+          (fun rate ->
+            match
+              List.find_opt
+                (fun p -> p.variant = variant && p.app_rate = rate)
+                points
+            with
+            | Some p -> p.completion_s
+            | None -> nan)
+          rates
+      in
+      Stats.Table.add_float_row table ~decimals:2 variant row)
+    variants;
+  table

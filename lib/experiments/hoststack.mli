@@ -1,0 +1,51 @@
+(** Host-stack buffer-pressure scenario (extension, PR9).
+
+    One bounded transfer over the Fig. 2 dumbbell with the host-stack
+    realism layer enabled: a finite receive socket buffer (DRS
+    autotuning on by default), a paced application reader, and GRO
+    coalescing on the sink's ingress links. Sweeping the application
+    read rate below the path rate moves the binding constraint from the
+    congestion window to the advertised window and exercises
+    zero-window persistence and window-reopen announcements. *)
+
+type point = {
+  variant : string;
+  app_rate : float;  (** application reads per second; 0 = instant *)
+  completion_s : float;  (** transfer completion time; [nan] = stuck *)
+  zero_windows : int;
+  window_updates : int;
+  buf_drops : int;
+  autotune_grows : int;
+  retransmissions : int;
+}
+
+(** [run ~app_rate ~sender ()] executes one transfer and returns the
+    finished connection for inspection. [app_rate <= 0.] selects the
+    instant reader. [coalesce = Some (timer_s, max_burst)] (default
+    1 ms / 4) puts GRO on the sink's ingress links. *)
+val run :
+  ?total_segments:int ->
+  ?rcv_buf:int ->
+  ?max_buf:int ->
+  ?autotune:bool ->
+  ?coalesce:(float * int) option ->
+  app_rate:float ->
+  sender:(module Tcp.Sender.S) ->
+  unit ->
+  Tcp.Connection.t
+
+val default_variants : Variants.t list
+
+val default_rates : float list
+
+val sweep :
+  ?total_segments:int ->
+  ?rcv_buf:int ->
+  ?variants:Variants.t list ->
+  ?rates:float list ->
+  ?jobs:int ->
+  unit ->
+  point list
+
+(** Completion time (s) per variant and application rate. *)
+val to_table : point list -> Stats.Table.t

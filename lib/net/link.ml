@@ -61,6 +61,20 @@ type t = {
      fresh variant block per packet. *)
   mutable arrive_cells : arrive_cell array;
   mutable arrive_free : int;
+  (* GRO/interrupt coalescing at the receiving NIC: arrivals are parked
+     in [co_buf] and handed to the node in one burst when either the
+     coalesce timer expires or [co_burst] packets have accumulated.
+     [co_timer_ns = 0] (the default) disables the model entirely — the
+     packet is delivered inline exactly as before. A full burst also
+     flushes inline, so [co_burst = 1] is delivery-for-delivery
+     identical to coalescing off (the qcheck identity property). *)
+  mutable co_timer_ns : int;
+  mutable co_burst : int;
+  mutable co_buf : Packet.t array;
+  mutable co_len : int;
+  mutable co_cell : Sim.Engine.timer option;
+  (* Burst-size distribution over flushes. *)
+  co_bursts : Obs.Metrics.Histogram.t;
 }
 
 and arrive_cell = {
@@ -76,6 +90,7 @@ and arrive_cell = {
 type Sim.Engine.event +=
   | Tx_done of t
   | Arrive of arrive_cell
+  | Co_flush of t
 
 let id t = t.id
 
@@ -159,10 +174,54 @@ and finish_transmission t =
   if Qdisc.is_empty t.queue then t.busy <- false
   else transmit t (Qdisc.pop_exn t.queue)
 
-let arrive t packet =
+let deliver_one t packet =
   packet.Packet.hops <- packet.Packet.hops + 1;
   observe t Delivered packet;
   t.deliver packet
+
+(* Hand the parked burst to the node, in arrival order. The burst is
+   drained before any delivery runs: a delivery callback may send on
+   this very link (forwarding), and must find a clean buffer. *)
+let co_flush t =
+  let n = t.co_len in
+  if n > 0 then begin
+    t.co_len <- 0;
+    Obs.Metrics.Histogram.record t.co_bursts n;
+    for i = 0 to n - 1 do
+      deliver_one t (Array.unsafe_get t.co_buf i)
+    done
+  end
+
+let co_cell t =
+  match t.co_cell with
+  | Some tm -> tm
+  | None ->
+    let tm = Sim.Engine.make_timer t.engine (Co_flush t) in
+    t.co_cell <- Some tm;
+    tm
+
+let arrive t packet =
+  if t.co_timer_ns = 0 then deliver_one t packet
+  else begin
+    if t.co_len = Array.length t.co_buf then begin
+      let bigger = Array.make (max 4 (2 * Array.length t.co_buf)) packet in
+      Array.blit t.co_buf 0 bigger 0 t.co_len;
+      t.co_buf <- bigger
+    end;
+    Array.unsafe_set t.co_buf t.co_len packet;
+    t.co_len <- t.co_len + 1;
+    if t.co_len >= t.co_burst then begin
+      (match t.co_cell with
+      | Some tm -> Sim.Engine.cancel_timer t.engine tm
+      | None -> ());
+      co_flush t
+    end
+    else begin
+      let tm = co_cell t in
+      if not (Sim.Engine.timer_armed tm) then
+        Sim.Engine.arm_timer_ns t.engine tm ~delay:t.co_timer_ns
+    end
+  end
 
 let dispatch = function
   | Tx_done link ->
@@ -173,6 +232,9 @@ let dispatch = function
     let packet = cell.ar_packet in
     release_arrive link cell;
     arrive link packet;
+    true
+  | Co_flush link ->
+    co_flush link;
     true
   | _ -> false
 
@@ -223,7 +285,13 @@ let create engine ~id ~src ~dst ~bandwidth_bps ~delay_s ~capacity
       busy_time_ns = 0;
       tx_done_event = Sim.Engine.Closure ignore;
       arrive_cells = [||];
-      arrive_free = 0 }
+      arrive_free = 0;
+      co_timer_ns = 0;
+      co_burst = 1;
+      co_buf = [||];
+      co_len = 0;
+      co_cell = None;
+      co_bursts = Obs.Metrics.Histogram.create () }
   in
   t.tx_done_event <- Tx_done t;
   t
@@ -252,6 +320,20 @@ let queue_enqueued t = Qdisc.enqueued t.queue
 let queue_early_drops t = Qdisc.early_drops t.queue
 
 let queue_occupancy t = Qdisc.occupancy t.queue
+
+let set_coalescing t ~timer_s ~max_burst =
+  if timer_s < 0. then invalid_arg "Link.set_coalescing: negative timer";
+  if max_burst < 1 then invalid_arg "Link.set_coalescing: burst < 1";
+  if t.co_len > 0 then
+    invalid_arg "Link.set_coalescing: arrivals already parked";
+  t.co_timer_ns <- Sim.Time.of_sec timer_s;
+  t.co_burst <- max_burst;
+  if Array.length t.co_buf < max_burst then
+    t.co_buf <- Array.make max_burst t.note.packet
+
+let coalescing_enabled t = t.co_timer_ns > 0
+
+let coalesced_bursts t = t.co_bursts
 
 let injected_losses t = t.injected_losses
 

@@ -107,6 +107,22 @@ val queue_early_drops : t -> int
     {!Qdisc.occupancy}). *)
 val queue_occupancy : t -> Obs.Metrics.Histogram.t
 
+(** [set_coalescing t ~timer_s ~max_burst] enables the GRO/interrupt
+    coalescing model on this link: delivered packets are parked and
+    handed to the downstream node in one burst when the coalesce timer
+    ([timer_s] after the first parked arrival) expires or [max_burst]
+    packets have accumulated, whichever comes first. A full burst
+    flushes inline, so [max_burst = 1] is delivery-for-delivery
+    identical to coalescing off. [timer_s = 0.] disables the model (the
+    default: packets deliver inline, byte-identical to the seed). *)
+val set_coalescing : t -> timer_s:float -> max_burst:int -> unit
+
+val coalescing_enabled : t -> bool
+
+(** Burst-size distribution over coalesced flushes (empty when
+    disabled). *)
+val coalesced_bursts : t -> Obs.Metrics.Histogram.t
+
 (** Packets dropped by the loss injector. *)
 val injected_losses : t -> int
 

@@ -22,6 +22,10 @@ type t = {
   pr_snapshot_cwnd : bool;
   ba_ewma_gain : float;
   ba_max_dupthresh : int;
+  rcv_buf_segments : int option;
+  rcv_buf_max_segments : int;
+  rcv_autotune : bool;
+  rcv_app_rate : float option;
 }
 
 let default =
@@ -47,7 +51,17 @@ let default =
     pr_memorize = true;
     pr_snapshot_cwnd = true;
     ba_ewma_gain = 0.25;
-    ba_max_dupthresh = 1_000 }
+    ba_max_dupthresh = 1_000;
+    rcv_buf_segments = None;
+    rcv_buf_max_segments = 1_024;
+    rcv_autotune = false;
+    rcv_app_rate = None }
+
+(* The host-stack realism layer is strictly opt-in: with the default
+   [rcv_buf_segments = None] the receive buffer is unbounded, every
+   acknowledgement advertises [max_int] and no sender clamp ever binds,
+   so traces are byte-identical to a build without the layer. *)
+let hoststack_enabled t = t.rcv_buf_segments <> None
 
 let validate t =
   let check cond message = if not cond then invalid_arg ("Config: " ^ message) in
@@ -70,6 +84,18 @@ let validate t =
     (t.ba_ewma_gain > 0. && t.ba_ewma_gain <= 1.)
     "ba_ewma_gain must be in (0, 1]";
   check (t.ba_max_dupthresh >= 3) "ba_max_dupthresh must be >= 3";
+  (match t.rcv_buf_segments with
+  | Some n ->
+    check (n >= 1) "rcv_buf_segments must be >= 1";
+    check
+      (t.rcv_buf_max_segments >= n)
+      "rcv_buf_max_segments must be >= rcv_buf_segments"
+  | None ->
+    check (not t.rcv_autotune) "rcv_autotune requires a finite rcv_buf";
+    check (t.rcv_app_rate = None) "rcv_app_rate requires a finite rcv_buf");
+  (match t.rcv_app_rate with
+  | Some r -> check (r > 0.) "rcv_app_rate must be positive"
+  | None -> ());
   match t.total_segments with
   | Some n -> check (n > 0) "total_segments must be positive"
   | None -> ()

@@ -48,9 +48,32 @@ type t = {
   (* --- Blanton–Allman dupthresh adaptation --- *)
   ba_ewma_gain : float;  (** gain of the EWMA dupthresh policy *)
   ba_max_dupthresh : int;  (** safety cap on adapted dupthresh *)
+  (* --- host-stack realism layer (strictly opt-in) --- *)
+  rcv_buf_segments : int option;
+      (** [None] (default) = unbounded receive socket buffer, the
+          paper's idealised sink: acknowledgements advertise [max_int]
+          and the sender-side rwnd clamp never binds. [Some n] = finite
+          buffer of [n] segments ([n * mss] bytes) with Linux
+          [tcp_rmem]-style memory accounting. *)
+  rcv_buf_max_segments : int;
+      (** autotuning growth cap, in segments (Linux [tcp_rmem\[2\]]) *)
+  rcv_autotune : bool;
+      (** DRS-style receive-buffer autotuning: grow the buffer toward
+          2x the bytes delivered per RTT, never shrinking, capped by
+          [rcv_buf_max_segments]. Requires a finite [rcv_buf_segments]. *)
+  rcv_app_rate : float option;
+      (** [None] (default) = the application reads in-order data the
+          instant it arrives (the seed behaviour); [Some r] = the
+          application drains [r] segments per second, so in-order data
+          occupies the buffer until read — the source of buffer
+          pressure and zero-window stalls. *)
 }
 
 val default : t
+
+(** True when the finite receive buffer (and with it the whole realism
+    layer) is switched on. *)
+val hoststack_enabled : t -> bool
 
 (** [validate t] raises [Invalid_argument] on out-of-range fields. *)
 val validate : t -> unit

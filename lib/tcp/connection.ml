@@ -49,6 +49,14 @@ type t = {
      nothing. *)
   mutable timer_cells : Sim.Engine.timer option array;
   mutable delack_cell : Sim.Engine.timer option;
+  (* Application-drain machinery (finite receive buffer with a paced
+     reader): one read per [drain_period] seconds, plus the
+     window-reopen announcements owed after a zero-window
+     advertisement. [drain_period = 0.] when no paced reader is
+     configured — the timer is then never armed. *)
+  drain_period : float;
+  mutable drain_cell : Sim.Engine.timer option;
+  mutable window_updates_sent : int;
 }
 
 (* Typed scheduler events: a retransmission timer or delayed-ACK flush
@@ -57,6 +65,7 @@ type t = {
 type Sim.Engine.event +=
   | Timer of t * int
   | Delack of t
+  | Appdrain of t
 
 let timer_cell t key =
   if key >= Array.length t.timer_cells then begin
@@ -125,6 +134,10 @@ let note_finished t =
         | Some tm -> Sim.Engine.cancel_timer t.engine tm
         | None -> ())
       t.timer_cells;
+    (* The app-drain timer deliberately survives completion: the
+       application still reads out whatever the socket holds, and a
+       standing zero window still gets its reopen announcement before
+       the receiver quiesces (see the [Appdrain] dispatch). *)
     match t.on_finish with Some f -> f () | None -> ()
   end
 
@@ -258,29 +271,51 @@ let flush_pending_ack t =
     send_ack t ack
   | None -> ()
 
+let drain_cell t =
+  match t.drain_cell with
+  | Some tm -> tm
+  | None ->
+    let tm = Sim.Engine.make_timer t.engine (Appdrain t) in
+    t.drain_cell <- Some tm;
+    tm
+
+(* Keep the application reader ticking while the socket holds unread
+   data or a zero window stands unreopened. *)
+let maybe_arm_drain t =
+  if t.drain_period > 0. && Receiver.needs_drain t.receiver then begin
+    let tm = drain_cell t in
+    if not (Sim.Engine.timer_armed tm) then
+      Sim.Engine.arm_timer t.engine tm ~delay:t.drain_period
+  end
+
 let on_data_arrival t packet =
   (match packet.Net.Packet.payload with
   | Types.Data { seq; retx } -> (
     let rcv_next_before = Receiver.rcv_next t.receiver in
-    let disposition = Receiver.receive t.receiver ~retx ~seq () in
+    let now = Sim.Engine.now t.engine in
+    let disposition = Receiver.receive t.receiver ~retx ~now ~seq () in
     if probing t then begin
       let ack =
-        match disposition with Receiver.Ack_now a | Receiver.Defer a -> a
+        match disposition with
+        | Receiver.Ack_now a | Receiver.Defer a | Receiver.Drop a -> a
       in
       emit_event t
         (Probe.Data_at_sink
-           { time = Sim.Engine.now t.engine;
+           { time = now;
              flow = t.flow;
              seq;
              retx;
              dup = ack.Types.dsack <> None;
+             buf_drop =
+               (match disposition with Receiver.Drop _ -> true | _ -> false);
              rcv_next_before;
              rcv_next_after = Receiver.rcv_next t.receiver })
     end;
-    match disposition with
-    | Receiver.Ack_now ack ->
+    (match disposition with
+    | Receiver.Ack_now ack | Receiver.Drop ack ->
       (* Supersedes any deferred acknowledgement (the new one is
-         cumulative). *)
+         cumulative). A socket drop acknowledges immediately: the
+         shrunken window must reach the sender at once. *)
       t.pending_ack <- None;
       cancel_delack t;
       send_ack t ack
@@ -289,7 +324,8 @@ let on_data_arrival t packet =
       let tm = delack_cell t in
       if not (Sim.Engine.timer_armed tm) then
         Sim.Engine.arm_timer t.engine tm
-          ~delay:t.config.Config.delack_timeout)
+          ~delay:t.config.Config.delack_timeout);
+    maybe_arm_drain t)
   | _ -> ());
   (* The payload has been fully consumed (the ack record, if any, is a
      separate heap block), so the record can go back to the pool. *)
@@ -323,6 +359,23 @@ let dispatch = function
     t.delack_timeouts <- t.delack_timeouts + 1;
     flush_pending_ack t;
     true
+  | Appdrain t ->
+    Receiver.app_drain t.receiver;
+    (match Receiver.window_update t.receiver with
+    | Some ack ->
+      (* The reopen announcement is cumulative and fresher than any
+         deferred acknowledgement. *)
+      t.pending_ack <- None;
+      cancel_delack t;
+      t.window_updates_sent <- t.window_updates_sent + 1;
+      send_ack t ack
+    | None -> ());
+    (* After completion, once the socket is fully read out, drop the
+       standing zero-window flag (the reopen just went out above) so
+       the drain timer winds down and the engine can go idle. *)
+    if t.finished_at <> None then Receiver.quiesce t.receiver;
+    maybe_arm_drain t;
+    true
   | _ -> false
 
 let create ?probe ?on_finish network ~flow ~src ~dst ~sender ~config
@@ -353,7 +406,13 @@ let create ?probe ?on_finish network ~flow ~src ~dst ~sender ~config
       probe;
       on_finish;
       timer_cells = Array.make 4 None;
-      delack_cell = None }
+      delack_cell = None;
+      drain_period =
+        (match config.Config.rcv_app_rate with
+        | Some rate -> 1. /. rate
+        | None -> 0.);
+      drain_cell = None;
+      window_updates_sent = 0 }
   in
   t.flush_fn <-
     (fun () ->
@@ -391,6 +450,14 @@ let receiver_duplicates t = Receiver.duplicates t.receiver
 let receiver_buffered t = Receiver.buffered t.receiver
 
 let receiver_reorder_depth t = Receiver.reorder_depth t.receiver
+
+let receiver_buffer t = Receiver.buffer t.receiver
+
+let receiver_buf_drops t = Receiver.buf_drops t.receiver
+
+let receiver_zero_windows t = Receiver.zero_windows t.receiver
+
+let window_updates_sent t = t.window_updates_sent
 
 let timer_fires t = t.timer_fires
 

@@ -73,6 +73,20 @@ val receiver_buffered : t -> int
     {!Receiver.reorder_depth}). *)
 val receiver_reorder_depth : t -> Obs.Metrics.Histogram.t
 
+(** The receiver's finite socket buffer, when configured (see
+    {!Rcv_buffer}); [None] with the host-stack layer disabled. *)
+val receiver_buffer : t -> Rcv_buffer.t option
+
+(** Segments refused by the finite socket buffer (0 when disabled). *)
+val receiver_buf_drops : t -> int
+
+(** Zero-window advertisements issued by the receiver (0 when
+    disabled). *)
+val receiver_zero_windows : t -> int
+
+(** Window-reopen announcements sent by the application-drain timer. *)
+val window_updates_sent : t -> int
+
 (** Sender timer firings executed (retransmission and variant
     timers). *)
 val timer_fires : t -> int

@@ -47,6 +47,10 @@ type t = {
   mutable dup_count : int;
   mutable in_recovery : bool;
   mutable recover : int;
+  (* Right edge of the receiver's advertised window: new data may be
+     sent only below this. [max_int] while the peer advertises an
+     unbounded window (finite receive buffer disabled). *)
+  mutable rwnd_limit : int;
   rto : Rto.t;
   send_times : (int, float) Hashtbl.t;
   retransmitted : (int, unit) Hashtbl.t;
@@ -71,6 +75,12 @@ let create ?(strategy = default_strategy) config =
     dup_count = 0;
     in_recovery = false;
     recover = -1;
+    (* The sender shares [Config.t] with the receiver, so it knows the
+       initial window without a handshake. *)
+    rwnd_limit =
+      (match config.Config.rcv_buf_segments with
+      | Some n -> n
+      | None -> max_int);
     rto = Rto.create config;
     send_times = Hashtbl.create 256;
     retransmitted = Hashtbl.create 64;
@@ -151,7 +161,8 @@ let effective_window t =
    would capture [t]/[now]/[buf] and be allocated on every ACK. *)
 let rec send_new_data t ~now buf =
   let window = effective_window t in
-  if flight t >= window || all_data_sent t then ()
+  if flight t >= window || all_data_sent t || t.snd_next >= t.rwnd_limit then
+    ()
   else begin
     let seq = t.snd_next in
     t.snd_next <- seq + 1;
@@ -290,13 +301,39 @@ let on_new_ack t ~now ~ack_next buf =
 
 let on_ack t ~now (ack : Types.ack) buf =
   if finished t then ()
-  else if ack.Types.next > t.snd_una then
-    on_new_ack t ~now ~ack_next:ack.Types.next buf
-  else if ack.Types.next = t.snd_una && flight t > 0 then on_dup_ack t ~now buf
-  (* else: stale reordered ACK *)
+  else begin
+    let lim =
+      if ack.Types.rwnd = Types.rwnd_unbounded then max_int
+      else ack.Types.next + ack.Types.rwnd
+    in
+    (* Monotone: a reordered ACK must not shrink the window. *)
+    let win_update = lim > t.rwnd_limit in
+    if win_update then t.rwnd_limit <- lim;
+    if ack.Types.next > t.snd_una then
+      on_new_ack t ~now ~ack_next:ack.Types.next buf
+    else if ack.Types.next = t.snd_una && flight t > 0 && not win_update then
+      (* RFC 5681: an ACK advertising a larger window is not a
+         duplicate. *)
+      on_dup_ack t ~now buf
+    else if win_update then begin
+      (* Window reopened without covering new data (receiver window
+         update): resume sending. *)
+      let mark = Action_buffer.length buf in
+      send_new_data t ~now buf;
+      if Action_buffer.length buf > mark then arm_rto t buf
+    end
+    (* else: stale reordered ACK *)
+  end
 
 let on_rto t ~now buf =
   if flight t = 0 && all_data_sent t then ()
+  else if flight t = 0 && t.snd_next >= t.rwnd_limit then
+    (* Zero-window blocked: nothing is in flight to retransmit and the
+       peer has no room. This expiry is a persist probe slot, not a
+       loss: keep the timer running (it guarantees liveness if the
+       window-update ACK is lost) without counting a timeout or backing
+       off. *)
+    arm_rto t buf
   else begin
     t.n_timeouts <- t.n_timeouts + 1;
     (* FlightSize is bounded by cwnd so a frozen cumulative ACK cannot

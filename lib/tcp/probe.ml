@@ -11,6 +11,7 @@ type event =
       seq : int;
       retx : bool;
       dup : bool;
+      buf_drop : bool;
       rcv_next_before : int;
       rcv_next_after : int;
     }
@@ -78,11 +79,13 @@ let to_line = function
   | Sent { time; flow; seq; retx } ->
     Printf.sprintf "snd t=%.6f f=%d seq=%d%s" time flow seq
       (if retx then " retx" else "")
-  | Data_at_sink { time; flow; seq; retx; dup; rcv_next_before; rcv_next_after }
+  | Data_at_sink
+      { time; flow; seq; retx; dup; buf_drop; rcv_next_before; rcv_next_after }
     ->
-    Printf.sprintf "rcv t=%.6f f=%d seq=%d%s%s next=%d->%d" time flow seq
+    Printf.sprintf "rcv t=%.6f f=%d seq=%d%s%s%s next=%d->%d" time flow seq
       (if retx then " retx" else "")
       (if dup then " dup" else "")
+      (if buf_drop then " bufdrop" else "")
       rcv_next_before rcv_next_after
   | Ack_at_sink { time; flow; ack } ->
     Printf.sprintf "ack- t=%.6f f=%d %s" time flow (ack_to_string ack)

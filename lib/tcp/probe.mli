@@ -35,11 +35,14 @@ type event =
       seq : int;
       retx : bool;
       dup : bool;
+      buf_drop : bool;
       rcv_next_before : int;
       rcv_next_after : int;
     }
       (** A data segment arrived at the receiver. [dup] marks a
-          duplicate arrival (already delivered or already buffered). *)
+          duplicate arrival (already delivered or already buffered);
+          [buf_drop] marks a segment refused by the finite socket
+          buffer (discarded, acknowledged without advancing). *)
   | Ack_at_sink of { time : float; flow : int; ack : Types.ack }
       (** An acknowledgement handed to the network by the receiver
           (after any delayed-ACK deferral). *)

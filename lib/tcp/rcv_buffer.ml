@@ -1,0 +1,159 @@
+(* Finite receive socket buffer: byte-level memory accounting modelled
+   on the Linux tcp_rmem triple. The buffer holds two populations:
+   in-order bytes the application has not read yet, and out-of-order
+   bytes parked behind a hole. Admission is checked per arriving
+   segment; out-of-order data is additionally refused above the 3/4
+   pressure threshold, mirroring the kernel's ofo-queue pruning under
+   memory pressure (collapse). All state is immediate ints, so the
+   per-arrival accounting allocates nothing. *)
+
+type t = {
+  mss : int;
+  mutable capacity : int;  (* bytes; grows under autotuning, never shrinks *)
+  max_capacity : int;  (* bytes; the tcp_rmem[2] growth cap *)
+  autotune : bool;
+  mutable in_order : int;  (* bytes readable by the application *)
+  mutable out_of_order : int;  (* bytes parked behind a hole *)
+  (* counters *)
+  mutable drops : int;
+  mutable zero_windows : int;
+  mutable autotune_grows : int;
+  occupancy : Obs.Metrics.Histogram.t;  (* used segments, per admission *)
+  (* DRS (dynamic right-sizing) epoch: the time to receive one
+     advertised window of data approximates one RTT, so the bytes
+     delivered over the epoch approximate the connection's
+     bandwidth-delay product. *)
+  mutable epoch_start : float;
+  mutable epoch_bytes : int;
+  mutable epoch_window : int;  (* capacity when the epoch opened *)
+  mutable last_rtt_estimate : float;  (* most recent epoch length, s *)
+}
+
+let create ~mss ~capacity_segments ~max_segments ~autotune =
+  if mss <= 0 then invalid_arg "Rcv_buffer.create: mss must be positive";
+  if capacity_segments < 1 then
+    invalid_arg "Rcv_buffer.create: capacity must be >= 1 segment";
+  if max_segments < capacity_segments then
+    invalid_arg "Rcv_buffer.create: max below initial capacity";
+  { mss;
+    capacity = capacity_segments * mss;
+    max_capacity = max_segments * mss;
+    autotune;
+    in_order = 0;
+    out_of_order = 0;
+    drops = 0;
+    zero_windows = 0;
+    autotune_grows = 0;
+    occupancy = Obs.Metrics.Histogram.create ();
+    epoch_start = -1.;
+    epoch_bytes = 0;
+    epoch_window = capacity_segments * mss;
+    last_rtt_estimate = 0. }
+
+let capacity_bytes t = t.capacity
+
+let capacity_segments t = t.capacity / t.mss
+
+let used_bytes t = t.in_order + t.out_of_order
+
+let free_bytes t = t.capacity - used_bytes t
+
+let in_order_bytes t = t.in_order
+
+let out_of_order_bytes t = t.out_of_order
+
+let unread_segments t = t.in_order / t.mss
+
+(* Advertised window, in whole segments of free space. *)
+let rwnd_segments t = free_bytes t / t.mss
+
+let drops t = t.drops
+
+let zero_windows t = t.zero_windows
+
+let autotune_grows t = t.autotune_grows
+
+let occupancy t = t.occupancy
+
+let rtt_estimate t = t.last_rtt_estimate
+
+(* Out-of-order data is collapsed (refused) once the buffer passes 3/4
+   occupancy: hole-plugging retransmissions must still find room, so
+   the last quarter is reserved for the in-order path. *)
+let pressure_limit t = t.capacity - (t.capacity / 4)
+
+let note_admission t =
+  Obs.Metrics.Histogram.record t.occupancy (used_bytes t / t.mss)
+
+(* Admit one in-order segment; false = no room, the segment is dropped
+   at the socket and the arrival is acknowledged without advancing. *)
+let admit_in_order t =
+  if free_bytes t >= t.mss then begin
+    t.in_order <- t.in_order + t.mss;
+    note_admission t;
+    true
+  end
+  else begin
+    t.drops <- t.drops + 1;
+    false
+  end
+
+(* Admit one out-of-order segment: refused above the pressure
+   threshold even when free space remains. *)
+let admit_out_of_order t =
+  if free_bytes t >= t.mss && used_bytes t + t.mss <= pressure_limit t then begin
+    t.out_of_order <- t.out_of_order + t.mss;
+    note_admission t;
+    true
+  end
+  else begin
+    t.drops <- t.drops + 1;
+    false
+  end
+
+(* A hole was plugged: [segments] parked segments became readable. *)
+let promote t ~segments =
+  let bytes = segments * t.mss in
+  assert (bytes <= t.out_of_order);
+  t.out_of_order <- t.out_of_order - bytes;
+  t.in_order <- t.in_order + bytes
+
+(* The application read [segments] segments out of the socket. *)
+let app_read t ~segments =
+  let bytes = segments * t.mss in
+  assert (bytes <= t.in_order);
+  t.in_order <- t.in_order - bytes
+
+let note_zero_window t = t.zero_windows <- t.zero_windows + 1
+
+(* DRS autotuning (Fisk & Feng): once a full advertised window has been
+   delivered — which takes about one round-trip when the sender is
+   window-limited — the bytes received over the epoch estimate the
+   bandwidth-delay product; size the buffer at twice that so the
+   advertised window never caps the sender below 2xBDP. The buffer only
+   ever grows, and never past [max_capacity]. *)
+let on_delivered t ~now ~bytes =
+  if t.epoch_start < 0. then begin
+    t.epoch_start <- now;
+    t.epoch_bytes <- bytes;
+    t.epoch_window <- t.capacity
+  end
+  else begin
+    t.epoch_bytes <- t.epoch_bytes + bytes;
+    if t.epoch_bytes >= t.epoch_window then begin
+      t.last_rtt_estimate <- now -. t.epoch_start;
+      if t.autotune then begin
+        let target = 2 * t.epoch_bytes in
+        if target > t.capacity then begin
+          let grown = min target t.max_capacity in
+          if grown > t.capacity then begin
+            t.capacity <- grown;
+            t.autotune_grows <- t.autotune_grows + 1
+          end
+        end
+      end;
+      t.epoch_start <- now;
+      t.epoch_bytes <- 0;
+      t.epoch_window <- t.capacity
+    end
+  end

@@ -1,0 +1,76 @@
+(** Finite receive socket buffer with byte-level memory accounting,
+    modelled on the Linux [tcp_rmem] architecture: a capacity that DRS
+    autotuning may grow (never shrink) up to a cap, a 3/4 pressure
+    threshold above which out-of-order data is refused (ofo collapse),
+    and an advertised window derived from free space. Steady-state
+    accounting performs zero allocation: every field is an immediate
+    int.
+
+    Invariants, pinned by the qcheck suite:
+    {ul
+    {- [in_order_bytes + out_of_order_bytes = used_bytes];}
+    {- [0 <= used_bytes <= capacity_bytes] and
+       [free_bytes + used_bytes = capacity_bytes];}
+    {- [capacity_bytes] is monotone non-decreasing, bounded by the
+       creation-time [max_segments * mss].}} *)
+
+type t
+
+val create :
+  mss:int -> capacity_segments:int -> max_segments:int -> autotune:bool -> t
+
+val capacity_bytes : t -> int
+
+val capacity_segments : t -> int
+
+val used_bytes : t -> int
+
+val free_bytes : t -> int
+
+val in_order_bytes : t -> int
+
+val out_of_order_bytes : t -> int
+
+(** In-order segments awaiting an application read. *)
+val unread_segments : t -> int
+
+(** Advertised window: whole segments of free buffer space. *)
+val rwnd_segments : t -> int
+
+(** Segments refused at the socket for lack of memory. *)
+val drops : t -> int
+
+(** Zero-window advertisements issued (counted via
+    {!note_zero_window}). *)
+val zero_windows : t -> int
+
+(** Autotuning growth steps taken. *)
+val autotune_grows : t -> int
+
+(** Buffer occupancy (in segments) sampled at each admission. *)
+val occupancy : t -> Obs.Metrics.Histogram.t
+
+(** Most recent DRS epoch length — the receive-side RTT estimate. *)
+val rtt_estimate : t -> float
+
+(** [admit_in_order t] accounts one in-order segment; [false] means the
+    buffer is full and the segment must be dropped (counted). *)
+val admit_in_order : t -> bool
+
+(** [admit_out_of_order t] accounts one out-of-order segment; refused
+    (counted) when full or above the 3/4 pressure threshold. *)
+val admit_out_of_order : t -> bool
+
+(** [promote t ~segments] reclassifies parked out-of-order segments as
+    readable after a hole is plugged. *)
+val promote : t -> segments:int -> unit
+
+(** [app_read t ~segments] releases read bytes back to free space. *)
+val app_read : t -> segments:int -> unit
+
+val note_zero_window : t -> unit
+
+(** [on_delivered t ~now ~bytes] feeds the DRS autotuner: each epoch
+    measures the time to receive one advertised window (~one RTT) and
+    grows the buffer toward twice the bytes delivered per epoch. *)
+val on_delivered : t -> now:float -> bytes:int -> unit

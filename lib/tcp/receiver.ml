@@ -1,6 +1,7 @@
 type disposition =
   | Ack_now of Types.ack
   | Defer of Types.ack
+  | Drop of Types.ack
 
 (* [recent] (sequence numbers of recent out-of-order arrivals, most
    recent first, ordering SACK blocks by recency as RFC 2018 requires)
@@ -30,10 +31,32 @@ type t = {
   (* How far ahead of [rcv_next] each out-of-order arrival landed — the
      reordering depth actually seen by this sink. *)
   reorder_depth : Obs.Metrics.Histogram.t;
+  (* Finite receive socket buffer — [None] (the default) is the paper's
+     idealised unbounded sink and keeps every path below byte-identical
+     to the seed. *)
+  buf : Rcv_buffer.t option;
+  (* [true] = the application reads in-order data the instant it
+     arrives (no [rcv_app_rate]); in-order bytes then never occupy the
+     buffer. *)
+  app_instant : bool;
+  (* A zero window has been advertised and no later data-driven
+     acknowledgement has reopened it; the app-drain timer keeps
+     re-announcing the window while this is set, so a lost window
+     update cannot deadlock the flow. *)
+  mutable zero_window_advertised : bool;
 }
 
 let create config =
   Config.validate config;
+  let buf =
+    match config.Config.rcv_buf_segments with
+    | None -> None
+    | Some capacity_segments ->
+      Some
+        (Rcv_buffer.create ~mss:config.Config.mss ~capacity_segments
+           ~max_segments:config.Config.rcv_buf_max_segments
+           ~autotune:config.Config.rcv_autotune)
+  in
   { config;
     rcv_next = 0;
     out_of_order = Interval_buf.create ();
@@ -44,7 +67,10 @@ let create config =
     duplicates = 0;
     ack_deferred = false;
     serial = 0;
-    reorder_depth = Obs.Metrics.Histogram.create () }
+    reorder_depth = Obs.Metrics.Histogram.create ();
+    buf;
+    app_instant = config.Config.rcv_app_rate = None;
+    zero_window_advertised = false }
 
 let rcv_next t = t.rcv_next
 
@@ -55,6 +81,13 @@ let duplicates t = t.duplicates
 let buffered t = Interval_buf.cardinal t.out_of_order
 
 let reorder_depth t = t.reorder_depth
+
+let buffer t = t.buf
+
+let buf_drops t = match t.buf with Some b -> Rcv_buffer.drops b | None -> 0
+
+let zero_windows t =
+  match t.buf with Some b -> Rcv_buffer.zero_windows b | None -> 0
 
 (* Up to [max_sack_blocks] blocks: the block containing the most recent
    arrival first, then blocks containing earlier arrivals, without
@@ -111,52 +144,170 @@ let touch_recent t seq =
   t.recent.(0) <- seq;
   if !pos < 0 then t.recent_len <- t.recent_len + 1
 
-let receive t ?(retx = false) ~seq () =
+(* Advertised window for the next acknowledgement. Tracks the
+   zero-window flag as a side effect: set when a zero window goes out,
+   cleared once a data-driven acknowledgement reopens it. *)
+let advertised_rwnd t =
+  match t.buf with
+  | None -> Types.rwnd_unbounded
+  | Some buf ->
+    let rwnd = Rcv_buffer.rwnd_segments buf in
+    if rwnd = 0 then begin
+      if not t.zero_window_advertised then begin
+        t.zero_window_advertised <- true;
+        Rcv_buffer.note_zero_window buf
+      end
+    end
+    else t.zero_window_advertised <- false;
+    rwnd
+
+let receive t ?(retx = false) ?(now = 0.) ~seq () =
   assert (seq >= 0);
   let buffered_before = not (Interval_buf.is_empty t.out_of_order) in
   let duplicate = seq < t.rcv_next || Interval_buf.mem t.out_of_order seq in
   let in_order = (not duplicate) && seq = t.rcv_next in
-  if duplicate then t.duplicates <- t.duplicates + 1
-  else if in_order then begin
-    t.rcv_next <- t.rcv_next + 1;
-    (* Drain any out-of-order run that is now contiguous. *)
-    let idx = Interval_buf.find t.out_of_order t.rcv_next in
-    if idx >= 0 then t.rcv_next <- Interval_buf.last t.out_of_order idx + 1;
-    Interval_buf.remove_below t.out_of_order t.rcv_next
-  end
-  else begin
-    Obs.Metrics.Histogram.record t.reorder_depth (seq - t.rcv_next);
-    Interval_buf.add t.out_of_order seq;
-    touch_recent t seq
-  end;
-  let dsack = if duplicate then Some { Types.first = seq; last = seq } else None in
-  let serial = t.serial in
-  t.serial <- serial + 1;
-  let ack =
-    { Types.next = t.rcv_next;
-      sacks = sack_blocks t;
-      dsack;
-      for_seq = seq;
-      for_retx = retx;
-      serial }
+  (* Socket-buffer admission. Duplicates occupy no new memory;
+     everything else must find room (out-of-order data only below the
+     pressure threshold). With the buffer disabled this is one match on
+     an immediate [None]. *)
+  let admitted =
+    match t.buf with
+    | None -> true
+    | Some buf ->
+      if duplicate then true
+      else if in_order then Rcv_buffer.admit_in_order buf
+      else Rcv_buffer.admit_out_of_order buf
   in
-  (* RFC 1122/5681: only a lone, in-order, non-hole-filling segment may
-     have its acknowledgement deferred; everything else — duplicates,
-     gaps, arrivals draining the buffer, or a second in-order segment —
-     is acknowledged at once. *)
-  if
-    t.config.Config.delayed_ack && in_order && (not buffered_before)
-    && ack.Types.sacks = []
-    && not t.ack_deferred
-  then begin
-    t.ack_deferred <- true;
-    Defer ack
+  if not admitted then begin
+    (* Dropped at the socket: acknowledge the arrival without
+       advancing, advertising whatever window remains — the sender's
+       cue to slow down rather than a silent loss. [for_seq = -1]: the
+       segment was NOT accepted, so this acknowledgement is "for"
+       nothing — a sender acknowledging packets individually by
+       [for_seq] (TCP-PR) must not take it as delivery, and the
+       timestamp-echo consumers (RACK, Eifel) must not sample it. *)
+    let serial = t.serial in
+    t.serial <- serial + 1;
+    t.ack_deferred <- false;
+    Drop
+      { Types.next = t.rcv_next;
+        sacks = sack_blocks t;
+        dsack = None;
+        for_seq = -1;
+        for_retx = false;
+        serial;
+        rwnd = advertised_rwnd t }
   end
   else begin
-    t.ack_deferred <- false;
-    Ack_now ack
+    if duplicate then t.duplicates <- t.duplicates + 1
+    else if in_order then begin
+      t.rcv_next <- t.rcv_next + 1;
+      (* Drain any out-of-order run that is now contiguous. *)
+      let idx = Interval_buf.find t.out_of_order t.rcv_next in
+      if idx >= 0 then t.rcv_next <- Interval_buf.last t.out_of_order idx + 1;
+      Interval_buf.remove_below t.out_of_order t.rcv_next;
+      match t.buf with
+      | None -> ()
+      | Some buf ->
+        let delivered = t.rcv_next - seq in
+        (* The hole-plugging segment was admitted as in-order; the run
+           behind it moves from parked to readable. *)
+        Rcv_buffer.promote buf ~segments:(delivered - 1);
+        Rcv_buffer.on_delivered buf ~now
+          ~bytes:(delivered * t.config.Config.mss);
+        if t.app_instant then
+          Rcv_buffer.app_read buf ~segments:(Rcv_buffer.unread_segments buf)
+    end
+    else begin
+      Obs.Metrics.Histogram.record t.reorder_depth (seq - t.rcv_next);
+      Interval_buf.add t.out_of_order seq;
+      touch_recent t seq
+    end;
+    let dsack =
+      if duplicate then Some { Types.first = seq; last = seq } else None
+    in
+    let serial = t.serial in
+    t.serial <- serial + 1;
+    let ack =
+      { Types.next = t.rcv_next;
+        sacks = sack_blocks t;
+        dsack;
+        for_seq = seq;
+        for_retx = retx;
+        serial;
+        rwnd = advertised_rwnd t }
+    in
+    (* RFC 1122/5681: only a lone, in-order, non-hole-filling segment may
+       have its acknowledgement deferred; everything else — duplicates,
+       gaps, arrivals draining the buffer, or a second in-order segment —
+       is acknowledged at once. *)
+    if
+      t.config.Config.delayed_ack && in_order && (not buffered_before)
+      && ack.Types.sacks = []
+      && not t.ack_deferred
+    then begin
+      t.ack_deferred <- true;
+      Defer ack
+    end
+    else begin
+      t.ack_deferred <- false;
+      Ack_now ack
+    end
   end
 
-let on_data t ?retx ~seq () =
-  match receive t ?retx ~seq () with
-  | Ack_now ack | Defer ack -> ack
+let on_data t ?retx ?now ~seq () =
+  match receive t ?retx ?now ~seq () with
+  | Ack_now ack | Defer ack | Drop ack -> ack
+
+(* --- application-drain hooks (enabled mode only) -------------------- *)
+
+let needs_drain t =
+  match t.buf with
+  | None -> false
+  | Some buf -> Rcv_buffer.unread_segments buf > 0 || t.zero_window_advertised
+
+let app_drain t =
+  match t.buf with
+  | None -> ()
+  | Some buf ->
+    if Rcv_buffer.unread_segments buf > 0 then
+      Rcv_buffer.app_read buf ~segments:1
+
+(* Reopen announcement: a fresh acknowledgement carrying the current
+   window, emitted by the app-drain timer while a zero window stands.
+   [for_seq = -1] lies outside every sender's active span, so no
+   variant mistakes it for a data acknowledgement; the fresh [serial]
+   keeps sink-side emission strictly increasing for the conservation
+   monitor. The flag deliberately stays set — only a data arrival
+   clears it — so announcements repeat until the sender audibly
+   resumes, making the reopen robust to ACK loss. *)
+(* Called by the connection on app-drain ticks after the transfer has
+   completed: once the application has read everything out of the
+   socket, the standing zero-window flag is dropped so the reopen
+   announcements — and with them the drain timer — wind down. While a
+   transfer is live the flag survives an empty buffer deliberately:
+   only a data arrival proves the sender heard a reopen. *)
+let quiesce t =
+  match t.buf with
+  | None -> ()
+  | Some buf ->
+    if Rcv_buffer.used_bytes buf = 0 then t.zero_window_advertised <- false
+
+let window_update t =
+  match t.buf with
+  | None -> None
+  | Some buf ->
+    if t.zero_window_advertised && Rcv_buffer.rwnd_segments buf > 0 then begin
+      let serial = t.serial in
+      t.serial <- serial + 1;
+      t.ack_deferred <- false;
+      Some
+        { Types.next = t.rcv_next;
+          sacks = [];
+          dsack = None;
+          for_seq = -1;
+          for_retx = false;
+          serial;
+          rwnd = Rcv_buffer.rwnd_segments buf }
+    end
+    else None

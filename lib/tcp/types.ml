@@ -7,7 +7,13 @@ type ack = {
   for_seq : int;
   for_retx : bool;
   serial : int;
+  rwnd : int;
 }
+
+(* Unbounded advertised window: the sentinel every acknowledgement
+   carries while the finite receive buffer is disabled. An immediate
+   int, so carrying it costs one word and no allocation. *)
+let rwnd_unbounded = max_int
 
 let max_sack_blocks = 3
 
@@ -18,8 +24,10 @@ type Net.Packet.payload +=
 let pp_sack_block ppf { first; last } = Format.fprintf ppf "[%d,%d]" first last
 
 let pp_ack ppf t =
-  Format.fprintf ppf "ack<next=%d for=%d sacks=%a dsack=%a>" t.next t.for_seq
+  Format.fprintf ppf "ack<next=%d for=%d sacks=%a dsack=%a%t>" t.next t.for_seq
     (Format.pp_print_list pp_sack_block)
     t.sacks
     (Format.pp_print_option pp_sack_block)
     t.dsack
+    (fun ppf ->
+      if t.rwnd <> rwnd_unbounded then Format.fprintf ppf " rwnd=%d" t.rwnd)

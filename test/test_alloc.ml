@@ -112,6 +112,54 @@ let lattice_bytes ~use_wheel =
   bytes_per_packet network ~measured:(fun () ->
       Sim.Engine.run engine ~until:240.)
 
+(* Host-stack layer at full tilt (PR9): finite autotuned receive
+   buffer, paced application reader, GRO coalescing on the sink's
+   ingress. The enabled path adds per-arrival admission accounting
+   (immediate ints), per-burst coalesced delivery (reused array), and
+   periodic window-reopen acknowledgements — the ceiling gives the
+   reopen/drain records a little room over the idealised dumbbell but
+   still catches any per-packet box creeping into admission or burst
+   delivery. *)
+let hoststack_budget = 200.
+
+let hoststack_bytes ~use_wheel =
+  let engine = Sim.Engine.create ~use_wheel () in
+  let topo =
+    Topo.Dumbbell.create engine ~bottleneck_bandwidth_bps:1.5e6
+      ~queue_capacity:10 ()
+  in
+  let network = topo.Topo.Dumbbell.network in
+  let sink = Net.Node.id topo.Topo.Dumbbell.sinks.(0) in
+  List.iter
+    (fun link ->
+      if Net.Link.dst link = sink then
+        Net.Link.set_coalescing link ~timer_s:0.001 ~max_burst:4)
+    (Net.Network.links network);
+  let config =
+    { (bounded_config 600) with
+      Tcp.Config.rcv_buf_segments = Some 32;
+      rcv_buf_max_segments = 64;
+      rcv_autotune = true;
+      rcv_app_rate = Some 100. }
+  in
+  let start ~at flow sender =
+    let c =
+      Tcp.Connection.create network ~flow ~src:topo.Topo.Dumbbell.sources.(0)
+        ~dst:topo.Topo.Dumbbell.sinks.(0) ~sender ~config
+        ~route_data:(fun () -> Topo.Dumbbell.route_forward topo ~pair:0)
+        ~route_ack:(fun () -> Topo.Dumbbell.route_reverse topo ~pair:0)
+        ()
+    in
+    Tcp.Connection.start c ~at
+  in
+  start ~at:0. 0 (snd Experiments.Variants.tcp_pr);
+  start ~at:0.05 1 (snd Experiments.Variants.tcp_sack);
+  Sim.Engine.run engine ~until:120.;
+  start ~at:120. 2 (snd Experiments.Variants.tcp_pr);
+  start ~at:120.05 3 (snd Experiments.Variants.tcp_sack);
+  bytes_per_packet network ~measured:(fun () ->
+      Sim.Engine.run engine ~until:240.)
+
 let check_budget name budget bytes =
   if bytes > budget then
     Alcotest.failf "%s: %.1f B/packet exceeds the %.0f B/packet budget" name
@@ -128,6 +176,14 @@ let test_lattice_wheel () =
 
 let test_lattice_heap () =
   check_budget "lattice (heap)" lattice_budget (lattice_bytes ~use_wheel:false)
+
+let test_hoststack_wheel () =
+  check_budget "hoststack (wheel)" hoststack_budget
+    (hoststack_bytes ~use_wheel:true)
+
+let test_hoststack_heap () =
+  check_budget "hoststack (heap)" hoststack_budget
+    (hoststack_bytes ~use_wheel:false)
 
 (* --- bytes per ACK ---------------------------------------------------
 
@@ -159,7 +215,8 @@ let bytes_per_ack (module M : Tcp.Sender.S) =
         dsack = None;
         for_seq = i;
         for_retx = false;
-        serial = i }
+        serial = i;
+        rwnd = Tcp.Types.rwnd_unbounded }
     in
     Tcp.Sender.on_ack sender ~now:(1e-4 *. float_of_int (i + 1)) ack buf
   in
@@ -235,7 +292,9 @@ let () =
         [ Alcotest.test_case "dumbbell, wheel" `Quick test_dumbbell_wheel;
           Alcotest.test_case "dumbbell, heap" `Quick test_dumbbell_heap;
           Alcotest.test_case "lattice, wheel" `Quick test_lattice_wheel;
-          Alcotest.test_case "lattice, heap" `Quick test_lattice_heap ] );
+          Alcotest.test_case "lattice, heap" `Quick test_lattice_heap;
+          Alcotest.test_case "hoststack, wheel" `Quick test_hoststack_wheel;
+          Alcotest.test_case "hoststack, heap" `Quick test_hoststack_heap ] );
       ( "bytes-per-ack",
         [ Alcotest.test_case "TCP-SACK ceiling" `Quick test_ack_budget_sack;
           Alcotest.test_case "TCP-PR ceiling" `Quick test_ack_budget_tcp_pr ] );

@@ -62,7 +62,8 @@ let ack ?(sacks = []) ?dsack ?(for_retx = false) ~next ~for_seq () =
     dsack = Option.map block dsack;
     for_seq;
     for_retx;
-    serial = 0 }
+    serial = 0;
+    rwnd = Tcp.Types.rwnd_unbounded }
 
 (* ------------------------------------------------------------------ *)
 (* Delayed ACKs                                                        *)
@@ -74,7 +75,8 @@ let test_delack_defers_first_segment () =
   let r = Tcp.Receiver.create delack_config in
   match Tcp.Receiver.receive r ~seq:0 () with
   | Tcp.Receiver.Defer ack -> Alcotest.(check int) "covers it" 1 ack.Tcp.Types.next
-  | Tcp.Receiver.Ack_now _ -> Alcotest.fail "expected deferral"
+  | Tcp.Receiver.Ack_now _ | Tcp.Receiver.Drop _ ->
+    Alcotest.fail "expected deferral"
 
 let test_delack_second_segment_acks () =
   let r = Tcp.Receiver.create delack_config in
@@ -82,7 +84,8 @@ let test_delack_second_segment_acks () =
   match Tcp.Receiver.receive r ~seq:1 () with
   | Tcp.Receiver.Ack_now ack ->
     Alcotest.(check int) "cumulative over both" 2 ack.Tcp.Types.next
-  | Tcp.Receiver.Defer _ -> Alcotest.fail "second segment must ack now"
+  | Tcp.Receiver.Defer _ | Tcp.Receiver.Drop _ ->
+    Alcotest.fail "second segment must ack now"
 
 let test_delack_out_of_order_immediate () =
   let r = Tcp.Receiver.create delack_config in
@@ -91,7 +94,8 @@ let test_delack_out_of_order_immediate () =
   match Tcp.Receiver.receive r ~seq:3 () with
   | Tcp.Receiver.Ack_now ack ->
     Alcotest.(check bool) "carries sack" true (ack.Tcp.Types.sacks <> [])
-  | Tcp.Receiver.Defer _ -> Alcotest.fail "out of order must ack now"
+  | Tcp.Receiver.Defer _ | Tcp.Receiver.Drop _ ->
+    Alcotest.fail "out of order must ack now"
 
 let test_delack_duplicate_immediate () =
   let r = Tcp.Receiver.create delack_config in
@@ -100,14 +104,16 @@ let test_delack_duplicate_immediate () =
   match Tcp.Receiver.receive r ~seq:0 () with
   | Tcp.Receiver.Ack_now ack ->
     Alcotest.(check bool) "carries dsack" true (ack.Tcp.Types.dsack <> None)
-  | Tcp.Receiver.Defer _ -> Alcotest.fail "duplicate must ack now"
+  | Tcp.Receiver.Defer _ | Tcp.Receiver.Drop _ ->
+    Alcotest.fail "duplicate must ack now"
 
 let test_delack_disabled_always_immediate () =
   let r = Tcp.Receiver.create Tcp.Config.default in
   for seq = 0 to 5 do
     match Tcp.Receiver.receive r ~seq () with
     | Tcp.Receiver.Ack_now _ -> ()
-    | Tcp.Receiver.Defer _ -> Alcotest.fail "deferral with delack off"
+    | Tcp.Receiver.Defer _ | Tcp.Receiver.Drop _ ->
+      Alcotest.fail "deferral with delack off"
   done
 
 (* End to end: with delayed ACKs the receiver sends roughly half the

@@ -20,7 +20,13 @@
 
 let ack ?(sacks = []) ?dsack ?(for_seq = 0) ?(for_retx = false) ?(serial = 0)
     next =
-  { Tcp.Types.next; sacks; dsack; for_seq; for_retx; serial }
+  { Tcp.Types.next;
+    sacks;
+    dsack;
+    for_seq;
+    for_retx;
+    serial;
+    rwnd = Tcp.Types.rwnd_unbounded }
 
 let view ?(cwnd = 2.) ?(metrics = []) () = { Tcp.Probe.cwnd; metrics }
 
@@ -51,6 +57,7 @@ let data ~time ~seq ?(retx = false) ?(dup = false) ~before ~after () =
       seq;
       retx;
       dup;
+      buf_drop = false;
       rcv_next_before = before;
       rcv_next_after = after }
 
@@ -368,6 +375,8 @@ let starvation_scenario =
     delayed_ack = false;
     total_segments = 20;
     bandwidth_scale = 1.;
+    coalesce = None;
+    rcv_buf = None;
     time_limit = 60.;
     domains = 1 }
 
@@ -417,6 +426,8 @@ let broken_scenario =
     delayed_ack = false;
     total_segments = 60;
     bandwidth_scale = 1.;
+    coalesce = None;
+    rcv_buf = None;
     time_limit = 600.; domains = 1 }
 
 let test_oracle_catches_dupack_retransmit () =

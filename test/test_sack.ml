@@ -54,7 +54,8 @@ let ack ?(sacks = []) ?dsack ~next ~for_seq () =
     dsack = Option.map block dsack;
     for_seq;
     for_retx = false;
-    serial = 0 }
+    serial = 0;
+    rwnd = Tcp.Types.rwnd_unbounded }
 
 let make ?(response = Tcp.Sack_core.plain_sack)
     ?(trigger = Tcp.Sack_core.Immediate) ?(cwnd = 8.) () =

@@ -49,7 +49,8 @@ let ack ?(sacks = []) ?dsack ~next ~for_seq () =
     dsack = Option.map block dsack;
     for_seq;
     for_retx = false;
-    serial = 0 }
+    serial = 0;
+    rwnd = Tcp.Types.rwnd_unbounded }
 
 let config ?(alpha = 0.995) ?(beta = 3.0) ?(cwnd = 1.) ?(total = None) () =
   { Tcp.Config.default with
