@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-quick bench-gate scale-smoke \
-	scale-smoke-sharded hoststack-smoke figures golden ci doc coverage \
-	coverage-summary lint-box clean
+	scale-smoke-sharded hoststack-smoke reorder-smoke figures golden ci \
+	doc coverage coverage-summary lint-box clean
 
 all: build
 
@@ -72,6 +72,13 @@ scale-smoke-sharded:
 hoststack-smoke:
 	dune exec -- bin/tcp_pr_sim.exe hoststack --quick
 
+# Adaptive-adversary smoke: the closed-loop reordering dial at quick
+# scale — every sender variant must end an epsilon search holding the
+# target measured reordering density within tolerance (exit 1 on any
+# MISS, with per-epoch controller traces for the failing variants).
+reorder-smoke:
+	dune exec -- bin/tcp_pr_sim.exe adversary --quick
+
 # FIGURE_JOBS=N sets the domain count for the experiment grids
 # (default: the machine's cores; output is identical at any N).
 FIGURE_JOBS ?=
@@ -127,7 +134,8 @@ coverage-summary:
 # Gc-delta bytes/packet ceilings in test_alloc), a conformance smoke
 # run — fixed random scenarios over every sender variant with the
 # invariant monitors armed, plus the golden-trace digests — the
-# many-flow scale smoke, the sharded merge smoke, and the perf
+# many-flow scale smoke, the sharded merge smoke, the host-stack and
+# adaptive-adversary smokes, and the perf
 # regression gate (allocation budget + events/sec scaling floor + raw
 # engine events/sec floor + sharded scaling floor) against the
 # recorded BENCH_PR*.json lineage, then the non-fatal float-boxing
@@ -139,6 +147,7 @@ ci:
 	$(MAKE) --no-print-directory scale-smoke
 	$(MAKE) --no-print-directory scale-smoke-sharded
 	$(MAKE) --no-print-directory hoststack-smoke
+	$(MAKE) --no-print-directory reorder-smoke
 	dune exec bench/main.exe -- gate
 	-$(MAKE) --no-print-directory lint-box
 	-@$(MAKE) --no-print-directory coverage

@@ -190,6 +190,46 @@ let jitter_scenario () =
   Sim.Engine.run engine ~until:3.;
   { network; measured = (fun () -> Sim.Engine.run engine ~until:15.) }
 
+(* The PR10 reordering analytics at full tilt: the lattice scenario
+   with the always-on streaming RFC 4737 instance in the receiver AND
+   the sketch detector tapping every data arrival at the connection.
+   Identical traffic to "lattice", so the difference between the two
+   quotients is the analytics' own per-packet cost — which must be
+   indistinguishable from zero under the gate budget. *)
+let analytics_scenario () =
+  let engine = Sim.Engine.create () in
+  let topo = Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ] () in
+  let network = topo.Topo.Multipath_lattice.network in
+  let rng = Sim.Rng.create 42 in
+  let sketch = Obs.Reorder_sketch.create () in
+  let sampler label =
+    Multipath.Epsilon_routing.for_lattice (Sim.Rng.split rng label)
+      ~epsilon:0. topo
+  in
+  let start ~at flow =
+    let fwd = sampler (Printf.sprintf "fwd-%d" flow)
+    and rev = sampler (Printf.sprintf "rev-%d" flow) in
+    let connection =
+      Tcp.Connection.create ~sketch network ~flow
+        ~src:topo.Topo.Multipath_lattice.source
+        ~dst:topo.Topo.Multipath_lattice.destination
+        ~sender:(snd Experiments.Variants.tcp_pr)
+        ~config:(bounded_config 600)
+        ~route_data:(fun () ->
+          Multipath.Epsilon_routing.route fwd
+            topo.Topo.Multipath_lattice.forward_routes)
+        ~route_ack:(fun () ->
+          Multipath.Epsilon_routing.route rev
+            topo.Topo.Multipath_lattice.reverse_routes)
+        ()
+    in
+    Tcp.Connection.start connection ~at
+  in
+  start ~at:0. 0;
+  Sim.Engine.run engine ~until:120.;
+  start ~at:120. 1;
+  { network; measured = (fun () -> Sim.Engine.run engine ~until:240.) }
+
 (* The PR9 host-stack layer at full tilt: the dumbbell pair with a
    finite autotuned receive buffer, a paced application reader (which
    keeps the app-drain timer and the window-reopen path hot) and GRO
@@ -238,7 +278,8 @@ let scenarios =
   [ ("dumbbell", dumbbell_scenario);
     ("lattice", lattice_scenario);
     ("jitter-chain", jitter_scenario);
-    ("hoststack", hoststack_scenario) ]
+    ("hoststack", hoststack_scenario);
+    ("analytics", analytics_scenario) ]
 
 let run_all () = List.map (fun (name, f) -> measure name f) scenarios
 

@@ -37,9 +37,9 @@
               (the `make bench-quick` target)
      gate     FAIL (exit 1) if any of
                 - bytes per simulated packet exceeds the recorded
-                  baseline (newest of BENCH_PR9/PR8/PR7/PR6/PR5/PR3.json
-                  with the block) by more than the budget
-                  (16 B/packet),
+                  baseline (newest of
+                  BENCH_PR10/PR9/PR8/PR7/PR6/PR5/PR3.json with the
+                  block) by more than the budget (16 B/packet),
                 - bytes per ACK for any sender variant exceeds the
                   recorded baseline by more than the budget
                   (16 B/ack; absent from records before PR8,
@@ -66,7 +66,7 @@
    per alloc scenario, events/sec plus a metrics snapshot per scale
    point, events/sec per engine-churn scenario, bytes/ACK per sender
    variant, and events/sec per sharded domain count to
-   results/BENCH_PR9.json and the repo-root BENCH_PR9.json so later
+   results/BENCH_PR10.json and the repo-root BENCH_PR10.json so later
    PRs can track the perf trajectory. *)
 
 open Bechamel
@@ -533,7 +533,7 @@ let write_record ~total_s =
    with Unix.Unix_error _ -> ());
   let buffer = Buffer.create 1024 in
   Buffer.add_string buffer "{\n";
-  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 8,\n");
+  Buffer.add_string buffer (Printf.sprintf "  \"pr\": 10,\n");
   Buffer.add_string buffer (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string buffer (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buffer
@@ -638,7 +638,7 @@ let write_record ~total_s =
       output_string oc contents;
       close_out oc;
       Printf.printf "Perf record written to %s\n" path)
-    [ "results/BENCH_PR9.json"; "BENCH_PR9.json" ]
+    [ "results/BENCH_PR10.json"; "BENCH_PR10.json" ]
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate                                                     *)
@@ -720,8 +720,9 @@ let gate () =
      predate it. *)
   let record_paths =
     List.filter Sys.file_exists
-      [ "BENCH_PR9.json"; "BENCH_PR8.json"; "BENCH_PR7.json";
-        "BENCH_PR6.json"; "BENCH_PR5.json"; "BENCH_PR3.json" ]
+      [ "BENCH_PR10.json"; "BENCH_PR9.json"; "BENCH_PR8.json";
+        "BENCH_PR7.json"; "BENCH_PR6.json"; "BENCH_PR5.json";
+        "BENCH_PR3.json" ]
   in
   if record_paths = [] then begin
     Printf.printf

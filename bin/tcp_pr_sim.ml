@@ -187,6 +187,59 @@ let hoststack seed quick jobs =
        (fun acc p -> acc + p.Experiments.Hoststack.buf_drops)
        0 points)
 
+let adversary seed quick jobs target tolerance variants =
+  let jobs = max 1 jobs in
+  let epoch_s = if quick then 2. else 3. in
+  let max_epochs = if quick then 12 else 16 in
+  let hold_arrivals = if quick then 16_000 else 25_000 in
+  let variants =
+    match variants with
+    | [] -> Experiments.Variants.all
+    | names ->
+      List.map
+        (fun name ->
+          match Experiments.Variants.find name with
+          | Some variant -> variant
+          | None ->
+            Printf.eprintf "unknown variant %S\n" name;
+            exit 2)
+        names
+  in
+  Printf.printf
+    "Adaptive adversary: hold measured reordering density at %.3f (±%.0f%%)\n"
+    target (tolerance *. 100.);
+  Printf.printf
+    "over the multipath lattice, retuning epsilon each %g-second epoch \
+     (up to %d epochs, %d variants).\n"
+    epoch_s max_epochs (List.length variants);
+  let points =
+    Experiments.Adversary.sweep ~seed ~epoch_s ~max_epochs ~hold_arrivals
+      ~target ~tolerance ~variants ~jobs ()
+  in
+  Experiments.Adversary.to_table points |> Stats.Table.print;
+  if Experiments.Adversary.all_held points then
+    Printf.printf "\nall %d variants held the target density.\n"
+      (List.length points)
+  else begin
+    List.iter
+      (fun p ->
+        if not p.Experiments.Adversary.held then begin
+          Printf.printf "\nMISS: %s settled at density %.4f (target %.4f)\n"
+            p.Experiments.Adversary.variant
+            p.Experiments.Adversary.final_density
+            p.Experiments.Adversary.target;
+          List.iter
+            (fun e ->
+              Printf.printf "  epoch %2d: epsilon=%8.3f arrivals=%6d density=%.4f\n"
+                e.Experiments.Adversary.index e.Experiments.Adversary.epsilon
+                e.Experiments.Adversary.arrivals
+                e.Experiments.Adversary.density)
+            p.Experiments.Adversary.epochs
+        end)
+      points;
+    exit 1
+  end
+
 let manet seed quick jobs =
   let duration = if quick then 20. else 60. in
   let jobs = max 1 jobs in
@@ -602,6 +655,38 @@ let hoststack_cmd =
        GRO coalescing (extension)."
     Term.(const hoststack $ seed_term $ quick_term $ jobs_term)
 
+let adversary_cmd =
+  let target =
+    Arg.(
+      value & opt float 0.05
+      & info [ "target" ] ~docv:"DENSITY"
+          ~doc:
+            "Target measured reordering density (late arrivals / arrivals) \
+             in (0, 1).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.1
+      & info [ "tolerance" ] ~docv:"FRACTION"
+          ~doc:
+            "Relative tolerance on the final held density; exit 1 if any \
+             variant misses it.")
+  in
+  let variants =
+    Arg.(
+      value & opt_all string []
+      & info [ "variant" ] ~docv:"NAME"
+          ~doc:"Restrict to this sender variant (repeatable; default all).")
+  in
+  cmd_of "adversary"
+    ~doc:
+      "Adaptive adversary: closed-loop epsilon tuning to hold a target \
+       measured reordering density against every sender variant \
+       (extension)."
+    Term.(
+      const adversary $ seed_term $ quick_term $ jobs_term $ target
+      $ tolerance $ variants)
+
 let manet_cmd =
   cmd_of "manet" ~doc:"Mobile ad-hoc network scenario (paper future work)."
     Term.(const manet $ seed_term $ quick_term $ jobs_term)
@@ -788,5 +873,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ fig2_cmd; fig3_cmd; fig4_cmd; fig6_cmd; flaps_cmd; jitter_cmd;
-            hoststack_cmd; manet_cmd; ablate_cmd; check_cmd; report_cmd;
-            scale_cmd; demo_cmd ]))
+            hoststack_cmd; adversary_cmd; manet_cmd; ablate_cmd; check_cmd;
+            report_cmd; scale_cmd; demo_cmd ]))

@@ -115,8 +115,12 @@ let run_variant ~seed ~scenario ~tail (variant, sender) =
     if tail > 0 then Some (Obs.Flight_recorder.attach ~capacity:tail probe)
     else None
   in
+  (* The data-plane reorder detector taps every sink arrival; its rows
+     render only when it actually flags reordering, so the dumbbell
+     variants keep their reports unchanged. *)
+  let sketch = Obs.Reorder_sketch.create () in
   let connection =
-    Tcp.Connection.create ~probe network ~flow:0 ~src ~dst ~sender
+    Tcp.Connection.create ~probe ~sketch network ~flow:0 ~src ~dst ~sender
       ~config:report_config ~route_data ~route_ack ()
   in
   Tcp.Connection.start connection ~at:0.;
@@ -124,6 +128,7 @@ let run_variant ~seed ~scenario ~tail (variant, sender) =
   let registry = Obs.Registry.create () in
   Telemetry.network registry network ~now:(Sim.Engine.now engine);
   Telemetry.connection registry connection;
+  Telemetry.reorder_sketch registry sketch;
   Obs.Registry.set_value registry "run.duration" (Sim.Engine.now engine);
   Obs.Registry.set_value registry "run.finished"
     (if Tcp.Connection.finished connection then 1. else 0.);

@@ -118,6 +118,28 @@ let connection ?(prefix = "conn") registry c =
   Obs.Metrics.Histogram.merge_into
     ~into:(Obs.Registry.histogram registry (prefix ^ ".reorder_depth"))
     (Tcp.Connection.receiver_reorder_depth c);
+  (* RFC 4737 rows appear only when the arrival stream actually had
+     late arrivals, so reordering-free runs render byte-identically. *)
+  let ro = Tcp.Connection.receiver_reorder c in
+  if Obs.Reorder.reordered ro + Obs.Reorder.late_retx ro > 0 then begin
+    set_counter ".reorder.arrivals" (Obs.Reorder.arrivals ro);
+    set_counter ".reorder.reordered" (Obs.Reorder.reordered ro);
+    set_counter ".reorder.late_retx" (Obs.Reorder.late_retx ro);
+    set_counter ".reorder.extent_capped" (Obs.Reorder.extent_capped ro);
+    Obs.Registry.set_value registry
+      (prefix ^ ".reorder.density")
+      (Obs.Reorder.density ro);
+    Obs.Metrics.Histogram.merge_into
+      ~into:(Obs.Registry.histogram registry (prefix ^ ".reorder.extent"))
+      (Obs.Reorder.extent ro);
+    Obs.Metrics.Histogram.merge_into
+      ~into:(Obs.Registry.histogram registry (prefix ^ ".reorder.late_offset"))
+      (Obs.Reorder.late_offset ro);
+    Obs.Metrics.Histogram.merge_into
+      ~into:
+        (Obs.Registry.histogram registry (prefix ^ ".reorder.n_reordering"))
+      (Obs.Reorder.n_reordering ro)
+  end;
   (* Host-stack rows appear only when the finite receive buffer is
      configured, keeping default-run reports byte-identical. *)
   (match Tcp.Connection.receiver_buffer c with
@@ -140,3 +162,15 @@ let connection ?(prefix = "conn") registry c =
     (fun (key, v) ->
       Obs.Registry.set_value registry (prefix ^ ".sender." ^ key) v)
     (Tcp.Connection.sender_metrics c)
+
+let reorder_sketch ?(prefix = "reorder_sketch") registry sk =
+  (* Rendered only when the detector both saw traffic and flagged
+     something — an armed-but-quiet sketch leaves the report alone. *)
+  if Obs.Reorder_sketch.detected sk > 0 then begin
+    let set_counter name v =
+      Obs.Metrics.Counter.add (Obs.Registry.counter registry (prefix ^ name)) v
+    in
+    set_counter ".observed" (Obs.Reorder_sketch.observed sk);
+    set_counter ".detected" (Obs.Reorder_sketch.detected sk);
+    set_counter ".memory_words" (Obs.Reorder_sketch.memory_words sk)
+  end

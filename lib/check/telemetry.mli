@@ -33,5 +33,18 @@ val churn : ?prefix:string -> Obs.Registry.t -> Workload.Flow_churn.t -> unit
     [prefix] (default ["conn"]): [.sent], [.timer_fires],
     [.delack_timeouts], [.received], [.duplicates], the receiver's
     [.reorder_depth] histogram, and every sender diagnostic as
-    [.sender.<key>] (including [.sender.cwnd]). *)
+    [.sender.<key>] (including [.sender.cwnd]). When the arrival
+    stream had late arrivals, the streaming RFC 4737 rows join them:
+    [.reorder.arrivals], [.reorder.reordered], [.reorder.late_retx],
+    [.reorder.extent_capped], [.reorder.density] and the
+    [.reorder.extent] / [.reorder.late_offset] /
+    [.reorder.n_reordering] histograms — reordering-free runs render
+    byte-identically to before. *)
 val connection : ?prefix:string -> Obs.Registry.t -> Tcp.Connection.t -> unit
+
+(** [reorder_sketch registry sk] lifts a data-plane reorder detector's
+    counters under [prefix] (default ["reorder_sketch"]): [.observed],
+    [.detected], [.memory_words]. Rendered only when the sketch
+    flagged at least one reordered arrival. *)
+val reorder_sketch :
+  ?prefix:string -> Obs.Registry.t -> Obs.Reorder_sketch.t -> unit

@@ -1,5 +1,7 @@
 type t = {
   rng : Sim.Rng.t;
+  costs : float array;
+  mutable epsilon : float;
   weights : float array;
   (* Left-to-right running sums of [weights], precomputed so that
      [sample] replays exactly the scan [Sim.Rng.choose] would perform
@@ -7,6 +9,26 @@ type t = {
      packet. *)
   cum : floatarray;
 }
+
+(* Recompute [weights] and [cum] in place for the current [epsilon].
+   Subtract the minimum cost before exponentiating so the cheapest
+   path always has weight 1 and epsilon = 500 underflows the others to
+   exactly zero rather than producing 0/0. *)
+let rebuild t =
+  let n = Array.length t.costs in
+  let min_cost = Array.fold_left Float.min infinity t.costs in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    let w = exp (-.t.epsilon *. (t.costs.(i) -. min_cost)) in
+    t.weights.(i) <- w;
+    total := !total +. w
+  done;
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    t.weights.(i) <- t.weights.(i) /. !total;
+    acc := !acc +. t.weights.(i);
+    Float.Array.set t.cum i !acc
+  done
 
 let create rng ~epsilon ~costs =
   if epsilon < 0. then invalid_arg "Epsilon_routing.create: negative epsilon";
@@ -17,21 +39,26 @@ let create rng ~epsilon ~costs =
       if not (Float.is_finite c) || c < 0. then
         invalid_arg "Epsilon_routing.create: costs must be finite and >= 0")
     costs;
-  (* Subtract the minimum cost before exponentiating so the cheapest
-     path always has weight 1 and epsilon = 500 underflows the others to
-     exactly zero rather than producing 0/0. *)
-  let min_cost = Array.fold_left Float.min infinity costs in
-  let raw = Array.map (fun c -> exp (-.epsilon *. (c -. min_cost))) costs in
-  let total = Array.fold_left ( +. ) 0. raw in
-  let weights = Array.map (fun w -> w /. total) raw in
-  let n = Array.length weights in
-  let cum = Float.Array.create n in
-  let acc = ref 0. in
-  for i = 0 to n - 1 do
-    acc := !acc +. weights.(i);
-    Float.Array.set cum i !acc
-  done;
-  { rng; weights; cum }
+  let n = Array.length costs in
+  let t =
+    { rng;
+      costs = Array.copy costs;
+      epsilon;
+      weights = Array.make n 0.;
+      cum = Float.Array.create n }
+  in
+  rebuild t;
+  t
+
+(* Retune the dial on a live sampler: the adaptive adversary adjusts
+   epsilon between epochs without disturbing the RNG stream. *)
+let set_epsilon t ~epsilon =
+  if epsilon < 0. then
+    invalid_arg "Epsilon_routing.set_epsilon: negative epsilon";
+  t.epsilon <- epsilon;
+  rebuild t
+
+let epsilon t = t.epsilon
 
 let of_hop_counts rng ~epsilon ~hop_counts =
   if Array.length hop_counts = 0 then

@@ -28,6 +28,15 @@ val of_hop_counts : Sim.Rng.t -> epsilon:float -> hop_counts:int array -> t
     {!Topo.Multipath_lattice}. *)
 val for_lattice : Sim.Rng.t -> epsilon:float -> Topo.Multipath_lattice.t -> t
 
+(** [set_epsilon t ~epsilon] retunes the dial in place — weights are
+    recomputed, the RNG stream is untouched, so the adaptive adversary
+    can adjust a live sampler between epochs. Requires
+    [epsilon >= 0.]. *)
+val set_epsilon : t -> epsilon:float -> unit
+
+(** The current dial value. *)
+val epsilon : t -> float
+
 (** Normalised path probabilities. *)
 val weights : t -> float array
 

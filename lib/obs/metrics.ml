@@ -66,6 +66,7 @@ module Histogram = struct
     mutable sum : int;
     mutable min_v : int;  (* max_int while empty *)
     mutable max_v : int;  (* min_int while empty *)
+    mutable underflow : int;  (* negative inputs, clamped to 0 *)
   }
 
   let create () =
@@ -73,7 +74,8 @@ module Histogram = struct
       count = 0;
       sum = 0;
       min_v = max_int;
-      max_v = min_int }
+      max_v = min_int;
+      underflow = 0 }
 
   let index v =
     if v <= 0 then 0
@@ -90,7 +92,20 @@ module Histogram = struct
     else if k >= bucket_count - 1 then max_int
     else (1 lsl k) - 1
 
+  (* Negative inputs are clamped to 0 (the floor of the underflow
+     bucket) before touching the aggregates: an unclamped [sum] could
+     go negative while every bucket-derived statistic stayed
+     non-negative, silently breaking [mean] against the
+     quantile-bracketing invariant. The clamp count stays observable
+     through [underflow]. *)
   let record t v =
+    let v =
+      if v >= 0 then v
+      else begin
+        t.underflow <- t.underflow + 1;
+        0
+      end
+    in
     let k = index v in
     Array.unsafe_set t.counts k (Array.unsafe_get t.counts k + 1);
     t.count <- t.count + 1;
@@ -101,6 +116,8 @@ module Histogram = struct
   let count t = t.count
 
   let sum t = t.sum
+
+  let underflow t = t.underflow
 
   let min_value t = if t.count = 0 then 0 else t.min_v
 
@@ -146,6 +163,7 @@ module Histogram = struct
     done;
     into.count <- into.count + t.count;
     into.sum <- into.sum + t.sum;
+    into.underflow <- into.underflow + t.underflow;
     if t.min_v < into.min_v then into.min_v <- t.min_v;
     if t.max_v > into.max_v then into.max_v <- t.max_v
 
@@ -160,5 +178,6 @@ module Histogram = struct
     t.count <- 0;
     t.sum <- 0;
     t.min_v <- max_int;
-    t.max_v <- min_int
+    t.max_v <- min_int;
+    t.underflow <- 0
 end

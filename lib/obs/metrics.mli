@@ -61,15 +61,25 @@ module Histogram : sig
 
   val create : unit -> t
 
+  (** [record t v] records [v]. Negative values are clamped to 0 (the
+      floor of the underflow bucket) before entering the aggregates, so
+      [sum], [min_value] and [mean] stay consistent with the
+      bucket-derived statistics; the number of clamped inputs remains
+      observable through {!underflow}. *)
   val record : t -> int -> unit
 
   (** Number of recorded values. *)
   val count : t -> int
 
-  (** Sum of recorded values. *)
+  (** Sum of recorded values (after clamping). *)
   val sum : t -> int
 
-  (** Smallest recorded value, 0 when empty. *)
+  (** Number of negative inputs clamped to 0 by {!record}. Merge
+      adds. *)
+  val underflow : t -> int
+
+  (** Smallest recorded value (after clamping, so never negative), 0
+      when empty. *)
   val min_value : t -> int
 
   (** Largest recorded value, 0 when empty. *)

@@ -1,0 +1,118 @@
+(* Bounded-memory sketch-based reorder detector (after Zheng, Yu and
+   Rexford's data-plane detector): [depth] hash rows of [width] slots,
+   each slot holding the largest sequence number any colliding flow has
+   shown it, plus a parallel count-min array of detected reorder
+   events.
+
+   An arrival [(flow, seq)] is flagged reordered when EVERY row's slot
+   for the flow has already seen a strictly larger sequence number —
+   collisions only inflate a slot's last-seq, so requiring all rows to
+   agree tames false positives the same way count-min's minimum tames
+   overcounts. Detection increments the flow's count-min cells;
+   [estimate] reads their minimum back.
+
+   Memory is fixed at [2 * depth * width] words regardless of flow
+   count — that is the whole point. State is mergeable exactly like
+   {!Registry.merge}: last-seq slots merge by pointwise max, count
+   cells and totals add, both associative and commutative, so shards
+   merged in input order produce byte-identical state at any domain
+   count (each cell of a sharded run owns its own sketch and its flows,
+   and the cell list does not depend on the domain count). Note the
+   merge combines detector STATE, not a replay: two shards observing
+   interleaved halves of one flow would each miss the other's
+   arrivals — callers keep a flow's arrivals within one sketch, as the
+   sharded engine already does for its cells. *)
+
+type t = {
+  depth : int;
+  width : int;
+  last : int array;  (* depth*width; -1 = slot never written *)
+  counts : int array;  (* depth*width count-min of detections *)
+  mutable observed : int;
+  mutable detected : int;
+}
+
+let default_depth = 2
+
+let default_width = 512
+
+let create ?(depth = default_depth) ?(width = default_width) () =
+  if depth < 1 then invalid_arg "Reorder_sketch.create: depth must be >= 1";
+  if width < 1 then invalid_arg "Reorder_sketch.create: width must be >= 1";
+  { depth;
+    width;
+    last = Array.make (depth * width) (-1);
+    counts = Array.make (depth * width) 0;
+    observed = 0;
+    detected = 0 }
+
+(* Per-row multiply-xor-shift hash: deterministic across runs and
+   domains (no [Hashtbl.hash] seeding), integer-only. *)
+let slot t row flow =
+  let h = (flow + 1) * (0x2545f491 + (row * 0x9e3779b9)) in
+  let h = h lxor (h lsr 17) in
+  (h land max_int) mod t.width
+
+let observe t ~flow ~seq =
+  if seq < 0 then invalid_arg "Reorder_sketch.observe: negative seq";
+  t.observed <- t.observed + 1;
+  let reordered = ref true in
+  for row = 0 to t.depth - 1 do
+    let i = (row * t.width) + slot t row flow in
+    if seq >= Array.unsafe_get t.last i then reordered := false
+  done;
+  if !reordered then t.detected <- t.detected + 1;
+  for row = 0 to t.depth - 1 do
+    let i = (row * t.width) + slot t row flow in
+    if !reordered then
+      Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1);
+    if seq > Array.unsafe_get t.last i then Array.unsafe_set t.last i seq
+  done
+
+let estimate t ~flow =
+  let est = ref max_int in
+  for row = 0 to t.depth - 1 do
+    let c = t.counts.((row * t.width) + slot t row flow) in
+    if c < !est then est := c
+  done;
+  !est
+
+let observed t = t.observed
+
+let detected t = t.detected
+
+let depth t = t.depth
+
+let width t = t.width
+
+(* Fixed state footprint in words: both arrays, whatever the traffic. *)
+let memory_words t = 2 * t.depth * t.width
+
+let compatible a b = a.depth = b.depth && a.width = b.width
+
+let merge_into ~into t =
+  if not (compatible into t) then
+    invalid_arg "Reorder_sketch.merge_into: dimension mismatch";
+  let n = t.depth * t.width in
+  for i = 0 to n - 1 do
+    if t.last.(i) > into.last.(i) then into.last.(i) <- t.last.(i);
+    into.counts.(i) <- into.counts.(i) + t.counts.(i)
+  done;
+  into.observed <- into.observed + t.observed;
+  into.detected <- into.detected + t.detected
+
+let merge a b =
+  let t = create ~depth:a.depth ~width:a.width () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let equal a b =
+  compatible a b && a.observed = b.observed && a.detected = b.detected
+  && a.last = b.last && a.counts = b.counts
+
+let reset t =
+  Array.fill t.last 0 (t.depth * t.width) (-1);
+  Array.fill t.counts 0 (t.depth * t.width) 0;
+  t.observed <- 0;
+  t.detected <- 0

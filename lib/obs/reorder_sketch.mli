@@ -1,0 +1,59 @@
+(** Bounded-memory sketch-based reorder detector (after the data-plane
+    detectors of Zheng, Yu and Rexford).
+
+    [depth] hash rows of [width] slots track, per slot, the largest
+    sequence number any colliding flow has shown it; a parallel
+    count-min array accumulates detected reorder events. An arrival is
+    flagged reordered when every row's slot has already seen a strictly
+    larger sequence — collisions only inflate last-seq values, so
+    unanimity across rows bounds false positives, and {!estimate}
+    reads the count-min minimum back per flow.
+
+    State is a fixed [2 * depth * width] words whatever the flow count,
+    and merges exactly like {!Registry.merge}: last-seq by pointwise
+    max, counts by addition — associative and commutative, so shards
+    merged in input order are byte-identical at any domain count. The
+    merge combines detector state, not a replay: keep each flow's
+    arrivals within one sketch (as the sharded engine's cells do). *)
+
+type t
+
+val default_depth : int
+
+val default_width : int
+
+val create : ?depth:int -> ?width:int -> unit -> t
+
+(** [observe t ~flow ~seq] feeds one data arrival. Integer stores
+    only — no allocation. Raises [Invalid_argument] on negative
+    [seq]. *)
+val observe : t -> flow:int -> seq:int -> unit
+
+(** Count-min estimate of reorder events detected for [flow] (an upper
+    bound on this sketch's own detections for the flow). *)
+val estimate : t -> flow:int -> int
+
+(** Arrivals observed. *)
+val observed : t -> int
+
+(** Arrivals flagged reordered. *)
+val detected : t -> int
+
+val depth : t -> int
+
+val width : t -> int
+
+(** Fixed state footprint in words. *)
+val memory_words : t -> int
+
+(** Pointwise merge; raises [Invalid_argument] on dimension
+    mismatch. *)
+val merge_into : into:t -> t -> unit
+
+val merge : t -> t -> t
+
+(** Structural equality of the full sketch state — what "byte-identical
+    merged metrics" means in the tests. *)
+val equal : t -> t -> bool
+
+val reset : t -> unit

@@ -7,13 +7,26 @@ type t = {
   max : float;
 }
 
+(* NaN samples poison every aggregate (and used to silently scramble
+   [percentile]'s sort under polymorphic [compare], where NaN is
+   unordered): reject them loudly at the entry points instead. *)
+let reject_nan where samples =
+  if List.exists Float.is_nan samples then
+    invalid_arg (where ^ ": NaN sample")
+
 let of_list samples =
   if samples = [] then invalid_arg "Summary.of_list: empty";
+  reject_nan "Summary.of_list" samples;
   let count = List.length samples in
   let n = float_of_int count in
   let mean = List.fold_left ( +. ) 0. samples /. n in
   let variance =
-    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples /. n
+    List.fold_left
+      (fun acc x ->
+        let d = x -. mean in
+        acc +. (d *. d))
+      0. samples
+    /. n
   in
   { count;
     mean;
@@ -24,8 +37,10 @@ let of_list samples =
 
 let percentile samples p =
   if samples = [] then invalid_arg "Summary.percentile: empty";
-  if p < 0. || p > 100. then invalid_arg "Summary.percentile: out of range";
-  let sorted = List.sort compare samples in
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg "Summary.percentile: out of range";
+  reject_nan "Summary.percentile" samples;
+  let sorted = List.sort Float.compare samples in
   let a = Array.of_list sorted in
   let n = Array.length a in
   if n = 1 then a.(0)

@@ -10,11 +10,13 @@ type t = {
 }
 
 (** [of_list samples] summarises a non-empty list. Raises
-    [Invalid_argument] on an empty list. *)
+    [Invalid_argument] on an empty list or any NaN sample. *)
 val of_list : float list -> t
 
 (** [percentile samples p] is the [p]-th percentile (0 <= p <= 100) by
-    linear interpolation. Raises [Invalid_argument] on an empty list. *)
+    linear interpolation over a [Float.compare]-sorted copy. Raises
+    [Invalid_argument] on an empty list, a NaN sample, or [p] outside
+    the range (NaN included). *)
 val percentile : float list -> float -> float
 
 (** [coefficient_of_variation samples] is [stddev / mean]; requires a

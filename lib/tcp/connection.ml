@@ -38,6 +38,9 @@ type t = {
   (* The end-of-instant drain closure, allocated once. *)
   mutable flush_fn : unit -> unit;
   probe : Probe.t option;
+  (* Shared data-plane reorder detector: sees every data arrival at
+     the sink, before the host stack classifies it. *)
+  sketch : Obs.Reorder_sketch.t option;
   on_finish : (unit -> unit) option;
   (* Keyed timer slots, one {!Sim.Engine.timer} cell per sender timer
      key (senders use 0..2) plus one for the delayed-ACK flush. The
@@ -291,6 +294,12 @@ let maybe_arm_drain t =
 let on_data_arrival t packet =
   (match packet.Net.Packet.payload with
   | Types.Data { seq; retx } -> (
+    (* The sketch taps the raw wire arrival — a switch cannot tell
+       duplicates or about-to-be-dropped segments apart, so neither
+       does the detector. *)
+    (match t.sketch with
+    | Some sk -> Obs.Reorder_sketch.observe sk ~flow:t.flow ~seq
+    | None -> ());
     let rcv_next_before = Receiver.rcv_next t.receiver in
     let now = Sim.Engine.now t.engine in
     let disposition = Receiver.receive t.receiver ~retx ~now ~seq () in
@@ -378,7 +387,7 @@ let dispatch = function
     true
   | _ -> false
 
-let create ?probe ?on_finish network ~flow ~src ~dst ~sender ~config
+let create ?probe ?sketch ?on_finish network ~flow ~src ~dst ~sender ~config
     ~route_data ~route_ack () =
   Config.validate config;
   let engine = Net.Network.engine network in
@@ -404,6 +413,7 @@ let create ?probe ?on_finish network ~flow ~src ~dst ~sender ~config
       flush_armed = false;
       flush_fn = ignore;
       probe;
+      sketch;
       on_finish;
       timer_cells = Array.make 4 None;
       delack_cell = None;
@@ -450,6 +460,8 @@ let receiver_duplicates t = Receiver.duplicates t.receiver
 let receiver_buffered t = Receiver.buffered t.receiver
 
 let receiver_reorder_depth t = Receiver.reorder_depth t.receiver
+
+let receiver_reorder t = Receiver.reorder t.receiver
 
 let receiver_buffer t = Receiver.buffer t.receiver
 

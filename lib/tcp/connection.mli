@@ -16,6 +16,10 @@ type t
 
     @param probe optional instrumentation tap (see {!Probe}); when
     omitted or unarmed the connection pays no instrumentation cost.
+    @param sketch optional shared data-plane reorder detector (see
+    {!Obs.Reorder_sketch}): every data arrival at the sink — including
+    duplicates and socket-buffer drops, which a switch cannot tell
+    apart — is fed to it before the host stack classifies the segment.
     @param on_finish called once, when a bounded transfer completes
     (from within the completing event); used by closed-loop workloads
     to start the flow's successor.
@@ -26,6 +30,7 @@ type t
     ending with [src]. *)
 val create :
   ?probe:Probe.t ->
+  ?sketch:Obs.Reorder_sketch.t ->
   ?on_finish:(unit -> unit) ->
   Net.Network.t ->
   flow:int ->
@@ -72,6 +77,10 @@ val receiver_buffered : t -> int
 (** Reordering-depth histogram of the receiver (see
     {!Receiver.reorder_depth}). *)
 val receiver_reorder_depth : t -> Obs.Metrics.Histogram.t
+
+(** Streaming RFC 4737 reordering metrics of the receiver (see
+    {!Receiver.reorder}). *)
+val receiver_reorder : t -> Obs.Reorder.t
 
 (** The receiver's finite socket buffer, when configured (see
     {!Rcv_buffer}); [None] with the host-stack layer disabled. *)

@@ -31,6 +31,10 @@ type t = {
   (* How far ahead of [rcv_next] each out-of-order arrival landed — the
      reordering depth actually seen by this sink. *)
   reorder_depth : Obs.Metrics.Histogram.t;
+  (* Streaming RFC 4737 metrics over the admitted arrival stream:
+     extent, late-offset density, n-reordering. Always on — integer
+     state only, within the per-packet allocation budget. *)
+  reorder : Obs.Reorder.t;
   (* Finite receive socket buffer — [None] (the default) is the paper's
      idealised unbounded sink and keeps every path below byte-identical
      to the seed. *)
@@ -68,6 +72,7 @@ let create config =
     ack_deferred = false;
     serial = 0;
     reorder_depth = Obs.Metrics.Histogram.create ();
+    reorder = Obs.Reorder.create ();
     buf;
     app_instant = config.Config.rcv_app_rate = None;
     zero_window_advertised = false }
@@ -81,6 +86,8 @@ let duplicates t = t.duplicates
 let buffered t = Interval_buf.cardinal t.out_of_order
 
 let reorder_depth t = t.reorder_depth
+
+let reorder t = t.reorder
 
 let buffer t = t.buf
 
@@ -199,6 +206,13 @@ let receive t ?(retx = false) ?(now = 0.) ~seq () =
         rwnd = advertised_rwnd t }
   end
   else begin
+    (* RFC 4737 evaluation of the admitted arrival: duplicates are
+       counted once and not re-evaluated; a retransmitted hole filler
+       arrives with [seq < next_exp] and counts as a LATE arrival for
+       density, not as a fresh reordering event — the [retx] echo makes
+       the distinction (see Obs.Reorder). *)
+    if duplicate then Obs.Reorder.observe_duplicate t.reorder
+    else Obs.Reorder.observe t.reorder ~retx ~seq ();
     if duplicate then t.duplicates <- t.duplicates + 1
     else if in_order then begin
       t.rcv_next <- t.rcv_next + 1;
@@ -219,7 +233,12 @@ let receive t ?(retx = false) ?(now = 0.) ~seq () =
           Rcv_buffer.app_read buf ~segments:(Rcv_buffer.unread_segments buf)
     end
     else begin
-      Obs.Metrics.Histogram.record t.reorder_depth (seq - t.rcv_next);
+      (* Neither a duplicate nor [rcv_next] itself, so the depth is
+         strictly positive — the histogram must never see the
+         underflow bucket from this site. *)
+      let depth = seq - t.rcv_next in
+      assert (depth > 0);
+      Obs.Metrics.Histogram.record t.reorder_depth depth;
       Interval_buf.add t.out_of_order seq;
       touch_recent t seq
     end;

@@ -64,6 +64,12 @@ val buffered : t -> int
     packet reordering depth observed by this sink. *)
 val reorder_depth : t -> Obs.Metrics.Histogram.t
 
+(** Streaming RFC 4737 reordering metrics (extent, late-offset
+    density, n-reordering) over this sink's admitted arrival stream.
+    Always on; retransmitted hole fillers count as late arrivals for
+    density, not as fresh reordering events. *)
+val reorder : t -> Obs.Reorder.t
+
 (** The finite socket buffer, when configured. *)
 val buffer : t -> Rcv_buffer.t option
 

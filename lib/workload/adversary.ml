@@ -1,0 +1,79 @@
+(* Closed-loop controller holding a target measured reordering density.
+
+   The adversary's dial is the epsilon of {!Multipath.Epsilon_routing}:
+   epsilon = 0 spreads packets uniformly over all paths (maximal
+   persistent reordering), large epsilon collapses onto the shortest
+   path (none). The path weights are exponential in the dial by
+   construction — weight(path) is proportional to
+   [exp (-. epsilon *. cost)] — so over the dial range that matters the
+   measured density responds multiplicatively: moving the dial by
+   [delta] scales the off-path probability (and with it the density) by
+   roughly [exp (-. delta)]. That makes the natural controller a
+   proportional step in log space:
+
+     epsilon <- epsilon + log (measured / target)
+
+   which lands near the fixed point in one step from anywhere in the
+   exponential regime and, unlike a bracketing scheme, keeps no state a
+   noisy epoch could corrupt — each step is independently mean-reverting
+   toward the dial where measured = target, with per-epoch measurement
+   noise entering only as an additive log-space error that averaging
+   over epochs suppresses.
+
+   Two boundary cases:
+   - A zero-density epoch has no log: the dial is too cold (so high
+     that the epoch caught no reordering at all), so the controller
+     halves it back toward [eps_min].
+   - If even the wide-open dial (epsilon = eps_min) cannot reach the
+     target, proposals clamp at [eps_min] — maximal reordering is the
+     best the adversary can do, and [converged] reports the miss
+     honestly. *)
+
+type t = {
+  target : float;
+  eps_min : float;
+  eps_max : float;
+  mutable epsilon : float;  (* dial proposed for the next epoch *)
+  mutable epochs : int;
+  mutable last_density : float;
+}
+
+let create ?(eps_min = 0.) ?(eps_max = 500.) ~target () =
+  if not (target > 0. && target < 1.) then
+    invalid_arg "Adversary.create: target must be in (0, 1)";
+  if not (eps_min >= 0. && eps_max > eps_min) then
+    invalid_arg "Adversary.create: need 0 <= eps_min < eps_max";
+  { target;
+    eps_min;
+    eps_max;
+    (* First epoch probes the wide-open dial: it reveals whether the
+       target is reachable at all and starts inside the exponential
+       regime rather than above it. *)
+    epsilon = eps_min;
+    epochs = 0;
+    last_density = Float.nan }
+
+let epsilon t = t.epsilon
+
+let target t = t.target
+
+let epochs t = t.epochs
+
+let last_density t = t.last_density
+
+let within ~tolerance t density =
+  Float.abs (density -. t.target) <= tolerance *. t.target
+
+let converged ?(tolerance = 0.1) t =
+  (not (Float.is_nan t.last_density)) && within ~tolerance t t.last_density
+
+let observe t ~density =
+  if not (Float.is_finite density) || density < 0. then
+    invalid_arg "Adversary.observe: density must be finite and >= 0";
+  t.epochs <- t.epochs + 1;
+  t.last_density <- density;
+  let proposal =
+    if density > 0. then t.epsilon +. Float.log (density /. t.target)
+    else (t.eps_min +. t.epsilon) /. 2.
+  in
+  t.epsilon <- Float.min t.eps_max (Float.max t.eps_min proposal)

@@ -1,0 +1,42 @@
+(** Closed-loop adversary controller: hold a target measured
+    reordering density by tuning the epsilon-routing dial.
+
+    Density (the fraction of reordered arrivals reported by
+    {!Obs.Reorder}) is monotonically non-increasing in epsilon —
+    epsilon = 0 is uniform multi-path (maximal reordering), large
+    epsilon is single-path (none) — and, because the path weights are
+    exponential in the dial, it responds multiplicatively: the
+    controller therefore takes proportional steps in log space,
+    [epsilon <- epsilon + log (measured / target)], which converge in a
+    few epochs and keep no bracket state for a noisy epoch to corrupt.
+    A zero-density epoch halves the dial back toward [eps_min]; an
+    unreachable target degrades gracefully to the maximal-reordering
+    dial. *)
+
+type t
+
+(** [create ?eps_min ?eps_max ~target ()] — [target] is the desired
+    density in (0, 1); the dial is confined to [eps_min, eps_max]
+    (defaults 0 and 500, the paper's single-path extreme). The first
+    proposed dial is [eps_min] (maximal reordering). *)
+val create : ?eps_min:float -> ?eps_max:float -> target:float -> unit -> t
+
+(** The dial to apply for the next epoch. *)
+val epsilon : t -> float
+
+val target : t -> float
+
+(** Epochs observed so far. *)
+val epochs : t -> int
+
+(** Density reported by the most recent epoch (NaN before the
+    first). *)
+val last_density : t -> float
+
+(** [observe t ~density] feeds one epoch's measured density and
+    updates the proposed dial. *)
+val observe : t -> density:float -> unit
+
+(** Whether the most recent epoch landed within [tolerance] (default
+    0.1, i.e. ±10%) of the target, relatively. *)
+val converged : ?tolerance:float -> t -> bool

@@ -112,6 +112,55 @@ let lattice_bytes ~use_wheel =
   bytes_per_packet network ~measured:(fun () ->
       Sim.Engine.run engine ~until:240.)
 
+(* Analytics at data-plane cost (PR10): the lattice scenario with the
+   full reordering observability enabled — the always-on streaming
+   RFC 4737 instance in the receiver plus the sketch detector tapping
+   every data arrival. Same budget as the bare lattice: the analytics
+   must ride the hot path without any per-packet allocation. *)
+let analytics_budget = 180.
+
+let analytics_bytes ~use_wheel =
+  let engine = Sim.Engine.create ~use_wheel () in
+  let topo = Topo.Multipath_lattice.create engine ~path_hops:[ 2; 3; 4 ] () in
+  let network = topo.Topo.Multipath_lattice.network in
+  let rng = Sim.Rng.create 42 in
+  let sketch = Obs.Reorder_sketch.create () in
+  let sampler label =
+    Multipath.Epsilon_routing.for_lattice (Sim.Rng.split rng label)
+      ~epsilon:0. topo
+  in
+  let start ~at flow =
+    let fwd = sampler (Printf.sprintf "fwd-%d" flow)
+    and rev = sampler (Printf.sprintf "rev-%d" flow) in
+    let connection =
+      Tcp.Connection.create ~sketch network ~flow
+        ~src:topo.Topo.Multipath_lattice.source
+        ~dst:topo.Topo.Multipath_lattice.destination
+        ~sender:(snd Experiments.Variants.tcp_pr)
+        ~config:(bounded_config 600)
+        ~route_data:(fun () ->
+          Multipath.Epsilon_routing.route fwd
+            topo.Topo.Multipath_lattice.forward_routes)
+        ~route_ack:(fun () ->
+          Multipath.Epsilon_routing.route rev
+            topo.Topo.Multipath_lattice.reverse_routes)
+        ()
+    in
+    Tcp.Connection.start connection ~at
+  in
+  start ~at:0. 0;
+  Sim.Engine.run engine ~until:120.;
+  start ~at:120. 1;
+  let bytes =
+    bytes_per_packet network ~measured:(fun () ->
+        Sim.Engine.run engine ~until:240.)
+  in
+  (* The analytics must actually have seen the reordering it was
+     billed for. *)
+  Alcotest.(check bool) "sketch saw the measured flows" true
+    (Obs.Reorder_sketch.detected sketch > 100);
+  bytes
+
 (* Host-stack layer at full tilt (PR9): finite autotuned receive
    buffer, paced application reader, GRO coalescing on the sink's
    ingress. The enabled path adds per-arrival admission accounting
@@ -176,6 +225,14 @@ let test_lattice_wheel () =
 
 let test_lattice_heap () =
   check_budget "lattice (heap)" lattice_budget (lattice_bytes ~use_wheel:false)
+
+let test_analytics_wheel () =
+  check_budget "analytics (wheel)" analytics_budget
+    (analytics_bytes ~use_wheel:true)
+
+let test_analytics_heap () =
+  check_budget "analytics (heap)" analytics_budget
+    (analytics_bytes ~use_wheel:false)
 
 let test_hoststack_wheel () =
   check_budget "hoststack (wheel)" hoststack_budget
@@ -293,6 +350,8 @@ let () =
           Alcotest.test_case "dumbbell, heap" `Quick test_dumbbell_heap;
           Alcotest.test_case "lattice, wheel" `Quick test_lattice_wheel;
           Alcotest.test_case "lattice, heap" `Quick test_lattice_heap;
+          Alcotest.test_case "analytics, wheel" `Quick test_analytics_wheel;
+          Alcotest.test_case "analytics, heap" `Quick test_analytics_heap;
           Alcotest.test_case "hoststack, wheel" `Quick test_hoststack_wheel;
           Alcotest.test_case "hoststack, heap" `Quick test_hoststack_heap ] );
       ( "bytes-per-ack",

@@ -140,6 +140,42 @@ let histogram_props =
         Array.iter (fun h -> Metrics.Histogram.merge_into ~into:merged h) parts;
         state merged = state (of_values values)) ]
 
+(* Negative values clamp into the underflow bucket (regression: they
+   used to corrupt [sum] and [min_value] while still landing in bucket
+   0, poisoning every aggregate downstream). *)
+let test_histogram_negative_clamped () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.record h (-7);
+  Metrics.Histogram.record h 3;
+  Alcotest.(check int) "count" 2 (Metrics.Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Metrics.Histogram.underflow h);
+  Alcotest.(check int) "sum unpolluted" 3 (Metrics.Histogram.sum h);
+  Alcotest.(check int) "min clamped to 0" 0 (Metrics.Histogram.min_value h);
+  Alcotest.(check int) "max" 3 (Metrics.Histogram.max_value h);
+  let g = Metrics.Histogram.create () in
+  Metrics.Histogram.record g (-1);
+  Metrics.Histogram.merge_into ~into:h g;
+  Alcotest.(check int) "merge adds underflow" 2 (Metrics.Histogram.underflow h)
+
+let signed_values_gen =
+  QCheck.(list_of_size (Gen.int_range 1 200) (int_range (-1000) 10_000))
+
+let negative_value_props =
+  [ QCheck.Test.make ~name:"arbitrary-sign record = clamped record"
+      ~count:300 signed_values_gen (fun values ->
+        let clamped = of_values (List.map (max 0) values) in
+        state (of_values values) = state clamped);
+    QCheck.Test.make ~name:"underflow counts the negatives" ~count:300
+      signed_values_gen (fun values ->
+        Metrics.Histogram.underflow (of_values values)
+        = List.length (List.filter (fun v -> v < 0) values));
+    QCheck.Test.make ~name:"aggregates never go negative" ~count:300
+      signed_values_gen (fun values ->
+        let h = of_values values in
+        Metrics.Histogram.sum h >= 0
+        && Metrics.Histogram.min_value h >= 0
+        && Metrics.Histogram.max_value h >= 0) ]
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -311,6 +347,281 @@ let test_record_path_allocation_free () =
     Alcotest.failf "record path allocated %.0f minor words" allocated
 
 (* ------------------------------------------------------------------ *)
+(* Streaming RFC 4737 reordering metrics                               *)
+(* ------------------------------------------------------------------ *)
+
+module Reorder = Obs.Reorder
+
+(* Naive offline reference: recompute every metric from the recorded
+   arrival list with full lookback over the last [window] arrivals,
+   mirroring the documented semantics the stream implements with a
+   ring. With [window >= length] the windowed definition coincides
+   with the unwindowed RFC 4737 one (nothing can age out), so the
+   differential also pins the stream against the exact metric. *)
+type offline = {
+  o_arrivals : int;
+  o_reordered : int;
+  o_late_retx : int;
+  o_capped : int;
+  o_next_exp : int;
+  o_extent : Metrics.Histogram.t;
+  o_late : Metrics.Histogram.t;
+  o_n : Metrics.Histogram.t;
+}
+
+let offline_reorder ~window arrivals =
+  let arr = Array.of_list arrivals in
+  let seqs = Array.map fst arr in
+  let o =
+    { o_arrivals = Array.length arr;
+      o_reordered = 0;
+      o_late_retx = 0;
+      o_capped = 0;
+      o_next_exp = 0;
+      o_extent = Metrics.Histogram.create ();
+      o_late = Metrics.Histogram.create ();
+      o_n = Metrics.Histogram.create () }
+  in
+  let reordered = ref 0 and late_retx = ref 0 in
+  let capped = ref 0 and next_exp = ref 0 in
+  Array.iteri
+    (fun i (seq, retx) ->
+      if seq >= !next_exp then next_exp := seq + 1
+      else begin
+        Metrics.Histogram.record o.o_late (!next_exp - seq);
+        if retx then incr late_retx
+        else begin
+          incr reordered;
+          let farthest = ref 0 and run = ref 0 in
+          let consecutive = ref true in
+          for k = 1 to min i window do
+            if seqs.(i - k) > seq then begin
+              farthest := k;
+              if !consecutive then run := k
+            end
+            else consecutive := false
+          done;
+          if i >= window && (!farthest = 0 || !farthest = window) then
+            incr capped;
+          Metrics.Histogram.record o.o_extent
+            (if !farthest = 0 then window else !farthest);
+          if !run > 0 then Metrics.Histogram.record o.o_n !run
+        end
+      end)
+    arr;
+  { o with
+    o_reordered = !reordered;
+    o_late_retx = !late_retx;
+    o_capped = !capped;
+    o_next_exp = !next_exp }
+
+let stream_matches ~window arrivals =
+  let ro = Reorder.create ~window () in
+  List.iter (fun (seq, retx) -> Reorder.observe ro ~retx ~seq ()) arrivals;
+  let o = offline_reorder ~window arrivals in
+  Reorder.arrivals ro = o.o_arrivals
+  && Reorder.reordered ro = o.o_reordered
+  && Reorder.late_retx ro = o.o_late_retx
+  && Reorder.extent_capped ro = o.o_capped
+  && Reorder.next_exp ro = o.o_next_exp
+  && state (Reorder.extent ro) = state o.o_extent
+  && state (Reorder.late_offset ro) = state o.o_late
+  && state (Reorder.n_reordering ro) = state o.o_n
+
+(* Arrival streams as a displacement model: packet [i] leaves in order
+   and arrives keyed by [i + d_i] (stable on ties), the way a
+   delay-spread path set reorders a flow — every sequence number
+   arrives exactly once. [retx] flags are independent. *)
+let displaced_stream_gen =
+  let open QCheck.Gen in
+  let gen =
+    int_range 1 120 >>= fun n ->
+    list_repeat n (int_range 0 12) >>= fun ds ->
+    list_repeat n (frequency [ (4, return false); (1, return true) ])
+    >>= fun retx ->
+    let keyed = List.mapi (fun i d -> (i + d, i)) ds in
+    let order = List.sort compare keyed in
+    return (List.map2 (fun (_, i) r -> (i, r)) order retx)
+  in
+  let print l =
+    String.concat ";"
+      (List.map
+         (fun (s, r) -> Printf.sprintf "%d%s" s (if r then "r" else ""))
+         l)
+  in
+  QCheck.make ~print gen
+
+(* Arbitrary non-negative sequence lists (repeats, jumps): exercises
+   the degenerate corners the displacement model cannot reach. *)
+let raw_stream_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 100) (pair (int_range 0 40) bool))
+
+let reorder_props =
+  [ QCheck.Test.make ~name:"stream = offline (exact, window > length)"
+      ~count:300 displaced_stream_gen (stream_matches ~window:200);
+    QCheck.Test.make ~name:"stream = offline (window 8, capping)"
+      ~count:300 displaced_stream_gen (stream_matches ~window:8);
+    QCheck.Test.make ~name:"stream = offline (arbitrary seqs, window 4)"
+      ~count:300 raw_stream_gen (stream_matches ~window:4);
+    QCheck.Test.make ~name:"merge = pointwise sums" ~count:200
+      QCheck.(pair displaced_stream_gen displaced_stream_gen)
+      (fun (a, b) ->
+        let build arrivals =
+          let ro = Reorder.create () in
+          List.iter
+            (fun (seq, retx) -> Reorder.observe ro ~retx ~seq ())
+            arrivals;
+          ro
+        in
+        let ra = build a and rb = build b in
+        let merged = Reorder.create () in
+        Reorder.merge_into ~into:merged ra;
+        Reorder.merge_into ~into:merged rb;
+        Reorder.arrivals merged = Reorder.arrivals ra + Reorder.arrivals rb
+        && Reorder.reordered merged
+           = Reorder.reordered ra + Reorder.reordered rb
+        && Reorder.next_exp merged
+           = max (Reorder.next_exp ra) (Reorder.next_exp rb)
+        && state (Reorder.extent merged)
+           = state
+               (Metrics.Histogram.merge (Reorder.extent ra)
+                  (Reorder.extent rb))) ]
+
+let test_reorder_in_order_stream () =
+  let ro = Reorder.create () in
+  for seq = 0 to 99 do
+    Reorder.observe ro ~seq ()
+  done;
+  Alcotest.(check int) "no reordering" 0 (Reorder.reordered ro);
+  Alcotest.(check (float 1e-9)) "density 0" 0. (Reorder.density ro);
+  Alcotest.(check int) "next_exp" 100 (Reorder.next_exp ro)
+
+let test_reorder_extent_caps_at_window () =
+  let window = 4 in
+  let ro = Reorder.create ~window () in
+  (* 0..9 in order, then seq 2: everything larger aged out of the
+     4-deep ring except the edge, so the extent must report the window
+     bound and count the cap. *)
+  for seq = 0 to 9 do
+    Reorder.observe ro ~seq ()
+  done;
+  Reorder.observe ro ~seq:2 ();
+  Alcotest.(check int) "capped" 1 (Reorder.extent_capped ro);
+  Alcotest.(check int) "extent = window" window
+    (Metrics.Histogram.max_value (Reorder.extent ro))
+
+let test_reorder_duplicates_counted_once () =
+  let ro = Reorder.create () in
+  Reorder.observe ro ~seq:0 ();
+  Reorder.observe ro ~seq:1 ();
+  Reorder.observe_duplicate ro;
+  Alcotest.(check int) "arrivals unchanged" 2 (Reorder.arrivals ro);
+  Alcotest.(check int) "duplicates" 1 (Reorder.duplicates ro);
+  Alcotest.(check int) "no reordering from the dup" 0 (Reorder.reordered ro)
+
+(* ------------------------------------------------------------------ *)
+(* Sketch-based reorder detector                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sketch = Obs.Reorder_sketch
+
+let sketch_of stream =
+  let s = Sketch.create () in
+  List.iter (fun (flow, seq) -> Sketch.observe s ~flow ~seq) stream;
+  s
+
+let sketch_stream_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 0 200) (pair (int_range 0 15) (int_range 0 100)))
+
+let sketch_props =
+  [ QCheck.Test.make ~name:"merge commutative" ~count:200
+      QCheck.(pair sketch_stream_gen sketch_stream_gen)
+      (fun (a, b) ->
+        Sketch.equal
+          (Sketch.merge (sketch_of a) (sketch_of b))
+          (Sketch.merge (sketch_of b) (sketch_of a)));
+    QCheck.Test.make ~name:"merge associative" ~count:200
+      QCheck.(triple sketch_stream_gen sketch_stream_gen sketch_stream_gen)
+      (fun (a, b, c) ->
+        let s = sketch_of in
+        Sketch.equal
+          (Sketch.merge (Sketch.merge (s a) (s b)) (s c))
+          (Sketch.merge (s a) (Sketch.merge (s b) (s c))));
+    QCheck.Test.make
+      ~name:"shard merge independent of grouping (domain counts)"
+      ~count:200 sketch_stream_gen (fun stream ->
+        (* Flows partition onto 4 cell sketches (the sharded engine's
+           cell-owns-flow discipline); any --domains count merges the
+           same cells, only grouped differently. *)
+        let cells = Array.init 4 (fun _ -> Sketch.create ()) in
+        List.iter
+          (fun (flow, seq) ->
+            Sketch.observe cells.(flow mod 4) ~flow ~seq)
+          stream;
+        let sequential = Sketch.create () in
+        Array.iter (fun c -> Sketch.merge_into ~into:sequential c) cells;
+        let paired =
+          Sketch.merge
+            (Sketch.merge cells.(0) cells.(1))
+            (Sketch.merge cells.(2) cells.(3))
+        in
+        Sketch.equal sequential paired
+        && Sketch.observed sequential
+           = List.length stream) ]
+
+let test_sketch_in_order_clean () =
+  let s = Sketch.create () in
+  for seq = 0 to 99 do
+    Sketch.observe s ~flow:3 ~seq
+  done;
+  Alcotest.(check int) "observed" 100 (Sketch.observed s);
+  Alcotest.(check int) "no detections" 0 (Sketch.detected s);
+  Alcotest.(check int) "estimate 0" 0 (Sketch.estimate s ~flow:3)
+
+let test_sketch_detects_late_arrival () =
+  let s = Sketch.create () in
+  for seq = 0 to 9 do
+    Sketch.observe s ~flow:3 ~seq
+  done;
+  Sketch.observe s ~flow:3 ~seq:4;
+  Alcotest.(check int) "one detection" 1 (Sketch.detected s);
+  Alcotest.(check bool) "estimate >= 1" true (Sketch.estimate s ~flow:3 >= 1)
+
+let test_sketch_fixed_memory () =
+  let s = Sketch.create () in
+  let words = Sketch.memory_words s in
+  Alcotest.(check int) "2 * depth * width" (2 * Sketch.depth s * Sketch.width s)
+    words;
+  for flow = 0 to 999 do
+    Sketch.observe s ~flow ~seq:flow
+  done;
+  Alcotest.(check int) "unchanged after 1000 flows" words
+    (Sketch.memory_words s)
+
+let test_sketch_dimension_mismatch () =
+  let a = Sketch.create () and b = Sketch.create ~width:64 () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Reorder_sketch.merge_into: dimension mismatch")
+    (fun () -> Sketch.merge_into ~into:a b)
+
+(* Telemetry renders reordering rows only when non-trivial, so
+   reordering-free scenarios keep byte-identical reports. *)
+let test_telemetry_sketch_rows_gated () =
+  let r = Registry.create () in
+  let s = Sketch.create () in
+  for seq = 0 to 9 do
+    Sketch.observe s ~flow:0 ~seq
+  done;
+  Check.Telemetry.reorder_sketch r s;
+  Alcotest.(check int) "clean sketch renders nothing" 0 (Registry.length r);
+  Sketch.observe s ~flow:0 ~seq:2;
+  Check.Telemetry.reorder_sketch r s;
+  Alcotest.(check bool) "detection renders rows" true
+    (Registry.mem r "reorder_sketch.detected")
+
+(* ------------------------------------------------------------------ *)
 (* Golden report                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -406,8 +717,31 @@ let () =
           Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
           Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
           Alcotest.test_case "record path allocation-free" `Quick
-            test_record_path_allocation_free ]
-        @ List.map (QCheck_alcotest.to_alcotest ~long:false) histogram_props );
+            test_record_path_allocation_free;
+          Alcotest.test_case "negative values clamp" `Quick
+            test_histogram_negative_clamped ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) histogram_props
+        @ List.map
+            (QCheck_alcotest.to_alcotest ~long:false)
+            negative_value_props );
+      ( "reorder",
+        [ Alcotest.test_case "in-order stream" `Quick
+            test_reorder_in_order_stream;
+          Alcotest.test_case "extent caps at window" `Quick
+            test_reorder_extent_caps_at_window;
+          Alcotest.test_case "duplicates counted once" `Quick
+            test_reorder_duplicates_counted_once ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) reorder_props );
+      ( "reorder-sketch",
+        [ Alcotest.test_case "in-order clean" `Quick test_sketch_in_order_clean;
+          Alcotest.test_case "detects late arrival" `Quick
+            test_sketch_detects_late_arrival;
+          Alcotest.test_case "fixed memory" `Quick test_sketch_fixed_memory;
+          Alcotest.test_case "dimension mismatch" `Quick
+            test_sketch_dimension_mismatch;
+          Alcotest.test_case "telemetry rows gated" `Quick
+            test_telemetry_sketch_rows_gated ]
+        @ List.map (QCheck_alcotest.to_alcotest ~long:false) sketch_props );
       ( "registry",
         [ Alcotest.test_case "find or create" `Quick
             test_registry_find_or_create;

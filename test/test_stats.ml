@@ -31,6 +31,40 @@ let test_percentile () =
   check_float "max" 5. (Stats.Summary.percentile samples 100.);
   check_float "interpolated" 1.4 (Stats.Summary.percentile samples 10.)
 
+let test_percentile_endpoints () =
+  (* n = 2: p = 0 and p = 100 are exactly the extremes, the midpoint
+     interpolates halfway. *)
+  let samples = [ 20.; 10. ] in
+  check_float "p0" 10. (Stats.Summary.percentile samples 0.);
+  check_float "p100" 20. (Stats.Summary.percentile samples 100.);
+  check_float "p50" 15. (Stats.Summary.percentile samples 50.);
+  (* Negative values must sort below positive ones (Float.compare, not
+     the polymorphic compare that once scrambled NaN-adjacent sorts). *)
+  check_float "negative p0" (-5.) (Stats.Summary.percentile [ 3.; -5. ] 0.)
+
+let test_summary_nan_rejected () =
+  Alcotest.check_raises "of_list"
+    (Invalid_argument "Summary.of_list: NaN sample") (fun () ->
+      ignore (Stats.Summary.of_list [ 1.; Float.nan ]));
+  Alcotest.check_raises "percentile samples"
+    (Invalid_argument "Summary.percentile: NaN sample") (fun () ->
+      ignore (Stats.Summary.percentile [ 1.; Float.nan ] 50.));
+  Alcotest.check_raises "percentile NaN p"
+    (Invalid_argument "Summary.percentile: out of range") (fun () ->
+      ignore (Stats.Summary.percentile [ 1. ] Float.nan));
+  Alcotest.check_raises "percentile p > 100"
+    (Invalid_argument "Summary.percentile: out of range") (fun () ->
+      ignore (Stats.Summary.percentile [ 1. ] 100.5))
+
+let test_summary_variance_two_points () =
+  (* {-1, 1}: mean 0, population variance 1 — the d*d accumulation
+     must not lose the sign symmetry the old ( ** 2.) path could. *)
+  let s = Stats.Summary.of_list [ -1.; 1. ] in
+  check_float "mean" 0. s.Stats.Summary.mean;
+  check_float "variance" 1. s.Stats.Summary.variance;
+  check_float "stddev" 1. s.Stats.Summary.stddev;
+  check_float "min" (-1.) s.Stats.Summary.min
+
 let test_cov () =
   (* Identical samples: no variation. *)
   check_float "zero variation" 0.
@@ -217,6 +251,11 @@ let () =
           Alcotest.test_case "singleton" `Quick test_summary_singleton;
           Alcotest.test_case "empty rejected" `Quick test_summary_empty_rejected;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile endpoints" `Quick
+            test_percentile_endpoints;
+          Alcotest.test_case "NaN rejected" `Quick test_summary_nan_rejected;
+          Alcotest.test_case "variance sign symmetry" `Quick
+            test_summary_variance_two_points;
           Alcotest.test_case "cov" `Quick test_cov ]
         @ List.map (QCheck_alcotest.to_alcotest ~long:false) summary_props );
       ( "fairness",

@@ -482,6 +482,48 @@ let test_receiver_reorder_depth () =
   Alcotest.(check int) "max depth" 4 (Obs.Metrics.Histogram.max_value h);
   Alcotest.(check int) "sum" 6 (Obs.Metrics.Histogram.sum h)
 
+(* RFC 4737 classification at the sink (regression for the streaming
+   analytics): a retransmitted hole filler is late for the offset
+   density but NOT a fresh reordering event, a late original is a
+   reordered singleton, and a repeated sequence number is evaluated
+   once (duplicate). Arrival order: 0, 2, 1, 3, 5, 4(retx), 4(dup). *)
+let test_receiver_reorder_classification () =
+  let r = Tcp.Receiver.create Tcp.Config.default in
+  ignore (Tcp.Receiver.on_data r ~seq:0 ());
+  ignore (Tcp.Receiver.on_data r ~seq:2 ());
+  ignore (Tcp.Receiver.on_data r ~seq:1 ());
+  ignore (Tcp.Receiver.on_data r ~seq:3 ());
+  ignore (Tcp.Receiver.on_data r ~seq:5 ());
+  ignore (Tcp.Receiver.on_data r ~seq:4 ~retx:true ());
+  ignore (Tcp.Receiver.on_data r ~seq:4 ());
+  let ro = Tcp.Receiver.reorder r in
+  Alcotest.(check int) "arrivals exclude the duplicate" 6
+    (Obs.Reorder.arrivals ro);
+  Alcotest.(check int) "one reordered singleton (seq 1)" 1
+    (Obs.Reorder.reordered ro);
+  Alcotest.(check int) "hole-filling retransmit is late_retx, not reordered"
+    1 (Obs.Reorder.late_retx ro);
+  Alcotest.(check int) "duplicate counted once" 1 (Obs.Reorder.duplicates ro);
+  Alcotest.(check int) "next_exp" 6 (Obs.Reorder.next_exp ro);
+  (* Both late arrivals feed the offset density: 3 - 1 = 2 and
+     6 - 4 = 2. *)
+  let late = Obs.Reorder.late_offset ro in
+  Alcotest.(check int) "late offsets" 2 (Obs.Metrics.Histogram.count late);
+  Alcotest.(check int) "offset sum" 4 (Obs.Metrics.Histogram.sum late);
+  (* Only the reordered singleton has an extent (distance 1 back to
+     seq 2) and an n-reordering entry (1 immediately preceding larger
+     arrival). *)
+  let extent = Obs.Reorder.extent ro in
+  Alcotest.(check int) "one extent" 1 (Obs.Metrics.Histogram.count extent);
+  Alcotest.(check int) "extent value" 1 (Obs.Metrics.Histogram.max_value extent);
+  Alcotest.(check int) "one n-reordering" 1
+    (Obs.Metrics.Histogram.count (Obs.Reorder.n_reordering ro));
+  Alcotest.(check int) "nothing capped" 0 (Obs.Reorder.extent_capped ro);
+  Alcotest.(check (float 1e-9)) "density excludes the retransmit"
+    (1. /. 6.) (Obs.Reorder.density ro);
+  Alcotest.(check (float 1e-9)) "late fraction includes it" (2. /. 6.)
+    (Obs.Reorder.late_fraction ro)
+
 (* Connection-level: a deferred ACK with no follow-up segment is flushed
    by the delayed-ACK timer, and the connection counts the timeout. *)
 let test_connection_delack_timer_fires () =
@@ -688,6 +730,8 @@ let () =
             test_receiver_delack_off_never_defers;
           Alcotest.test_case "reorder depth histogram" `Quick
             test_receiver_reorder_depth;
+          Alcotest.test_case "reorder classification (RFC 4737)" `Quick
+            test_receiver_reorder_classification;
           Alcotest.test_case "delack timer fires" `Quick
             test_connection_delack_timer_fires;
           QCheck_alcotest.to_alcotest ~long:false receiver_permutation_prop ] );

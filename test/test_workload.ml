@@ -231,6 +231,105 @@ let test_churn_validation () =
         { base with Workload.Flow_churn.min_segments = 8; max_segments = 4 } )
     ]
 
+(* --- Adversary controller (closed-loop reordering dial) ------------ *)
+
+let test_adversary_validation () =
+  Alcotest.check_raises "target 0"
+    (Invalid_argument "Adversary.create: target must be in (0, 1)") (fun () ->
+      ignore (Workload.Adversary.create ~target:0. ()));
+  Alcotest.check_raises "target 1"
+    (Invalid_argument "Adversary.create: target must be in (0, 1)") (fun () ->
+      ignore (Workload.Adversary.create ~target:1. ()));
+  Alcotest.check_raises "inverted bounds"
+    (Invalid_argument "Adversary.create: need 0 <= eps_min < eps_max")
+    (fun () ->
+      ignore (Workload.Adversary.create ~eps_min:2. ~eps_max:1. ~target:0.05 ()));
+  let t = Workload.Adversary.create ~target:0.05 () in
+  Alcotest.check_raises "NaN density"
+    (Invalid_argument "Adversary.observe: density must be finite and >= 0")
+    (fun () -> Workload.Adversary.observe t ~density:Float.nan);
+  Alcotest.check_raises "negative density"
+    (Invalid_argument "Adversary.observe: density must be finite and >= 0")
+    (fun () -> Workload.Adversary.observe t ~density:(-0.1))
+
+let test_adversary_log_step () =
+  let t = Workload.Adversary.create ~eps_min:1. ~target:0.05 () in
+  Alcotest.(check (float 0.)) "first dial is eps_min" 1.
+    (Workload.Adversary.epsilon t);
+  Alcotest.(check bool) "no density before first epoch" true
+    (Float.is_nan (Workload.Adversary.last_density t));
+  (* Measured 4x hot: the dial should step up by exactly ln 4. *)
+  Workload.Adversary.observe t ~density:0.2;
+  Alcotest.(check (float 1e-12)) "proportional step in log space"
+    (1. +. Float.log (0.2 /. 0.05))
+    (Workload.Adversary.epsilon t);
+  Alcotest.(check int) "epoch counted" 1 (Workload.Adversary.epochs t);
+  Alcotest.(check (float 0.)) "density remembered" 0.2
+    (Workload.Adversary.last_density t);
+  (* A too-cold proposal clamps at eps_min, never below. *)
+  Workload.Adversary.observe t ~density:1e-9;
+  Alcotest.(check (float 0.)) "clamped at eps_min" 1.
+    (Workload.Adversary.epsilon t);
+  (* A zero-density epoch has no log: halve back toward eps_min. *)
+  let cold = Workload.Adversary.create ~eps_min:1. ~target:0.05 () in
+  Workload.Adversary.observe cold ~density:0.4;
+  let before = Workload.Adversary.epsilon cold in
+  Workload.Adversary.observe cold ~density:0.;
+  Alcotest.(check (float 1e-12)) "zero density halves toward eps_min"
+    ((1. +. before) /. 2.)
+    (Workload.Adversary.epsilon cold);
+  (* A huge measured density clamps at eps_max. *)
+  let hot = Workload.Adversary.create ~eps_max:2. ~target:1e-6 () in
+  Workload.Adversary.observe hot ~density:0.9;
+  Alcotest.(check (float 0.)) "clamped at eps_max" 2.
+    (Workload.Adversary.epsilon hot)
+
+let test_adversary_converged () =
+  let t = Workload.Adversary.create ~target:0.05 () in
+  Alcotest.(check bool) "not converged before any epoch" false
+    (Workload.Adversary.converged t);
+  Workload.Adversary.observe t ~density:0.054;
+  Alcotest.(check bool) "within default 10%" true
+    (Workload.Adversary.converged t);
+  Alcotest.(check bool) "outside a tighter band" false
+    (Workload.Adversary.converged ~tolerance:0.05 t);
+  Workload.Adversary.observe t ~density:0.06;
+  Alcotest.(check bool) "outside default 10%" false
+    (Workload.Adversary.converged t)
+
+(* Against an ideal exponential plant density(eps) = c * exp(-eps), the
+   log-space step lands on the fixed point in one epoch and stays
+   there; a noisy plant stays mean-reverting (each dial is exactly the
+   noise-free dial plus that epoch's log-space noise, so the error
+   never compounds). *)
+let test_adversary_fixed_point () =
+  let target = 0.05 in
+  let plant eps = 0.8 *. Float.exp (-.eps) in
+  let t = Workload.Adversary.create ~target () in
+  Workload.Adversary.observe t ~density:(plant (Workload.Adversary.epsilon t));
+  for _ = 1 to 5 do
+    let d = plant (Workload.Adversary.epsilon t) in
+    Workload.Adversary.observe t ~density:d;
+    Alcotest.(check (float 1e-9)) "on the fixed point" target
+      (Workload.Adversary.last_density t)
+  done;
+  Alcotest.(check bool) "converged" true (Workload.Adversary.converged t);
+  (* Multiplicative epoch noise: the dial error equals that epoch's
+     log-noise alone, bounded by ln(max noise factor). *)
+  let noisy = Workload.Adversary.create ~target () in
+  let fixed = Float.log (0.8 /. target) in
+  let factors = [ 1.3; 0.7; 1.15; 0.85; 1.0; 1.25 ] in
+  List.iteri
+    (fun i f ->
+      Workload.Adversary.observe noisy
+        ~density:(f *. plant (Workload.Adversary.epsilon noisy));
+      if i > 0 then
+        Alcotest.(check bool) "dial error bounded by the epoch's log-noise"
+          true
+          (Float.abs (Workload.Adversary.epsilon noisy -. fixed)
+          <= Float.log (1. /. 0.7) +. 1e-9))
+    factors
+
 let () =
   Alcotest.run "workload"
     [ ( "ftp",
@@ -258,5 +357,12 @@ let () =
             test_churn_wheel_heap_identical;
           Alcotest.test_case "population invariants" `Quick
             test_churn_population_invariants;
-          Alcotest.test_case "validation" `Quick test_churn_validation ] )
+          Alcotest.test_case "validation" `Quick test_churn_validation ] );
+      ( "adversary",
+        [ Alcotest.test_case "validation" `Quick test_adversary_validation;
+          Alcotest.test_case "log-space step and clamps" `Quick
+            test_adversary_log_step;
+          Alcotest.test_case "converged" `Quick test_adversary_converged;
+          Alcotest.test_case "exponential-plant fixed point" `Quick
+            test_adversary_fixed_point ] )
     ]
